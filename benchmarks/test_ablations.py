@@ -1,0 +1,12 @@
+"""Benchmark: design-choice ablations (zero-latency switching, forwarding,
+DMA bandwidth, cooperative chaining)."""
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark):
+    result = benchmark.pedantic(ablations.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert result.metric("switching scheme preserves gain").measured == 1.0
+    assert result.metric("chaining speedup").measured > 1.0

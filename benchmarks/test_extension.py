@@ -1,0 +1,11 @@
+"""Benchmark: the multi-bit DNN extension study (paper future work)."""
+
+from repro.experiments import extension_multibit
+
+
+def test_extension(benchmark):
+    result = benchmark.pedantic(extension_multibit.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert result.metric("8-bit matches float (within 1 point)").measured == 1.0
+    assert result.metric("BNN storage advantage vs 8-bit").measured > 6.0

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Fig 7 (chip specification table)."""
+
+from repro.experiments import fig07_specs
+
+
+def test_fig07(benchmark):
+    result = benchmark.pedantic(fig07_specs.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert abs(result.metric("nominal frequency").deviation) < 1e-3
+    assert abs(result.metric("on-chip SRAM").deviation) < 0.10

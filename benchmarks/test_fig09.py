@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig 9: voltage sweep.
+
+Runs the experiment once under pytest-benchmark and prints the paper-vs-
+measured table; `pytest benchmarks/ --benchmark-only` regenerates every
+table and figure of the paper's evaluation.
+"""
+
+from repro.experiments import fig09_voltage_sweep
+
+
+def test_fig09(benchmark):
+    result = benchmark.pedantic(fig09_voltage_sweep.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert abs(result.metric("frequency at 1 V").deviation) < 1e-3

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig 10: NCPU area/frequency overhead.
+
+Runs the experiment once under pytest-benchmark and prints the paper-vs-
+measured table; `pytest benchmarks/ --benchmark-only` regenerates every
+table and figure of the paper's evaluation.
+"""
+
+from repro.experiments import fig10_overhead
+
+
+def test_fig10(benchmark):
+    result = benchmark.pedantic(fig10_overhead.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert abs(result.metric("core area overhead").deviation) < 0.01

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig 11: power overhead per instruction/program.
+
+Runs the experiment once under pytest-benchmark and prints the paper-vs-
+measured table; `pytest benchmarks/ --benchmark-only` regenerates every
+table and figure of the paper's evaluation.
+"""
+
+from repro.experiments import fig11_power_overhead
+
+
+def test_fig11(benchmark):
+    result = benchmark.pedantic(fig11_power_overhead.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert abs(result.metric("average per-instruction overhead").deviation) < 1e-3

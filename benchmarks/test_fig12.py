@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig 12: area reduction and energy saving.
+
+Runs the experiment once under pytest-benchmark and prints the paper-vs-
+measured table; `pytest benchmarks/ --benchmark-only` regenerates every
+table and figure of the paper's evaluation.
+"""
+
+from repro.experiments import fig12_area_energy
+
+
+def test_fig12(benchmark):
+    result = benchmark.pedantic(fig12_area_energy.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert abs(result.metric("area saving").deviation) < 0.01

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig 13: utilization timelines.
+
+Runs the experiment once under pytest-benchmark and prints the paper-vs-
+measured table; `pytest benchmarks/ --benchmark-only` regenerates every
+table and figure of the paper's evaluation.
+"""
+
+from repro.experiments import fig13_utilization_timeline
+
+
+def test_fig13(benchmark):
+    result = benchmark.pedantic(fig13_utilization_timeline.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert abs(result.metric("improvement at 70% CPU fraction (batch 2)").deviation) < 0.01

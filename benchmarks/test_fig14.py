@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig 14: batch-size sweep.
+
+Runs the experiment once under pytest-benchmark and prints the paper-vs-
+measured table; `pytest benchmarks/ --benchmark-only` regenerates every
+table and figure of the paper's evaluation.
+"""
+
+from repro.experiments import fig14_batch_sweep
+
+
+def test_fig14(benchmark):
+    result = benchmark.pedantic(fig14_batch_sweep.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert result.metric("decline is monotone").measured == 1.0

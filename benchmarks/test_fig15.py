@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig 15: workload breakdown.
+
+Runs the experiment once under pytest-benchmark and prints the paper-vs-
+measured table; `pytest benchmarks/ --benchmark-only` regenerates every
+table and figure of the paper's evaluation.
+"""
+
+from repro.experiments import fig15_breakdown
+
+
+def test_fig15(benchmark):
+    result = benchmark.pedantic(fig15_breakdown.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert result.metric("image CPU fraction").measured > 70

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig 16: power traces.
+
+Runs the experiment once under pytest-benchmark and prints the paper-vs-
+measured table; `pytest benchmarks/ --benchmark-only` regenerates every
+table and figure of the paper's evaluation.
+"""
+
+from repro.experiments import fig16_power_trace
+
+
+def test_fig16(benchmark):
+    result = benchmark.pedantic(fig16_power_trace.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert abs(result.metric("end-to-end improvement").deviation) < 0.02

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig 17: end-to-end use cases.
+
+Runs the experiment once under pytest-benchmark and prints the paper-vs-
+measured table; `pytest benchmarks/ --benchmark-only` regenerates every
+table and figure of the paper's evaluation.
+"""
+
+from repro.experiments import fig17_end_to_end
+
+
+def test_fig17(benchmark):
+    result = benchmark.pedantic(fig17_end_to_end.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert abs(result.metric("image improvement (paper fraction)").deviation) < 0.02

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig 18: accelerator-size sweep.
+
+Runs the experiment once under pytest-benchmark and prints the paper-vs-
+measured table; `pytest benchmarks/ --benchmark-only` regenerates every
+table and figure of the paper's evaluation.
+"""
+
+from repro.experiments import fig18_accelerator_size
+
+
+def test_fig18(benchmark):
+    result = benchmark.pedantic(fig18_accelerator_size.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert result.metric("saving monotone decreasing").measured == 1.0

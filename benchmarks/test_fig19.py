@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig 19: NALU experiment.
+
+Runs the experiment once under pytest-benchmark and prints the paper-vs-
+measured table; `pytest benchmarks/ --benchmark-only` regenerates every
+table and figure of the paper's evaluation.
+"""
+
+from repro.experiments import fig19_nalu
+
+
+def test_fig19(benchmark):
+    result = benchmark.pedantic(fig19_nalu.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert result.metric("add learns (error < 5 %)").measured == 1.0

@@ -1,0 +1,89 @@
+"""Benchmarks of the library itself (not paper figures): simulator
+throughput, assembler speed, BNN inference rate.
+
+These run real multi-round pytest-benchmark measurements so regressions in
+the hot paths (the pipeline's cycle loop, the assembler's two passes, the
+vectorized BNN forward) are visible.
+"""
+
+import numpy as np
+
+from repro.bnn import BNNAccelerator, BNNModel, binarize_sign
+from repro.cpu import FlatMemory, FunctionalCPU, PipelinedCPU
+from repro.isa import assemble
+from repro.workloads.dhrystone import dhrystone_asm
+
+_LOOP = """
+    li a0, 0
+    li a1, 2000
+loop:
+    addi a0, a0, 1
+    andi t0, a0, 7
+    xor t1, t0, a0
+    bne a0, a1, loop
+    ebreak
+"""
+
+
+def test_pipeline_simulation_rate(benchmark):
+    program = assemble(_LOOP)
+
+    def run():
+        cpu = PipelinedCPU(program, memory=FlatMemory(size=256))
+        return cpu.run().stats.cycles
+
+    cycles = benchmark(run)
+    assert cycles > 8000
+    rate = cycles / benchmark.stats.stats.mean
+    print(f"\npipeline simulation rate: {rate / 1e3:.0f} kcycles/s")
+
+
+def test_functional_simulation_rate(benchmark):
+    program = assemble(_LOOP)
+
+    def run():
+        cpu = FunctionalCPU(program, memory=FlatMemory(size=256))
+        return cpu.run().stats.instructions
+
+    instructions = benchmark(run)
+    assert instructions > 8000
+    rate = instructions / benchmark.stats.stats.mean
+    print(f"\nfunctional simulation rate: {rate / 1e3:.0f} kinstr/s")
+
+
+def test_assembler_throughput(benchmark):
+    source = dhrystone_asm(iterations=10)
+
+    def run():
+        return len(assemble(source).words)
+
+    words = benchmark(run)
+    assert words > 100
+
+
+def test_bnn_inference_throughput(benchmark):
+    model = BNNModel.paper_topology(input_size=256)
+    accelerator = BNNAccelerator()
+    rng = np.random.default_rng(0)
+    batch = binarize_sign(rng.standard_normal((64, 256)))
+
+    def run():
+        predictions, timing = accelerator.infer_batch(model, batch,
+                                                      stream_weights=False)
+        return len(predictions)
+
+    count = benchmark(run)
+    assert count == 64
+
+
+def test_scheduler_throughput(benchmark):
+    from repro.core import SchedulerConfig, compare_end_to_end, items_for_fraction
+
+    items = items_for_fraction(0.7, 100)
+    config = SchedulerConfig(offload_cycles=940)
+
+    def run():
+        return compare_end_to_end(items, config).improvement
+
+    improvement = benchmark(run)
+    assert 0.3 < improvement < 0.5

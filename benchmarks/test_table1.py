@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table I: motion detection latency/energy.
+
+Runs the experiment once under pytest-benchmark and prints the paper-vs-
+measured table; `pytest benchmarks/ --benchmark-only` regenerates every
+table and figure of the paper's evaluation.
+"""
+
+from repro.experiments import table1_motion
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(table1_motion.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert result.metric("accelerated meets 5 ms deadline").measured == 1.0

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table II: microcontroller comparison (Dhrystone).
+
+Runs the experiment once under pytest-benchmark and prints the paper-vs-
+measured table; `pytest benchmarks/ --benchmark-only` regenerates every
+table and figure of the paper's evaluation.
+"""
+
+from repro.experiments import table2_mcu
+
+
+def test_table2(benchmark):
+    result = benchmark.pedantic(table2_mcu.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert abs(result.metric("DMIPS/MHz").deviation) < 0.15

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table III: ML accelerator comparison.
+
+Runs the experiment once under pytest-benchmark and prints the paper-vs-
+measured table; `pytest benchmarks/ --benchmark-only` regenerates every
+table and figure of the paper's evaluation.
+"""
+
+from repro.experiments import table3_accel
+
+
+def test_table3(benchmark):
+    result = benchmark.pedantic(table3_accel.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert abs(result.metric("TOPS/W at 1 V").deviation) < 0.01

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table IV: core utilization.
+
+Runs the experiment once under pytest-benchmark and prints the paper-vs-
+measured table; `pytest benchmarks/ --benchmark-only` regenerates every
+table and figure of the paper's evaluation.
+"""
+
+from repro.experiments import table4_utilization
+
+
+def test_table4(benchmark):
+    result = benchmark.pedantic(table4_utilization.run, rounds=1, iterations=1)
+    print()
+    print(result.to_table())
+    assert result.metric("NCPU0 utilization").measured > 99.0

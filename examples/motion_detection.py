@@ -1,0 +1,76 @@
+"""The paper's human-motion-detection use case (Table I + Fig 15b/17).
+
+Accelerometer windows are reduced to mean / histogram / MAV features by
+real assembly on the pipeline, binarized against training thresholds, and
+classified by the BNN.  The script reproduces Table I's real-time argument:
+a standalone CPU doing the inference in software misses the 5 ms deadline;
+with the BNN engine the deadline holds with an order of magnitude less
+energy.
+
+Run:  python examples/motion_detection.py     (~20 s: trains the BNN)
+"""
+
+import numpy as np
+
+from repro.bnn import synthetic_motion, naive_inference_cycles
+from repro.core import NCPUCore
+from repro.experiments.models import motion_artifacts, motion_use_case
+from repro.isa import assemble
+from repro.power import cpu_profile, bnn_profile, frequency_model
+from repro.workloads import motion_features as mf
+
+DEADLINE_MS = 5.0
+VOLTAGE = 0.4  # the ultra-low-power operating point (18 MHz)
+
+print("training the motion BNN on the synthetic Ninapro stand-in ...")
+artifacts = motion_artifacts()
+use_case = motion_use_case()
+print(f"  gesture classification accuracy: {artifacts.test_accuracy:.1%}")
+
+# ---- functional single-gesture flow on the NCPU core ----------------------
+gestures = synthetic_motion(n_samples=8, seed=99)
+core = NCPUCore()
+core.load_model(artifacts.model)
+
+correct = 0
+for trace, label in zip(gestures.traces, gestures.labels):
+    window = mf.quantize_trace(trace)
+    data = core.memory.data_memory()
+    mf.write_window(data, window)
+    mf.write_thresholds(data, artifacts.thresholds)
+    source = f"""
+        li a0, {mf.N_FEATURES}
+        mv_neu 0, a0
+        li a0, 1
+        mv_neu 1, a0
+    """ + mf.full_motion_asm(64, finish="trans_bnn")
+    run = core.run_cpu_program(assemble(source))
+    assert run.stop_reason == "trans_bnn"
+    prediction = core.run_bnn()[0]
+    core.switch_to_cpu()
+    correct += int(prediction == label)
+
+print(f"NCPU core, full assembly feature pipeline: "
+      f"{correct}/{len(gestures)} gestures correct")
+
+# ---- Table I: the real-time latency/energy argument ------------------------
+f_hz = frequency_model().f_hz(VOLTAGE)
+feature_cycles = use_case.cpu_cycles
+software_cycles = naive_inference_cycles(artifacts.model).cycles
+accel_cycles = use_case.bnn_cycles
+
+standalone_ms = (feature_cycles + software_cycles) / f_hz * 1e3
+accel_ms = (feature_cycles + accel_cycles) / f_hz * 1e3
+standalone_uj = cpu_profile().energy_j(feature_cycles + software_cycles,
+                                       VOLTAGE) * 1e6
+accel_uj = (cpu_profile().energy_j(feature_cycles, VOLTAGE)
+            + bnn_profile().energy_j(accel_cycles, VOLTAGE)) * 1e6
+
+print(f"\nreal-time detection at {VOLTAGE} V "
+      f"({f_hz / 1e6:.0f} MHz), {DEADLINE_MS} ms deadline:")
+print(f"  standalone CPU : {standalone_ms:7.2f} ms  {standalone_uj:7.2f} uJ  "
+      f"{'MISSES' if standalone_ms > DEADLINE_MS else 'meets'} deadline")
+print(f"  CPU + BNN acc  : {accel_ms:7.2f} ms  {accel_uj:7.2f} uJ  "
+      f"{'MISSES' if accel_ms > DEADLINE_MS else 'meets'} deadline")
+print(f"  speedup {standalone_ms / accel_ms:.0f}x, "
+      f"energy saving {standalone_uj / accel_uj:.0f}x")

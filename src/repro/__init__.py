@@ -1,0 +1,21 @@
+"""repro — a reproduction of *NCPU: An Embedded Neural CPU Architecture on
+Resource-Constrained Low Power Devices for Real-time End-to-End Performance*
+(MICRO 2020).
+
+Subpackages:
+
+* :mod:`repro.isa` — RV32I + NCPU custom extension, assembler/disassembler.
+* :mod:`repro.cpu` — functional and cycle-accurate 5-stage pipeline simulators.
+* :mod:`repro.bnn` — binary neural network model, trainer, datasets,
+  cycle-level accelerator.
+* :mod:`repro.mem` — SRAM banks, address arbiter, DMA, shared L2.
+* :mod:`repro.core` — the reconfigurable NCPU core, SoCs, discrete-event
+  end-to-end execution.
+* :mod:`repro.power` — 65 nm technology/area/energy models and metrics.
+* :mod:`repro.workloads` — image pre-processing, motion features, Dhrystone-
+  and MiBench-like kernels (reference Python + RV32I assembly).
+* :mod:`repro.nalu` — Neural ALU experiment (paper section VIII.C).
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+__version__ = "1.0.0"

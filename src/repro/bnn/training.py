@@ -1,0 +1,196 @@
+"""Straight-through-estimator training for the binarized network.
+
+Implements the standard BNN training recipe (Hubara et al., the paper's
+ref [39]) in pure numpy:
+
+* real-valued *shadow* weights, binarized with sign() on the forward pass,
+* sign() activations with the straight-through estimator; because there is
+  no batch norm, pre-activations are O(sqrt(fan_in)), so the STE pass-through
+  window is scaled per layer (``|pre| <= sqrt(fan_in)``) instead of the
+  textbook ``|pre| <= 1``,
+* softmax cross-entropy on the scaled output scores,
+* Adam on the shadow weights, which are clipped to [-1, 1].
+
+Training exports a pure integer :class:`~repro.bnn.model.BNNModel` that the
+accelerator and software kernels execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.bnn.model import BNNLayer, BNNModel
+from repro.errors import ConfigurationError, TrainingError
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss/accuracy curves."""
+
+    loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+
+
+class _Adam:
+    """Minimal Adam optimizer for a list of parameter arrays."""
+
+    def __init__(self, params: List[np.ndarray], lr: float,
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8):
+        self.lr, self.beta1, self.beta2, self.eps = lr, beta1, beta2, eps
+        self.m = [np.zeros_like(p) for p in params]
+        self.v = [np.zeros_like(p) for p in params]
+        self.t = 0
+
+    def step(self, params: List[np.ndarray], grads: List[np.ndarray]) -> None:
+        self.t += 1
+        correction1 = 1 - self.beta1 ** self.t
+        correction2 = 1 - self.beta2 ** self.t
+        for index, (param, grad) in enumerate(zip(params, grads)):
+            self.m[index] = self.beta1 * self.m[index] + (1 - self.beta1) * grad
+            self.v[index] = self.beta2 * self.v[index] + (1 - self.beta2) * grad ** 2
+            m_hat = self.m[index] / correction1
+            v_hat = self.v[index] / correction2
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class BNNTrainer:
+    """Trains a multi-layer BNN with the straight-through estimator."""
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        learning_rate: float = 0.01,
+        seed: int = 0,
+    ):
+        if len(layer_sizes) < 2:
+            raise ConfigurationError("need at least input and output sizes")
+        self.layer_sizes = list(layer_sizes)
+        rng = np.random.default_rng(seed)
+        self.shadow = [
+            rng.uniform(-1, 1, size=(fan_out, fan_in))
+            for fan_in, fan_out in zip(layer_sizes, layer_sizes[1:])
+        ]
+        self.bias = [np.zeros(fan_out) for fan_out in layer_sizes[1:]]
+        self._optimizer = _Adam(self.shadow + self.bias, lr=learning_rate)
+        #: per-layer STE pass-through half-width (pre-activation scale)
+        self._ste_clip = [np.sqrt(fan_in) for fan_in in layer_sizes[:-1]]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sign(values: np.ndarray) -> np.ndarray:
+        return np.where(values >= 0, 1.0, -1.0)
+
+    def _forward(self, x: np.ndarray):
+        """Forward pass; returns (activations, pre_activations)."""
+        activations = [x]
+        pres = []
+        current = x
+        last = len(self.shadow) - 1
+        for index, (shadow, bias) in enumerate(zip(self.shadow, self.bias)):
+            w_bin = self._sign(shadow)
+            pre = current @ w_bin.T + bias
+            pres.append(pre)
+            current = pre if index == last else self._sign(pre)
+            activations.append(current)
+        return activations, pres
+
+    def train(
+        self,
+        x_signs: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 20,
+        batch_size: int = 64,
+        seed: int = 1,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Run Adam over ``(x_signs, labels)``; inputs are in {-1,+1}."""
+        x = np.asarray(x_signs, dtype=np.float64)
+        y = np.asarray(labels)
+        if x.ndim != 2 or x.shape[1] != self.layer_sizes[0]:
+            raise ConfigurationError(
+                f"input shape {x.shape} does not match input size "
+                f"{self.layer_sizes[0]}"
+            )
+        n_classes = self.layer_sizes[-1]
+        if y.min() < 0 or y.max() >= n_classes:
+            raise ConfigurationError("labels out of range for the output layer")
+
+        rng = np.random.default_rng(seed)
+        history = TrainingHistory()
+        scale = 1.0 / np.sqrt(self.layer_sizes[-2])
+
+        for _ in range(epochs):
+            order = rng.permutation(len(x))
+            epoch_loss = 0.0
+            correct = 0
+            for start in range(0, len(x), batch_size):
+                batch = order[start:start + batch_size]
+                xb, yb = x[batch], y[batch]
+                activations, pres = self._forward(xb)
+                scores = pres[-1] * scale
+                scores -= scores.max(axis=1, keepdims=True)
+                exp = np.exp(scores)
+                probs = exp / exp.sum(axis=1, keepdims=True)
+                batch_n = len(batch)
+                epoch_loss -= float(
+                    np.log(probs[np.arange(batch_n), yb] + 1e-12).sum()
+                )
+                correct += int((np.argmax(scores, axis=1) == yb).sum())
+
+                grad = probs
+                grad[np.arange(batch_n), yb] -= 1.0
+                grad *= scale / batch_n
+
+                grads_w: List[np.ndarray] = [None] * len(self.shadow)
+                grads_b: List[np.ndarray] = [None] * len(self.bias)
+                for index in reversed(range(len(self.shadow))):
+                    w_bin = self._sign(self.shadow[index])
+                    grads_w[index] = grad.T @ activations[index]
+                    grads_b[index] = grad.sum(axis=0)
+                    if index > 0:
+                        grad_in = grad @ w_bin
+                        clip = self._ste_clip[index]
+                        grad = grad_in * (np.abs(pres[index - 1]) <= clip)
+                self._optimizer.step(self.shadow + self.bias, grads_w + grads_b)
+                for index in range(len(self.shadow)):
+                    np.clip(self.shadow[index], -1.0, 1.0,
+                            out=self.shadow[index])
+
+            epoch_loss /= len(x)
+            if not np.isfinite(epoch_loss):
+                raise TrainingError("loss diverged to non-finite values")
+            history.loss.append(epoch_loss)
+            history.train_accuracy.append(correct / len(x))
+            if verbose:
+                print(f"epoch loss={epoch_loss:.4f} "
+                      f"acc={history.train_accuracy[-1]:.3f}")
+        return history
+
+    def export_model(self) -> BNNModel:
+        """Freeze the trained weights into an integer :class:`BNNModel`."""
+        layers = []
+        for shadow, bias in zip(self.shadow, self.bias):
+            layers.append(BNNLayer(
+                weights=self._sign(shadow).astype(np.int8),
+                bias=np.round(bias).astype(np.int32),
+            ))
+        return BNNModel(layers)
+
+
+def train_bnn(
+    x_signs: np.ndarray,
+    labels: np.ndarray,
+    layer_sizes: Sequence[int],
+    epochs: int = 20,
+    learning_rate: float = 0.01,
+    batch_size: int = 64,
+    seed: int = 0,
+) -> BNNModel:
+    """One-call helper: train and export a BNN."""
+    trainer = BNNTrainer(layer_sizes, learning_rate=learning_rate, seed=seed)
+    trainer.train(x_signs, labels, epochs=epochs, batch_size=batch_size,
+                  seed=seed + 1)
+    return trainer.export_model()

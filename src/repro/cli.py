@@ -1,0 +1,180 @@
+"""Command-line interface: assemble, disassemble, run, and reproduce.
+
+Usage::
+
+    python -m repro asm prog.s [-o prog.hex] [--base 0x0]
+    python -m repro dis prog.hex [--base 0x0]
+    python -m repro run prog.s [--functional] [--regs] [--max-cycles N]
+    python -m repro experiments [PATTERN ...]
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cpu import FunctionalCPU, PipelinedCPU
+from repro.errors import ReproError
+from repro.isa import assemble, disassemble
+
+
+def _read_text(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _parse_base(text: str) -> int:
+    return int(text, 0)
+
+
+def cmd_asm(args: argparse.Namespace) -> int:
+    program = assemble(_read_text(args.file), base=args.base)
+    lines = [f"{word:08x}" for word in program.words]
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        print(f"{len(program.words)} words -> {args.output}")
+    else:
+        print("\n".join(lines))
+    return 0
+
+
+def cmd_dis(args: argparse.Namespace) -> int:
+    words = [int(line, 16) for line in _read_text(args.file).split()]
+    for line in disassemble(words, base=args.base):
+        print(line)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = assemble(_read_text(args.file), base=args.base)
+    cpu_class = FunctionalCPU if args.functional else PipelinedCPU
+    cpu = cpu_class(program)
+    if args.functional:
+        result = cpu.run(max_steps=args.max_cycles)
+    else:
+        result = cpu.run(max_cycles=args.max_cycles)
+    stats = result.stats
+    print(f"stop: {result.stop_reason} at pc={result.pc:#x}")
+    print(f"cycles={stats.cycles} instructions={stats.instructions} "
+          f"ipc={stats.ipc:.3f} stalls={stats.stalls} flushes={stats.flushes}")
+    if args.regs:
+        for index in range(0, 32, 4):
+            row = "  ".join(f"x{i:<2}={cpu.regs.read(i):>10}"
+                            for i in range(index, index + 4))
+            print(row)
+    return 0 if result.stop_reason in ("halt", "trans_bnn") else 1
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.core.events import Timeline
+    from repro.experiments.runner import run_selected
+    from repro.viz import render_timeline
+
+    for result in run_selected(args.patterns or None):
+        print(result.to_table())
+        if args.draw:
+            for name, value in result.series.items():
+                if isinstance(value, Timeline):
+                    print(f"\n{name}:")
+                    print(render_timeline(value))
+                elif isinstance(value, dict):
+                    for sub_name, sub_value in value.items():
+                        if isinstance(sub_value, Timeline):
+                            print(f"\n{name} / {sub_name}:")
+                            print(render_timeline(sub_value))
+        print()
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.bnn import BNNAccelerator
+    from repro.power import (
+        area_saving,
+        bnn_profile,
+        bnn_tops_per_watt,
+        cpu_profile,
+        frequency_model,
+        heterogeneous_area,
+        ncpu_area,
+    )
+
+    freq = frequency_model()
+    print("NCPU reproduction — modelled chip specifications (65 nm)")
+    print(f"  nominal frequency  : {freq.f_mhz(1.0):.0f} MHz at 1.0 V")
+    print(f"  low-power point    : {freq.f_mhz(0.4):.0f} MHz at 0.4 V")
+    print(f"  BNN power          : {bnn_profile().total_power_w(1.0) * 1e3:.0f} mW "
+          f"(1 V), {bnn_profile().total_power_w(0.4) * 1e3:.1f} mW (0.4 V)")
+    print(f"  CPU power          : {cpu_profile().total_power_w(1.0) * 1e3:.0f} mW "
+          f"(1 V), {cpu_profile().total_power_w(0.4) * 1e3:.1f} mW (0.4 V)")
+    print(f"  BNN efficiency     : {bnn_tops_per_watt(1.0):.2f} TOPS/W (1 V), "
+          f"{bnn_tops_per_watt(0.4):.2f} TOPS/W (0.4 V peak)")
+    print(f"  NCPU core area     : {ncpu_area(100).total_mm2:.3f} mm^2")
+    print(f"  CPU+BNN baseline   : {heterogeneous_area(100).total_mm2:.3f} mm^2")
+    print(f"  area saving        : {area_saving(100):.1%}")
+    accelerator = BNNAccelerator()
+    print(f"  accelerator array  : {accelerator.config.n_physical_layers} layers x "
+          f"{accelerator.config.neurons_per_layer} neurons "
+          f"({accelerator.peak_ops_per_cycle()} MACs/cycle)")
+    _ = args
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NCPU (MICRO 2020) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    asm = sub.add_parser("asm", help="assemble a RISC-V source file")
+    asm.add_argument("file")
+    asm.add_argument("-o", "--output")
+    asm.add_argument("--base", type=_parse_base, default=0)
+    asm.set_defaults(func=cmd_asm)
+
+    dis = sub.add_parser("dis", help="disassemble a hex word file")
+    dis.add_argument("file")
+    dis.add_argument("--base", type=_parse_base, default=0)
+    dis.set_defaults(func=cmd_dis)
+
+    run = sub.add_parser("run", help="assemble and execute a program")
+    run.add_argument("file")
+    run.add_argument("--base", type=_parse_base, default=0)
+    run.add_argument("--functional", action="store_true",
+                     help="use the functional ISS instead of the pipeline")
+    run.add_argument("--regs", action="store_true",
+                     help="dump the register file after the run")
+    run.add_argument("--max-cycles", type=int, default=10_000_000)
+    run.set_defaults(func=cmd_run)
+
+    exp = sub.add_parser("experiments",
+                         help="reproduce the paper's tables/figures")
+    exp.add_argument("patterns", nargs="*",
+                     help="substring filters, e.g. fig13 table2")
+    exp.add_argument("--draw", action="store_true",
+                     help="render any timelines as ASCII lanes")
+    exp.set_defaults(func=cmd_experiments)
+
+    info = sub.add_parser("info", help="print the modelled chip specs")
+    info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""The paper's primary contribution: the reconfigurable NCPU core and SoCs."""
+
+from repro.core.events import BNN, CPU, DMA, IDLE, SWITCH, Segment, Timeline
+from repro.core.ncpu import NCPUCore
+from repro.core.scheduler import (
+    EndToEndComparison,
+    Item,
+    SchedulerConfig,
+    compare_end_to_end,
+    items_for_fraction,
+    simulate_heterogeneous,
+    simulate_ncpu,
+    simulate_single_ncpu,
+)
+from repro.core.soc import BNNAcceleratorDevice, HeterogeneousSoC, NCPUSoC
+from repro.core.transition import (
+    PIPELINE_SWITCH_CYCLES,
+    TN_BATCH,
+    TN_INPUT_SIZE,
+    TransitionPolicy,
+)
+from repro.mem.memory_map import CoreMode
+
+__all__ = [
+    "Segment",
+    "Timeline",
+    "CPU",
+    "BNN",
+    "IDLE",
+    "DMA",
+    "SWITCH",
+    "NCPUCore",
+    "CoreMode",
+    "Item",
+    "SchedulerConfig",
+    "EndToEndComparison",
+    "compare_end_to_end",
+    "items_for_fraction",
+    "simulate_heterogeneous",
+    "simulate_ncpu",
+    "simulate_single_ncpu",
+    "NCPUSoC",
+    "HeterogeneousSoC",
+    "BNNAcceleratorDevice",
+    "TransitionPolicy",
+    "PIPELINE_SWITCH_CYCLES",
+    "TN_BATCH",
+    "TN_INPUT_SIZE",
+]

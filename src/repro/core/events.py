@@ -1,0 +1,130 @@
+"""Execution timelines: segments, utilization, and power traces.
+
+Every system-level experiment (Figs 13, 14, 16, 17, Table 4) reduces to a
+:class:`Timeline`: per-core segments of CPU work, BNN work, DMA transfer and
+idleness, measured in cycles.  Utilization and the oscilloscope-style power
+traces (Fig 16) derive from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+
+#: segment kinds
+CPU = "cpu"
+BNN = "bnn"
+IDLE = "idle"
+DMA = "dma"
+SWITCH = "switch"
+
+_ACTIVE_KINDS = (CPU, BNN, SWITCH)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One contiguous activity of one core."""
+
+    core: str
+    kind: str
+    start: int
+    end: int
+    label: str = ""
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ConfigurationError(
+                f"segment for {self.core} ends before it starts "
+                f"({self.start}..{self.end})"
+            )
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """A set of per-core segments over a common cycle axis."""
+
+    segments: List[Segment] = field(default_factory=list)
+
+    def add(self, core: str, kind: str, start: int, end: int,
+            label: str = "") -> Segment:
+        segment = Segment(core=core, kind=kind, start=start, end=end, label=label)
+        self.segments.append(segment)
+        return segment
+
+    @property
+    def end(self) -> int:
+        return max((s.end for s in self.segments), default=0)
+
+    def core_names(self) -> List[str]:
+        seen = []
+        for segment in self.segments:
+            if segment.core not in seen:
+                seen.append(segment.core)
+        return seen
+
+    def core_segments(self, core: str) -> List[Segment]:
+        return sorted((s for s in self.segments if s.core == core),
+                      key=lambda s: s.start)
+
+    # -- utilization ----------------------------------------------------
+    def busy_cycles(self, core: str, kinds: Tuple[str, ...] = _ACTIVE_KINDS) -> int:
+        return sum(s.cycles for s in self.segments
+                   if s.core == core and s.kind in kinds)
+
+    def utilization(self, core: str) -> float:
+        """Fraction of the total makespan this core spends doing real work."""
+        total = self.end
+        if total == 0:
+            return 0.0
+        return self.busy_cycles(core) / total
+
+    def utilizations(self) -> Dict[str, float]:
+        return {core: self.utilization(core) for core in self.core_names()}
+
+    # -- power trace ------------------------------------------------------
+    def power_trace(self, voltage: float, f_hz: float,
+                    reconfigurable: bool = True,
+                    resolution: int = 64) -> Dict[str, List[Tuple[float, float]]]:
+        """Per-core (time_us, power_mw) staircase traces (Fig 16 style).
+
+        Each segment contributes its mode's power at the given voltage and
+        clock; idle periods contribute leakage only.
+        """
+        from repro.power import core_power_w
+
+        traces: Dict[str, List[Tuple[float, float]]] = {}
+        for core in self.core_names():
+            points: List[Tuple[float, float]] = []
+            for segment in self.core_segments(core):
+                if segment.kind in (CPU, SWITCH):
+                    mode, active = "cpu", True
+                elif segment.kind == BNN:
+                    mode, active = "bnn", True
+                else:
+                    mode, active = "cpu", False
+                power_mw = core_power_w(mode, voltage, f_hz,
+                                        reconfigurable=reconfigurable,
+                                        active=active) * 1e3
+                start_us = segment.start / f_hz * 1e6
+                end_us = segment.end / f_hz * 1e6
+                points.append((start_us, power_mw))
+                points.append((end_us, power_mw))
+            traces[core] = points
+        _ = resolution
+        return traces
+
+    def validate_no_overlap(self) -> None:
+        """Sanity check: a core never does two things at once."""
+        for core in self.core_names():
+            ordered = self.core_segments(core)
+            for left, right in zip(ordered, ordered[1:]):
+                if right.start < left.end:
+                    raise ConfigurationError(
+                        f"core {core}: segment {right} overlaps {left}"
+                    )

@@ -1,0 +1,217 @@
+"""Discrete-event schedulers for the end-to-end experiments.
+
+Two system organizations process a stream of *items* (images or gesture
+windows), each with a CPU phase (pre-processing) and a BNN phase
+(inference):
+
+* :func:`simulate_heterogeneous` — the conventional SoC: one CPU core plus
+  one BNN accelerator.  The CPU pre-processes item *i+1* while the
+  accelerator classifies item *i*, but every item must first be *offloaded*
+  (DMA from the CPU's memory into the accelerator's scratchpad), which
+  blocks the CPU (no coherent interface on a low-cost SoC; paper section I).
+* :func:`simulate_ncpu` — the two-core NCPU SoC: items are divided across
+  cores; each core pre-processes all of its items into the local image
+  memory, flips into BNN mode (zero-latency switching), and classifies them
+  — there is no offload because the data never moves.
+
+Both return a :class:`~repro.core.events.Timeline`, from which the paper's
+speedups (Figs 13/14/17), utilizations (Table 4), and power traces (Fig 16)
+are computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.core.events import BNN, CPU, DMA, IDLE, SWITCH, Timeline
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Item:
+    """One unit of end-to-end work."""
+
+    cpu_cycles: int
+    bnn_cycles: int
+
+    def __post_init__(self):
+        if self.cpu_cycles < 0 or self.bnn_cycles < 0:
+            raise ConfigurationError("item phases must be non-negative")
+
+    @property
+    def total_cycles(self) -> int:
+        return self.cpu_cycles + self.bnn_cycles
+
+    @property
+    def cpu_fraction(self) -> float:
+        return self.cpu_cycles / self.total_cycles if self.total_cycles else 0.0
+
+
+def items_for_fraction(cpu_fraction: float, n_items: int,
+                       item_cycles: int = 10_000) -> List[Item]:
+    """A batch of identical items with the given CPU-work fraction (Fig 13)."""
+    if not 0 < cpu_fraction < 1:
+        raise ConfigurationError("cpu_fraction must be in (0, 1)")
+    cpu = round(item_cycles * cpu_fraction)
+    return [Item(cpu_cycles=cpu, bnn_cycles=item_cycles - cpu)] * n_items
+
+
+@dataclass
+class SchedulerConfig:
+    """Cost knobs for the two organizations.
+
+    ``offload_cycles`` is the per-item DMA cost the heterogeneous baseline
+    pays to push a pre-processed item into the accelerator (it blocks the
+    CPU).  ``switch_cycles`` is the NCPU's per-mode-switch cost — a handful
+    of cycles for the ``trans_bnn`` instruction and pipeline drain under the
+    zero-latency scheme, or the full weight-stream time when the scheme is
+    disabled (ablation).
+    """
+
+    offload_cycles: int = 0
+    switch_cycles: int = 4
+    weight_stream_cycles: int = 0
+    zero_latency: bool = True
+
+    def effective_switch_to_bnn(self) -> int:
+        if self.zero_latency:
+            return self.switch_cycles
+        return self.switch_cycles + self.weight_stream_cycles
+
+
+def simulate_heterogeneous(items: Sequence[Item],
+                           config: SchedulerConfig | None = None) -> Timeline:
+    """One CPU + one BNN accelerator with pipelined offload."""
+    config = config if config is not None else SchedulerConfig()
+    timeline = Timeline()
+    cpu_free = 0
+    bnn_free = 0
+    for index, item in enumerate(items):
+        cpu_start = cpu_free
+        cpu_end = cpu_start + item.cpu_cycles
+        timeline.add("cpu", CPU, cpu_start, cpu_end, f"item{index}")
+        # offload DMA blocks the CPU (software-managed, incoherent memory)
+        dma_end = cpu_end + config.offload_cycles
+        if config.offload_cycles:
+            timeline.add("cpu", DMA, cpu_end, dma_end, f"offload{index}")
+        cpu_free = dma_end
+        bnn_start = max(dma_end, bnn_free)
+        if bnn_start > bnn_free:
+            timeline.add("bnn", IDLE, bnn_free, bnn_start)
+        bnn_end = bnn_start + item.bnn_cycles
+        timeline.add("bnn", BNN, bnn_start, bnn_end, f"item{index}")
+        bnn_free = bnn_end
+    if cpu_free < timeline.end:
+        timeline.add("cpu", IDLE, cpu_free, timeline.end)
+    return timeline
+
+
+def _split_round_robin(items: Sequence[Item], n_cores: int) -> List[List[Item]]:
+    shares: List[List[Item]] = [[] for _ in range(n_cores)]
+    for index, item in enumerate(items):
+        shares[index % n_cores].append(item)
+    return shares
+
+
+def _split_lpt(items: Sequence[Item], n_cores: int) -> List[List[Item]]:
+    """Longest-processing-time-first: place each item (heaviest first) on
+    the currently least-loaded core.  Balances heterogeneous batches that
+    round-robin splits badly."""
+    shares: List[List[Item]] = [[] for _ in range(n_cores)]
+    loads = [0] * n_cores
+    order = sorted(range(len(items)),
+                   key=lambda i: items[i].total_cycles, reverse=True)
+    for index in order:
+        target = min(range(n_cores), key=lambda c: loads[c])
+        shares[target].append(items[index])
+        loads[target] += items[index].total_cycles
+    return shares
+
+
+_SPLIT_POLICIES = {"round_robin": _split_round_robin, "lpt": _split_lpt}
+
+
+def simulate_ncpu(items: Sequence[Item], n_cores: int = 2,
+                  config: SchedulerConfig | None = None,
+                  policy: str = "round_robin") -> Timeline:
+    """Two (or n) NCPU cores, each running CPU-then-BNN on its share.
+
+    ``policy`` selects how items are divided across cores:
+    ``"round_robin"`` (the paper's streaming arrival order) or ``"lpt"``
+    (longest-processing-time-first, better for heterogeneous batches).
+    """
+    config = config if config is not None else SchedulerConfig()
+    if n_cores < 1:
+        raise ConfigurationError("need at least one core")
+    splitter = _SPLIT_POLICIES.get(policy)
+    if splitter is None:
+        raise ConfigurationError(
+            f"unknown policy {policy!r}; know {sorted(_SPLIT_POLICIES)}")
+    timeline = Timeline()
+    shares = splitter(items, n_cores)
+    for core_index, share in enumerate(shares):
+        name = f"ncpu{core_index}"
+        now = 0
+        if not share:
+            continue
+        for item in share:
+            timeline.add(name, CPU, now, now + item.cpu_cycles)
+            now += item.cpu_cycles
+        switch = config.effective_switch_to_bnn()
+        if switch:
+            timeline.add(name, SWITCH, now, now + switch, "trans_bnn")
+            now += switch
+        for item in share:
+            timeline.add(name, BNN, now, now + item.bnn_cycles)
+            now += item.bnn_cycles
+        # return to CPU mode to post-process / wait for the next batch
+        if config.switch_cycles:
+            timeline.add(name, SWITCH, now, now + config.switch_cycles,
+                         "trans_cpu")
+            now += config.switch_cycles
+    end = timeline.end
+    for core_index in range(n_cores):
+        name = f"ncpu{core_index}"
+        busy_end = max((s.end for s in timeline.core_segments(name)), default=0)
+        if busy_end < end:
+            timeline.add(name, IDLE, busy_end, end)
+    return timeline
+
+
+def simulate_single_ncpu(items: Sequence[Item],
+                         config: SchedulerConfig | None = None) -> Timeline:
+    """One NCPU core doing everything serially (Fig 17's '1 NCPU' bar)."""
+    return simulate_ncpu(items, n_cores=1, config=config)
+
+
+@dataclass
+class EndToEndComparison:
+    """Latency comparison between the organizations for one item batch."""
+
+    baseline: Timeline
+    ncpu_dual: Timeline
+    ncpu_single: Timeline
+    config: SchedulerConfig = field(default_factory=SchedulerConfig)
+
+    @property
+    def improvement(self) -> float:
+        """Fractional latency reduction of 2xNCPU vs. the baseline."""
+        return 1.0 - self.ncpu_dual.end / self.baseline.end
+
+    @property
+    def single_core_degradation(self) -> float:
+        """Fractional latency increase of 1 NCPU vs. the baseline."""
+        return self.ncpu_single.end / self.baseline.end - 1.0
+
+
+def compare_end_to_end(items: Sequence[Item],
+                       config: SchedulerConfig | None = None,
+                       n_cores: int = 2) -> EndToEndComparison:
+    config = config if config is not None else SchedulerConfig()
+    return EndToEndComparison(
+        baseline=simulate_heterogeneous(items, config),
+        ncpu_dual=simulate_ncpu(items, n_cores=n_cores, config=config),
+        ncpu_single=simulate_single_ncpu(items, config),
+        config=config,
+    )

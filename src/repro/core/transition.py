@@ -1,0 +1,58 @@
+"""Zero-latency mode switching (paper section V.A).
+
+The transition costs between CPU and BNN operation:
+
+* **CPU -> BNN**: the ``trans_bnn`` instruction drains the pipeline (a few
+  cycles).  Layer-1 weights are resident in their SRAM bank, so inference
+  starts immediately while the DMA streams the remaining layers' weights
+  behind it — under the zero-latency scheme that streaming is *hidden*
+  (the accelerator's batch timing already overlaps it).  With the scheme
+  disabled (ablation), the core waits for the full weight stream first.
+* **BNN -> CPU**: while the last image is inferred, the DMA preloads the
+  CPU's initial data into the data cache, so resuming costs only the
+  pipeline refill; disabled, the core waits for the preload.
+
+Transition neurons (written by ``mv_neu``) carry the BNN run configuration
+across the switch:
+
+* neuron 0 — input size in bits (0 means "the loaded model's input size"),
+* neuron 1 — number of images to classify from the image memory (0 = 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: pipeline drain/refill cost of a mode switch (the trans_bnn instruction
+#: plus restarting the 5-stage pipe)
+PIPELINE_SWITCH_CYCLES = 4
+
+TN_INPUT_SIZE = 0
+TN_BATCH = 1
+#: neuron 2 — number of active neural layers (0 = the full loaded model);
+#: smaller networks are configured through the ISA (paper section VIII.A)
+TN_LAYERS = 2
+
+
+@dataclass(frozen=True)
+class TransitionPolicy:
+    """Cost model for mode transitions."""
+
+    zero_latency: bool = True
+    dcache_preload_words: int = 256  # CPU initial data preloaded from L2
+
+    def to_bnn_cycles(self, weight_stream_cycles: int) -> int:
+        """Cycles the core is neither computing CPU nor BNN work."""
+        if self.zero_latency:
+            return PIPELINE_SWITCH_CYCLES
+        return PIPELINE_SWITCH_CYCLES + weight_stream_cycles
+
+    def to_cpu_cycles(self, dma_words_per_cycle: float = 0.5) -> int:
+        if self.zero_latency:
+            return PIPELINE_SWITCH_CYCLES
+        preload = int(self.dcache_preload_words / dma_words_per_cycle)
+        return PIPELINE_SWITCH_CYCLES + preload
+
+    def hides_weight_stream(self) -> bool:
+        """Whether weight streaming overlaps inference (scheme enabled)."""
+        return self.zero_latency

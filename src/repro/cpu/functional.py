@@ -1,0 +1,120 @@
+"""Functional (instruction-accurate) RV32I simulator.
+
+This is the golden model: one instruction per step, no timing.  The
+cycle-accurate pipeline in :mod:`repro.cpu.pipeline` is validated against it
+(same architectural results, different cycle counts).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpu.env import CoreEnv, ExecStats, RunResult
+from repro.cpu.memory import DataMemory, FlatMemory
+from repro.cpu.semantics import MEM_SIZES, SIGNED_LOADS, execute
+from repro.cpu.state import RegisterFile
+from repro.errors import SimulationError
+from repro.isa.instructions import DecodedInstr, decode
+from repro.isa.program import Program
+
+DEFAULT_MAX_STEPS = 50_000_000
+
+
+class FunctionalCPU:
+    """Single-step RV32I interpreter with NCPU extension support."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Optional[DataMemory] = None,
+        env: Optional[CoreEnv] = None,
+        pc: Optional[int] = None,
+    ):
+        self.program = program
+        self.memory = memory if memory is not None else FlatMemory()
+        self.env = env if env is not None else CoreEnv()
+        self.regs = RegisterFile()
+        self.pc = program.base if pc is None else pc
+        self.stats = ExecStats()
+        self._decode_cache = {}
+
+    # ------------------------------------------------------------------
+    def _fetch(self, pc: int) -> DecodedInstr:
+        cached = self._decode_cache.get(pc)
+        if cached is not None:
+            return cached
+        try:
+            word = self.program.word_at(pc)
+        except IndexError as exc:
+            raise SimulationError(str(exc)) from exc
+        instr = decode(word)
+        self._decode_cache[pc] = instr
+        return instr
+
+    def step(self) -> Optional[str]:
+        """Execute one instruction; return a stop reason or ``None``."""
+        pc = self.pc
+        instr = self._fetch(pc)
+        name = instr.name
+
+        rs1_val = self.regs.read(instr.rs1)
+        rs2_val = self.regs.read(instr.rs2)
+        outcome = execute(instr, rs1_val, rs2_val, pc)
+
+        stop: Optional[str] = None
+        if name in MEM_SIZES:
+            size = MEM_SIZES[name]
+            target = self.env.l2_memory() if name.endswith("_l2") else self.memory
+            if instr.spec.is_load:
+                value = target.load(outcome.alu, size, signed=name in SIGNED_LOADS)
+                self.regs.write(instr.rd, value)
+                self.stats.mem_reads += 1
+                if name.endswith("_l2"):
+                    self.env.l2_reads += 1
+            else:
+                target.store(outcome.alu, rs2_val, size)
+                self.stats.mem_writes += 1
+                if name.endswith("_l2"):
+                    self.env.l2_writes += 1
+        elif name == "ebreak":
+            stop = "halt"
+        elif name == "trans_bnn":
+            self.env.record("trans_bnn", self.stats.cycles, pc, instr.imm)
+            stop = "trans_bnn"
+        elif name == "trigger_bnn":
+            self.env.record("trigger_bnn", self.stats.cycles, pc, instr.imm)
+        elif name == "mv_neu":
+            self.env.write_transition_neuron(instr.rd, outcome.alu)
+        elif instr.spec.writes_rd:
+            self.regs.write(instr.rd, outcome.alu)
+
+        self.pc = outcome.target if outcome.taken else pc + 4
+        self.stats.instructions += 1
+        self.stats.cycles += 1  # single-cycle model
+        self.stats.instr_counts[name] += 1
+        return stop
+
+    def run(self, max_steps: int = DEFAULT_MAX_STEPS) -> RunResult:
+        """Run until halt / mode switch / step limit."""
+        for _ in range(max_steps):
+            stop = self.step()
+            if stop is not None:
+                return RunResult(stats=self.stats, stop_reason=stop, pc=self.pc,
+                                 env=self.env)
+        return RunResult(stats=self.stats, stop_reason="max_cycles", pc=self.pc,
+                         env=self.env)
+
+
+def run_functional(
+    program: Program,
+    memory: Optional[DataMemory] = None,
+    env: Optional[CoreEnv] = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+):
+    """Convenience wrapper: build a :class:`FunctionalCPU`, run it, return it.
+
+    Returns ``(cpu, result)`` so callers can inspect registers and memory.
+    """
+    cpu = FunctionalCPU(program, memory=memory, env=env)
+    result = cpu.run(max_steps=max_steps)
+    return cpu, result

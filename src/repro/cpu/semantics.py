@@ -1,0 +1,113 @@
+"""Instruction execution semantics shared by the functional ISS and pipeline.
+
+Keeping the EX-stage math in one place guarantees the cycle-accurate pipeline
+and the golden-model ISS can never disagree about *what* an instruction does,
+only about *when* it happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.isa.encoding import to_signed32, to_unsigned32
+from repro.isa.instructions import DecodedInstr
+
+#: bytes moved by each load/store mnemonic
+MEM_SIZES = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4, "lw_l2": 4,
+             "sb": 1, "sh": 2, "sw": 4, "sw_l2": 4}
+
+#: loads that sign-extend their result
+SIGNED_LOADS = frozenset({"lb", "lh"})
+
+
+@dataclass(frozen=True)
+class ExecOutcome:
+    """Result of the EX stage for one instruction.
+
+    Attributes:
+        alu: the ALU output — the rd write value for ALU ops, the effective
+            address for memory ops, the link value (pc+4) for jumps.
+        taken: whether a control transfer redirects the PC.
+        target: the redirect target when ``taken``.
+    """
+
+    alu: int
+    taken: bool = False
+    target: int = 0
+
+
+def execute(instr: DecodedInstr, rs1_val: int, rs2_val: int, pc: int) -> ExecOutcome:
+    """Compute the EX-stage outcome of ``instr`` given its operand values."""
+    name = instr.name
+    a = to_unsigned32(rs1_val)
+    b = to_unsigned32(rs2_val)
+    sa = to_signed32(a)
+    sb = to_signed32(b)
+    imm = instr.imm
+
+    if name == "lui":
+        return ExecOutcome(to_unsigned32(imm))
+    if name == "auipc":
+        return ExecOutcome(to_unsigned32(pc + imm))
+    if name == "jal":
+        return ExecOutcome(to_unsigned32(pc + 4), taken=True,
+                           target=to_unsigned32(pc + imm))
+    if name == "jalr":
+        return ExecOutcome(to_unsigned32(pc + 4), taken=True,
+                           target=to_unsigned32(a + imm) & ~1)
+
+    if instr.spec.is_branch:
+        taken = {
+            "beq": a == b,
+            "bne": a != b,
+            "blt": sa < sb,
+            "bge": sa >= sb,
+            "bltu": a < b,
+            "bgeu": a >= b,
+        }[name]
+        return ExecOutcome(0, taken=taken, target=to_unsigned32(pc + imm))
+
+    if name in MEM_SIZES:
+        return ExecOutcome(to_unsigned32(a + imm))
+
+    if name in ("addi", "add"):
+        rhs = imm if name == "addi" else b
+        return ExecOutcome(to_unsigned32(a + rhs))
+    if name == "sub":
+        return ExecOutcome(to_unsigned32(a - b))
+    if name in ("andi", "and"):
+        rhs = to_unsigned32(imm) if name == "andi" else b
+        return ExecOutcome(a & rhs)
+    if name in ("ori", "or"):
+        rhs = to_unsigned32(imm) if name == "ori" else b
+        return ExecOutcome(a | rhs)
+    if name in ("xori", "xor"):
+        rhs = to_unsigned32(imm) if name == "xori" else b
+        return ExecOutcome(a ^ rhs)
+    if name in ("slti", "slt"):
+        rhs = imm if name == "slti" else sb
+        return ExecOutcome(1 if sa < rhs else 0)
+    if name in ("sltiu", "sltu"):
+        rhs = to_unsigned32(imm) if name == "sltiu" else b
+        return ExecOutcome(1 if a < rhs else 0)
+    if name in ("slli", "sll"):
+        shamt = (imm if name == "slli" else b) & 0x1F
+        return ExecOutcome(to_unsigned32(a << shamt))
+    if name in ("srli", "srl"):
+        shamt = (imm if name == "srli" else b) & 0x1F
+        return ExecOutcome(a >> shamt)
+    if name in ("srai", "sra"):
+        shamt = (imm if name == "srai" else b) & 0x1F
+        return ExecOutcome(to_unsigned32(sa >> shamt))
+    if name == "mul":
+        return ExecOutcome(to_unsigned32(sa * sb))
+
+    if name in ("ebreak", "trans_bnn", "trigger_bnn"):
+        return ExecOutcome(to_unsigned32(imm))
+    if name == "mv_neu":
+        # The register payload travels on the ALU output into the transition
+        # neuron addressed by the rd field (paper Fig 5c).
+        return ExecOutcome(a)
+
+    raise SimulationError(f"no semantics for instruction {name!r}")

@@ -1,0 +1,48 @@
+"""Architectural state: register file and helpers."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SimulationError
+from repro.isa.encoding import to_signed32, to_unsigned32
+
+
+class RegisterFile:
+    """The 32-entry RV32I integer register file; ``x0`` is hardwired to zero."""
+
+    def __init__(self):
+        self._regs: List[int] = [0] * 32
+
+    def read(self, index: int) -> int:
+        if not 0 <= index <= 31:
+            raise SimulationError(f"register index {index} out of range")
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        if not 0 <= index <= 31:
+            raise SimulationError(f"register index {index} out of range")
+        if index != 0:
+            self._regs[index] = to_unsigned32(value)
+
+    def read_signed(self, index: int) -> int:
+        return to_signed32(self.read(index))
+
+    def snapshot(self) -> List[int]:
+        return list(self._regs)
+
+    def load_snapshot(self, values) -> None:
+        if len(values) != 32:
+            raise SimulationError("register snapshot must have 32 entries")
+        self._regs = [to_unsigned32(v) for v in values]
+        self._regs[0] = 0
+
+    def __getitem__(self, index: int) -> int:
+        return self.read(index)
+
+    def __setitem__(self, index: int, value: int) -> None:
+        self.write(index, value)
+
+    def __repr__(self) -> str:
+        nonzero = {f"x{i}": v for i, v in enumerate(self._regs) if v}
+        return f"RegisterFile({nonzero})"

@@ -1,0 +1,70 @@
+"""Per-cycle pipeline occupancy tracing.
+
+Attach a :class:`PipelineTrace` to a :class:`~repro.cpu.pipeline.PipelinedCPU`
+to record which instruction (by PC) occupies each stage on every cycle —
+the classic pipeline diagram.  Used by the microarchitecture tests to prove
+stage-by-stage behaviour (fill, forwarding, stalls, squashes) and by
+:func:`render_diagram` to draw it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+STAGES = ("IF", "ID", "EX", "MEM", "WB")
+
+
+@dataclass
+class CycleRecord:
+    """Stage occupancy (PC per stage, None = bubble) for one cycle."""
+
+    cycle: int
+    stages: Dict[str, Optional[int]]
+
+    def occupied(self) -> int:
+        return sum(1 for pc in self.stages.values() if pc is not None)
+
+
+@dataclass
+class PipelineTrace:
+    """Collects one :class:`CycleRecord` per simulated cycle."""
+
+    records: List[CycleRecord] = field(default_factory=list)
+    max_cycles: int = 100_000
+
+    def capture(self, cycle: int, stages: Dict[str, Optional[int]]) -> None:
+        if len(self.records) < self.max_cycles:
+            self.records.append(CycleRecord(cycle=cycle, stages=dict(stages)))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- queries used by the tests -----------------------------------------
+    def stage_history(self, stage: str) -> List[Optional[int]]:
+        return [record.stages[stage] for record in self.records]
+
+    def journey(self, pc: int) -> Dict[str, List[int]]:
+        """Stage -> cycles during which the instruction at ``pc`` sat there."""
+        path: Dict[str, List[int]] = {stage: [] for stage in STAGES}
+        for record in self.records:
+            for stage, occupant in record.stages.items():
+                if occupant == pc:
+                    path[stage].append(record.cycle)
+        return path
+
+    def bubbles(self, stage: str) -> int:
+        return sum(1 for pc in self.stage_history(stage) if pc is None)
+
+
+def render_diagram(trace: PipelineTrace, first: int = 0,
+                   count: int = 20) -> str:
+    """Render the classic pipeline diagram: one row per cycle."""
+    lines = ["cycle  " + "  ".join(f"{stage:>6}" for stage in STAGES)]
+    for record in trace.records[first:first + count]:
+        cells = []
+        for stage in STAGES:
+            pc = record.stages[stage]
+            cells.append("     -" if pc is None else f"{pc:>6x}")
+        lines.append(f"{record.cycle:>5}  " + "  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded (bad field value or range)."""
+
+
+class DecodingError(ReproError):
+    """A 32-bit word is not a valid instruction in the supported ISA."""
+
+
+class AssemblerError(ReproError):
+    """Assembly source could not be translated into machine code."""
+
+    def __init__(self, message, line_number=None, line_text=None):
+        location = "" if line_number is None else f" (line {line_number}: {line_text!r})"
+        super().__init__(f"{message}{location}")
+        self.line_number = line_number
+        self.line_text = line_text
+
+
+class MemoryError_(ReproError):
+    """A memory access fell outside the mapped address space."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an invalid state (bad PC, unmapped fetch, ...)."""
+
+
+class ConfigurationError(ReproError):
+    """A model was constructed with inconsistent parameters."""
+
+
+class TrainingError(ReproError):
+    """Neural network training failed to make progress or diverged."""

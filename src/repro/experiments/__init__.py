@@ -1,0 +1,10 @@
+"""Per-table/figure reproductions of the paper's evaluation.
+
+Each module exposes ``run() -> ExperimentResult``; see
+:mod:`repro.experiments.runner` for the run-all entry point and DESIGN.md
+for the experiment index.
+"""
+
+from repro.experiments.common import ExperimentResult, Metric
+
+__all__ = ["ExperimentResult", "Metric"]

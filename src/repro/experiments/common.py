@@ -1,0 +1,84 @@
+"""Shared infrastructure for the per-table/figure experiment modules.
+
+Every experiment returns an :class:`ExperimentResult` holding paper-vs-
+measured metric rows (and, for figures, named data series), and can render
+itself as a text table for EXPERIMENTS.md / the benchmark logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Metric:
+    """One paper-vs-measured comparison row."""
+
+    name: str
+    measured: float
+    paper: Optional[float] = None
+    unit: str = ""
+
+    @property
+    def deviation(self) -> Optional[float]:
+        """Relative deviation from the paper value (None if no reference)."""
+        if self.paper is None or self.paper == 0:
+            return None
+        return (self.measured - self.paper) / abs(self.paper)
+
+    def row(self) -> Tuple[str, str, str, str]:
+        paper = "-" if self.paper is None else f"{self.paper:.4g}"
+        deviation = self.deviation
+        dev = "-" if deviation is None else f"{deviation * 100:+.1f}%"
+        return (self.name, paper, f"{self.measured:.4g}", dev)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of reproducing one table or figure."""
+
+    experiment_id: str
+    title: str
+    metrics: List[Metric] = field(default_factory=list)
+    series: Dict[str, Sequence] = field(default_factory=dict)
+    notes: str = ""
+
+    def add(self, name: str, measured: float, paper: Optional[float] = None,
+            unit: str = "") -> None:
+        self.metrics.append(Metric(name=name, measured=measured, paper=paper,
+                                   unit=unit))
+
+    def metric(self, name: str) -> Metric:
+        for metric in self.metrics:
+            if metric.name == name:
+                return metric
+        raise KeyError(f"no metric named {name!r} in {self.experiment_id}")
+
+    def to_table(self) -> str:
+        header = (f"{self.experiment_id}: {self.title}",)
+        rows = [("metric", "paper", "measured", "dev")]
+        rows += [m.row() for m in self.metrics]
+        widths = [max(len(r[i]) for r in rows) for i in range(4)]
+        lines = list(header)
+        for row in rows:
+            lines.append("  ".join(cell.ljust(width)
+                                   for cell, width in zip(row, widths)).rstrip())
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.experiment_id} — {self.title}", ""]
+        lines.append("| metric | paper | measured | deviation |")
+        lines.append("|---|---|---|---|")
+        for metric in self.metrics:
+            name, paper, measured, dev = metric.row()
+            unit = f" {metric.unit}" if metric.unit else ""
+            lines.append(f"| {name} | {paper}{unit if paper != '-' else ''} | "
+                         f"{measured}{unit} | {dev} |")
+        if self.notes:
+            lines.append("")
+            lines.append(f"*{self.notes}*")
+        lines.append("")
+        return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Fig 9: power, frequency, energy/cycle and TOPS/W vs supply voltage.
+
+Sweeps the fitted technology model across the chip's 0.4-1.0 V operating
+range for both modes and checks the measured anchor points plus the
+minimum-energy-point structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.power import (
+    bnn_mep_voltage,
+    bnn_profile,
+    bnn_tops_per_watt,
+    cpu_mep_voltage,
+    cpu_profile,
+    frequency_model,
+)
+
+VOLTAGES = [round(v, 3) for v in np.arange(0.40, 1.001, 0.05)]
+
+PAPER = {
+    "frequency at 1 V": 960.0,
+    "frequency at 0.4 V": 18.0,
+    "BNN power at 1 V": 241.0,
+    "BNN power at 0.4 V": 1.2,
+    "CPU power at 1 V": 112.0,
+    "CPU power at 0.4 V": 0.8,
+    "BNN energy/cycle at 1 V": 0.251,  # nJ == 241 mW / 960 MHz
+    "CPU MEP voltage": 0.5,
+    "TOPS/W at 1 V": 1.6,
+    "TOPS/W at 0.4 V": 6.0,
+}
+
+
+def run() -> ExperimentResult:
+    freq = frequency_model()
+    bnn = bnn_profile()
+    cpu = cpu_profile()
+
+    result = ExperimentResult(
+        experiment_id="Fig 9",
+        title="Power / frequency / energy / efficiency vs supply voltage",
+    )
+    result.series["voltage_v"] = VOLTAGES
+    result.series["frequency_mhz"] = [freq.f_mhz(v) for v in VOLTAGES]
+    result.series["bnn_power_mw"] = [bnn.total_power_w(v) * 1e3 for v in VOLTAGES]
+    result.series["cpu_power_mw"] = [cpu.total_power_w(v) * 1e3 for v in VOLTAGES]
+    result.series["bnn_energy_nj"] = [bnn.energy_per_cycle_j(v) * 1e9
+                                      for v in VOLTAGES]
+    result.series["cpu_energy_nj"] = [cpu.energy_per_cycle_j(v) * 1e9
+                                      for v in VOLTAGES]
+    result.series["bnn_tops_per_w"] = [bnn_tops_per_watt(v) for v in VOLTAGES]
+
+    result.add("frequency at 1 V", freq.f_mhz(1.0),
+               paper=PAPER["frequency at 1 V"], unit="MHz")
+    result.add("frequency at 0.4 V", freq.f_mhz(0.4),
+               paper=PAPER["frequency at 0.4 V"], unit="MHz")
+    result.add("BNN power at 1 V", bnn.total_power_w(1.0) * 1e3,
+               paper=PAPER["BNN power at 1 V"], unit="mW")
+    result.add("BNN power at 0.4 V", bnn.total_power_w(0.4) * 1e3,
+               paper=PAPER["BNN power at 0.4 V"], unit="mW")
+    result.add("CPU power at 1 V", cpu.total_power_w(1.0) * 1e3,
+               paper=PAPER["CPU power at 1 V"], unit="mW")
+    result.add("CPU power at 0.4 V", cpu.total_power_w(0.4) * 1e3,
+               paper=PAPER["CPU power at 0.4 V"], unit="mW")
+    result.add("BNN energy/cycle at 1 V", bnn.energy_per_cycle_j(1.0) * 1e9,
+               paper=PAPER["BNN energy/cycle at 1 V"], unit="nJ")
+    result.add("CPU MEP voltage", cpu_mep_voltage(),
+               paper=PAPER["CPU MEP voltage"], unit="V")
+    result.add("BNN MEP below CPU MEP",
+               float(bnn_mep_voltage() < cpu_mep_voltage()), paper=1.0)
+    result.add("TOPS/W at 1 V", bnn_tops_per_watt(1.0),
+               paper=PAPER["TOPS/W at 1 V"])
+    result.add("TOPS/W at 0.4 V (peak)", bnn_tops_per_watt(0.4),
+               paper=PAPER["TOPS/W at 0.4 V"])
+    result.notes = (
+        "All four anchor points are exact by construction; the CPU MEP "
+        "emerges at ~0.46 V from the two-domain (core + 0.55 V-pinned SRAM) "
+        "model vs the paper's 0.5 V."
+    )
+    return result

@@ -1,0 +1,56 @@
+"""Fig 14: end-to-end benefit vs image batch size (70 % CPU fraction).
+
+Larger batches let the heterogeneous baseline hide more of its per-image
+offload cost behind pipelining, so the NCPU's advantage declines with batch
+size while staying above ~37 % at batch 100.  The offload cost (9.4 % of an
+item, DMA that blocks the CPU) is calibrated so the batch-100 point matches
+the paper; the *decline* is emergent.
+"""
+
+from __future__ import annotations
+
+from repro.core import SchedulerConfig, compare_end_to_end, items_for_fraction
+from repro.experiments.common import ExperimentResult
+
+CPU_FRACTION = 0.70
+BATCHES = (2, 6, 10, 20, 50, 100)
+ITEM_CYCLES = 10_000
+OFFLOAD_FRACTION = 0.094
+
+PAPER_IMPROVEMENT_BATCH2 = 0.42
+PAPER_IMPROVEMENT_BATCH100 = 0.373
+
+
+def run() -> ExperimentResult:
+    config = SchedulerConfig(
+        offload_cycles=round(OFFLOAD_FRACTION * ITEM_CYCLES),
+        switch_cycles=4,
+    )
+    improvements = []
+    for batch in BATCHES:
+        items = items_for_fraction(CPU_FRACTION, batch, item_cycles=ITEM_CYCLES)
+        improvements.append(compare_end_to_end(items, config).improvement)
+
+    result = ExperimentResult(
+        experiment_id="Fig 14",
+        title="End-to-end benefit vs image batch size (70 % CPU fraction)",
+    )
+    result.series["batch"] = list(BATCHES)
+    result.series["improvement"] = improvements
+    result.add("improvement at batch 2", improvements[0] * 100,
+               paper=PAPER_IMPROVEMENT_BATCH2 * 100, unit="%")
+    result.add("improvement at batch 100", improvements[-1] * 100,
+               paper=PAPER_IMPROVEMENT_BATCH100 * 100, unit="%")
+    result.add("decline is monotone",
+               float(all(a >= b for a, b in zip(improvements,
+                                                improvements[1:]))),
+               paper=1.0)
+    result.add("stays above 37 % at batch 100",
+               float(improvements[-1] > 0.37), paper=1.0)
+    result.notes = (
+        "The paper's curve spans ~42 % down to ~37 %; ours starts higher "
+        "(~47 % at batch 2) because a single offload-cost constant cannot "
+        "match both ends — we anchor the batch-100 asymptote and document "
+        "the small-batch deviation."
+    )
+    return result

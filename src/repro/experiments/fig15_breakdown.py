@@ -1,0 +1,57 @@
+"""Fig 15: runtime workload breakdown of the two use cases.
+
+The paper reports, for image classification: resize 30 %, grayscale filter
+32 %, normalization 12 %, BNN 24 %; for motion detection: mean 22 %,
+histogram 46 %, BNN 32 %.  Our breakdown is *measured*: the real assembly
+kernels run on the cycle-accurate pipeline and the accelerator model
+supplies the BNN phase.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.models import image_use_case, motion_use_case
+
+PAPER_IMAGE = {"resize": 0.30, "grayscale": 0.32, "normalize": 0.12,
+               "bnn": 0.24}
+PAPER_MOTION = {"mean": 0.22, "histogram": 0.46, "bnn": 0.32}
+
+
+def _shares(stage_cycles: dict) -> dict:
+    total = sum(stage_cycles.values())
+    return {stage: cycles / total for stage, cycles in stage_cycles.items()}
+
+
+def run() -> ExperimentResult:
+    image = image_use_case()
+    motion = motion_use_case()
+    image_shares = _shares(image.stage_cycles)
+    motion_shares = _shares(motion.stage_cycles)
+
+    result = ExperimentResult(
+        experiment_id="Fig 15",
+        title="Runtime CPU/BNN workload breakdown (measured kernels)",
+    )
+    for stage, paper in PAPER_IMAGE.items():
+        result.add(f"image {stage} share", image_shares.get(stage, 0.0) * 100,
+                   paper=paper * 100, unit="%")
+    result.add("image CPU fraction", image.cpu_fraction * 100, paper=76.0,
+               unit="%")
+    result.add("image pipeline accuracy", image.accuracy * 100, paper=94.8,
+               unit="%")
+    for stage, paper in PAPER_MOTION.items():
+        result.add(f"motion {stage} share", motion_shares.get(stage, 0.0) * 100,
+                   paper=paper * 100, unit="%")
+    result.add("motion CPU fraction", motion.cpu_fraction * 100, paper=68.0,
+               unit="%")
+    result.add("motion accuracy", motion.accuracy * 100, paper=74.0, unit="%")
+    result.series["image_stage_cycles"] = image.stage_cycles
+    result.series["motion_stage_cycles"] = motion.stage_cycles
+    result.notes = (
+        "CPU dominance and the intra-CPU ordering (grayscale~resize >> "
+        "normalize; histogram > mean) reproduce.  Our BNN share is smaller "
+        "than the paper's because the 400-MAC/cycle array classifies our "
+        "16x16 inputs in far fewer cycles than the scalar pre-processing "
+        "needs — the paper's silicon shows the same imbalance direction."
+    )
+    return result

@@ -1,0 +1,50 @@
+"""Fig 19: the NALU architecture experiment.
+
+(a) a two-layer NALU trained on 8-bit ALU operations learns ADD/SUB well,
+struggles with Boolean AND/XOR, and collapses toward random output when
+asked to realize ADD and SUB simultaneously.  (b) its hardware cost is
+13-35x the conventional digital blocks — which is why the NCPU *reuses* the
+neuron datapath with conventional decode instead of learning ALU ops.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.nalu import compare_all, run_all_tasks
+
+PAPER_RATIOS = {"add": 17.0, "sub": 15.0, "and": 35.0, "xor": 32.0,
+                "mul": 13.0, "or": 14.0}
+
+
+def run(steps: int = 1500) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="Fig 19",
+        title="NALU: learned-ALU error and hardware cost vs digital design",
+    )
+    training = run_all_tasks(steps=steps)
+    for task, outcome in training.items():
+        result.add(f"{task} normalized error", outcome.normalized_error * 100,
+                   unit="%")
+    result.add("add learns (error < 5 %)",
+               float(training["add"].normalized_error < 0.05), paper=1.0)
+    result.add("sub learns (error < 10 %)",
+               float(training["sub"].normalized_error < 0.10), paper=1.0)
+    result.add("xor fails (error > 30 %)",
+               float(training["xor"].normalized_error > 0.30), paper=1.0)
+    result.add("add+sub near random (error > 50 %)",
+               float(training["addsub"].normalized_error > 0.50), paper=1.0)
+
+    comparisons = compare_all()
+    for op, comparison in comparisons.items():
+        result.add(f"{op} NALU/digital area", comparison.ratio,
+                   paper=PAPER_RATIOS.get(op), unit="x")
+    result.series["training"] = training
+    result.series["costs"] = comparisons
+    result.notes = (
+        "Error normalization uses the uninformed-predictor baseline "
+        "(100 % == guessing the mean); the AND task partially trains in "
+        "our runs (~10-15 %) where the paper shows larger error — the "
+        "structural conclusion (Boolean >> arithmetic, combined ~random, "
+        "area 13-35x) holds."
+    )
+    return result

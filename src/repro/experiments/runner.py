@@ -1,0 +1,88 @@
+"""Run every table/figure reproduction and render EXPERIMENTS-style output.
+
+Usage::
+
+    python -m repro.experiments.runner            # all experiments
+    python -m repro.experiments.runner fig13 t1   # substring filtering
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ablations,
+    extension_multibit,
+    fig07_specs,
+    fig09_voltage_sweep,
+    fig10_overhead,
+    fig11_power_overhead,
+    fig12_area_energy,
+    fig13_utilization_timeline,
+    fig14_batch_sweep,
+    fig15_breakdown,
+    fig16_power_trace,
+    fig17_end_to_end,
+    fig18_accelerator_size,
+    fig19_nalu,
+    table1_motion,
+    table2_mcu,
+    table3_accel,
+    table4_utilization,
+)
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1_motion.run,
+    "table2": table2_mcu.run,
+    "table3": table3_accel.run,
+    "table4": table4_utilization.run,
+    "fig07": fig07_specs.run,
+    "fig09": fig09_voltage_sweep.run,
+    "fig10": fig10_overhead.run,
+    "fig11": fig11_power_overhead.run,
+    "fig12": fig12_area_energy.run,
+    "fig13": fig13_utilization_timeline.run,
+    "fig14": fig14_batch_sweep.run,
+    "fig15": fig15_breakdown.run,
+    "fig16": fig16_power_trace.run,
+    "fig17": fig17_end_to_end.run,
+    "fig18": fig18_accelerator_size.run,
+    "fig19": fig19_nalu.run,
+    "ablations": ablations.run,
+    "extension": extension_multibit.run,
+}
+
+
+def run_selected(patterns: List[str] | None = None) -> List[ExperimentResult]:
+    """Run experiments whose key contains any of the given substrings."""
+    selected = []
+    for key, runner in EXPERIMENTS.items():
+        if not patterns or any(pattern in key for pattern in patterns):
+            selected.append(runner())
+    return selected
+
+
+def render_markdown(results: List[ExperimentResult]) -> str:
+    lines = ["# EXPERIMENTS — paper vs measured", ""]
+    lines += [
+        "Regenerate with `python -m repro.experiments.runner` (text) or see",
+        "`benchmarks/` for the per-experiment pytest-benchmark targets.",
+        "",
+    ]
+    for result in results:
+        lines.append(result.to_markdown())
+    return "\n".join(lines)
+
+
+def main(argv: List[str]) -> int:
+    patterns = argv or None
+    for result in run_selected(patterns):
+        print(result.to_table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

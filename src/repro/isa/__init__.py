@@ -1,0 +1,40 @@
+"""RV32I + NCPU-extension ISA: encoding, assembly, disassembly.
+
+Public surface:
+
+* :func:`repro.isa.assemble` — assemble source text into a :class:`Program`.
+* :func:`repro.isa.encode` / :func:`repro.isa.decode` — word-level codec.
+* :data:`repro.isa.RV32I_BASE_NAMES` — the paper's 37 base instructions.
+* :data:`repro.isa.NCPU_EXTENSION_NAMES` — the 5 custom NCPU instructions.
+"""
+
+from repro.isa.assembler import Assembler, assemble
+from repro.isa.disassembler import disassemble, disassemble_word, format_instr
+from repro.isa.instructions import (
+    NCPU_EXTENSION_NAMES,
+    RV32I_BASE_NAMES,
+    SPECS,
+    SPECS_BY_NAME,
+    DecodedInstr,
+    InstrSpec,
+    decode,
+    encode,
+)
+from repro.isa.program import Program
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "disassemble",
+    "disassemble_word",
+    "format_instr",
+    "DecodedInstr",
+    "InstrSpec",
+    "decode",
+    "encode",
+    "SPECS",
+    "SPECS_BY_NAME",
+    "RV32I_BASE_NAMES",
+    "NCPU_EXTENSION_NAMES",
+    "Program",
+]

@@ -1,0 +1,495 @@
+"""A two-pass assembler for RV32I plus the NCPU custom extension.
+
+Supported syntax (one statement per line):
+
+* labels: ``loop:`` (may share a line with an instruction),
+* comments: everything after ``#`` or ``;``,
+* registers: ``x0``-``x31`` or ABI names (``zero ra sp gp tp t0-t6 s0-s11
+  a0-a7 fp``),
+* loads/stores: ``lw rd, off(rs1)``,
+* branches/jumps take either a numeric byte offset or a label,
+* directives: ``.org ADDR`` (move the location counter forward),
+  ``.align [N]``, ``.word V[, V...]``, ``.byte``/``.half`` (packed
+  little-endian, word-padded), ``.ascii "s"``/``.asciz "s"``,
+  ``.equ NAME, EXPR`` / ``.set NAME, EXPR`` (symbolic constants),
+* immediate operands accept expressions: integers, symbols, ``sym+4``,
+  ``sym-8``, and the relocation operators ``%hi(EXPR)`` / ``%lo(EXPR)``,
+* pseudo-instructions: ``nop li la mv not neg j jr ret call halt
+  beqz bnez blez bgez bltz bgtz bgt ble bgtu bleu seqz snez``,
+* NCPU extension: ``mv_neu IDX, rs1``; ``trans_bnn [imm]``;
+  ``trigger_bnn [imm]``; ``sw_l2 rs2, off(rs1)``; ``lw_l2 rd, off(rs1)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import AssemblerError
+from repro.isa.instructions import SPECS_BY_NAME, encode
+from repro.isa.program import Program
+
+ABI_NAMES: Dict[str, int] = {"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4, "fp": 8}
+ABI_NAMES.update({f"x{i}": i for i in range(32)})
+ABI_NAMES.update({f"t{i}": n for i, n in enumerate([5, 6, 7, 28, 29, 30, 31])})
+ABI_NAMES.update({f"s{i}": n for i, n in enumerate([8, 9, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27])})
+ABI_NAMES.update({f"a{i}": 10 + i for i in range(8)})
+
+_MEM_OPERAND_RE = re.compile(r"^(?P<off>[^()]*)\((?P<base>[a-zA-Z0-9]+)\)$")
+_LABEL_RE = re.compile(r"^[A-Za-z_.][A-Za-z0-9_.$]*$")
+
+
+def parse_register(token: str) -> int:
+    reg = ABI_NAMES.get(token.strip().lower())
+    if reg is None:
+        raise AssemblerError(f"unknown register {token!r}")
+    return reg
+
+
+def parse_int(token: str) -> int:
+    token = token.strip().lower().replace("_", "")
+    try:
+        if token.startswith("0x") or token.startswith("-0x"):
+            return int(token, 16)
+        if token.startswith("0b") or token.startswith("-0b"):
+            return int(token, 2)
+        return int(token, 10)
+    except ValueError:
+        raise AssemblerError(f"cannot parse integer {token!r}") from None
+
+
+_HI_LO_RE = re.compile(r"^%(?P<op>hi|lo)\((?P<body>.+)\)$")
+
+
+def evaluate_expression(token: str, symbols: Dict[str, int]) -> int:
+    """Evaluate an immediate expression: int, symbol, sum/difference chain,
+    or a %hi()/%lo() relocation operator."""
+    token = token.strip()
+    match = _HI_LO_RE.match(token)
+    if match:
+        value = evaluate_expression(match.group("body"), symbols) & 0xFFFFFFFF
+        hi, lo = _split_hi_lo(value)
+        return hi if match.group("op") == "hi" else lo
+    # split a +/- chain, respecting a leading sign
+    terms = re.findall(r"[+-]?[^+-]+", token.replace(" ", ""))
+    if not terms:
+        raise AssemblerError(f"empty expression {token!r}")
+    total = 0
+    for term in terms:
+        sign = 1
+        if term[0] == "+":
+            term = term[1:]
+        elif term[0] == "-":
+            sign, term = -1, term[1:]
+        if term in symbols:
+            total += sign * symbols[term]
+            continue
+        try:
+            total += sign * parse_int(term)
+        except AssemblerError:
+            raise AssemblerError(
+                f"cannot evaluate term {term!r} in expression {token!r}"
+            ) from None
+    return total
+
+
+def _encode_string_literal(text: str, zero_terminate: bool) -> bytes:
+    text = text.strip()
+    if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+        raise AssemblerError(f"expected a quoted string, got {text!r}")
+    decoded = text[1:-1].encode().decode("unicode_escape").encode("latin-1")
+    return decoded + (b"\x00" if zero_terminate else b"")
+
+
+@dataclass
+class _Statement:
+    """One parsed source statement pending encoding."""
+
+    mnemonic: str
+    operands: List[str]
+    address: int
+    line_number: int
+    line_text: str
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";", "//"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line.strip()
+
+
+def _split_operands(rest: str) -> List[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+def _li_expansion_size(value: int) -> int:
+    value &= 0xFFFFFFFF
+    signed = value - (1 << 32) if value >= (1 << 31) else value
+    return 1 if -2048 <= signed <= 2047 else 2
+
+
+def _split_hi_lo(value: int) -> Tuple[int, int]:
+    """Split a 32-bit value into (lui_hi20, addi_lo12) with lo sign-compensation."""
+    value &= 0xFFFFFFFF
+    lo = value & 0xFFF
+    if lo >= 0x800:
+        lo -= 0x1000
+    hi = ((value - lo) >> 12) & 0xFFFFF
+    return hi, lo
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`~repro.isa.program.Program`."""
+
+    def __init__(self, base: int = 0):
+        self.base = base
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def assemble(self, source: str) -> Program:
+        statements, symbols, end_addr = self._first_pass(source)
+        words: Dict[int, int] = {}
+        for stmt in statements:
+            try:
+                encoded = self._encode_statement(stmt, symbols)
+            except AssemblerError:
+                raise
+            except Exception as exc:
+                raise AssemblerError(str(exc), stmt.line_number, stmt.line_text) from exc
+            for offset, word in enumerate(encoded):
+                words[stmt.address + 4 * offset] = word
+
+        flat = [words.get(addr, 0) for addr in range(self.base, end_addr, 4)]
+        return Program(words=flat, symbols=symbols, base=self.base, source=source)
+
+    # ------------------------------------------------------------------
+    # pass 1: layout and symbol resolution
+    # ------------------------------------------------------------------
+    def _first_pass(self, source: str):
+        statements: List[_Statement] = []
+        symbols: Dict[str, int] = {}
+        counter = self.base
+
+        for line_number, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw)
+            while line:
+                if ":" in line:
+                    head, _, tail = line.partition(":")
+                    if _LABEL_RE.match(head.strip()) and "(" not in head:
+                        label = head.strip()
+                        if label in symbols:
+                            raise AssemblerError(
+                                f"duplicate label {label!r}", line_number, raw.strip()
+                            )
+                        symbols[label] = counter
+                        line = tail.strip()
+                        continue
+                break
+            if not line:
+                continue
+
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            if mnemonic in (".ascii", ".asciz"):
+                operands = [parts[1].strip()] if len(parts) > 1 else []
+            else:
+                operands = _split_operands(parts[1]) if len(parts) > 1 else []
+            stmt = _Statement(mnemonic, operands, counter, line_number, raw.strip())
+
+            if mnemonic in (".equ", ".set"):
+                if len(operands) != 2:
+                    raise AssemblerError(f"{mnemonic} needs NAME, EXPR",
+                                         line_number, raw.strip())
+                name = operands[0]
+                if not _LABEL_RE.match(name):
+                    raise AssemblerError(f"bad constant name {name!r}",
+                                         line_number, raw.strip())
+                if name in symbols:
+                    raise AssemblerError(f"duplicate symbol {name!r}",
+                                         line_number, raw.strip())
+                symbols[name] = evaluate_expression(operands[1], symbols)
+                continue
+            if mnemonic == ".org":
+                target = evaluate_expression(operands[0], symbols)
+                if target < counter:
+                    raise AssemblerError(
+                        f".org target {target:#x} behind location counter {counter:#x}",
+                        line_number,
+                        raw.strip(),
+                    )
+                counter = target
+                continue
+            if mnemonic == ".align":
+                boundary = evaluate_expression(operands[0], symbols) if operands else 4
+                while counter % boundary:
+                    counter += 1
+                continue
+
+            statements.append(stmt)
+            counter += 4 * self._statement_size(stmt)
+
+        return statements, symbols, counter
+
+    def _statement_size(self, stmt: _Statement) -> int:
+        name = stmt.mnemonic
+        if name == ".word":
+            return len(stmt.operands)
+        if name == ".byte":
+            return (len(stmt.operands) + 3) // 4
+        if name == ".half":
+            return (len(stmt.operands) + 1) // 2
+        if name in (".ascii", ".asciz"):
+            data = _encode_string_literal(stmt.operands[0], name == ".asciz")
+            return (len(data) + 3) // 4
+        if name == "la":
+            return 2
+        if name == "li":
+            if len(stmt.operands) != 2:
+                raise AssemblerError("li needs 2 operands", stmt.line_number, stmt.line_text)
+            try:
+                return _li_expansion_size(parse_int(stmt.operands[1]))
+            except AssemblerError:
+                return 2  # symbolic immediate: reserve the full expansion
+        if name == "call":
+            return 1
+        return 1
+
+    # ------------------------------------------------------------------
+    # pass 2: encoding
+    # ------------------------------------------------------------------
+    def _encode_statement(self, stmt: _Statement, symbols: Dict[str, int]) -> List[int]:
+        name = stmt.mnemonic
+        ops = stmt.operands
+
+        if name == ".word":
+            return [evaluate_expression(op, symbols) & 0xFFFFFFFF for op in ops]
+        if name in (".byte", ".half", ".ascii", ".asciz"):
+            if name == ".byte":
+                data = b"".join(
+                    (evaluate_expression(op, symbols) & 0xFF).to_bytes(1, "little")
+                    for op in ops)
+            elif name == ".half":
+                data = b"".join(
+                    (evaluate_expression(op, symbols) & 0xFFFF).to_bytes(2, "little")
+                    for op in ops)
+            else:
+                data = _encode_string_literal(ops[0], name == ".asciz")
+            data += b"\x00" * (-len(data) % 4)
+            return [int.from_bytes(data[i:i + 4], "little")
+                    for i in range(0, len(data), 4)]
+
+        expansion = self._expand_pseudo(name, ops, stmt, symbols)
+        if expansion is not None:
+            words: List[int] = []
+            for index, (sub_name, sub_ops) in enumerate(expansion):
+                sub = _Statement(sub_name, sub_ops, stmt.address + 4 * index,
+                                 stmt.line_number, stmt.line_text)
+                words.extend(self._encode_one(sub, symbols))
+            return words
+        return self._encode_one(stmt, symbols)
+
+    def _expand_pseudo(
+        self, name: str, ops: List[str], stmt: _Statement, symbols: Dict[str, int]
+    ) -> Optional[List[Tuple[str, List[str]]]]:
+        if name == "nop":
+            return [("addi", ["x0", "x0", "0"])]
+        if name == "halt":
+            return [("ebreak", [])]
+        if name == "mv":
+            return [("addi", [ops[0], ops[1], "0"])]
+        if name == "not":
+            return [("xori", [ops[0], ops[1], "-1"])]
+        if name == "neg":
+            return [("sub", [ops[0], "x0", ops[1]])]
+        if name == "seqz":
+            return [("sltiu", [ops[0], ops[1], "1"])]
+        if name == "snez":
+            return [("sltu", [ops[0], "x0", ops[1]])]
+        if name == "j":
+            return [("jal", ["x0", ops[0]])]
+        if name == "jr":
+            return [("jalr", ["x0", ops[0], "0"])]
+        if name == "ret":
+            return [("jalr", ["x0", "ra", "0"])]
+        if name == "call":
+            return [("jal", ["ra", ops[0]])]
+        if name == "beqz":
+            return [("beq", [ops[0], "x0", ops[1]])]
+        if name == "bnez":
+            return [("bne", [ops[0], "x0", ops[1]])]
+        if name == "blez":
+            return [("bge", ["x0", ops[0], ops[1]])]
+        if name == "bgez":
+            return [("bge", [ops[0], "x0", ops[1]])]
+        if name == "bltz":
+            return [("blt", [ops[0], "x0", ops[1]])]
+        if name == "bgtz":
+            return [("blt", ["x0", ops[0], ops[1]])]
+        if name == "bgt":
+            return [("blt", [ops[1], ops[0], ops[2]])]
+        if name == "ble":
+            return [("bge", [ops[1], ops[0], ops[2]])]
+        if name == "bgtu":
+            return [("bltu", [ops[1], ops[0], ops[2]])]
+        if name == "bleu":
+            return [("bgeu", [ops[1], ops[0], ops[2]])]
+        if name == "li":
+            try:
+                value = parse_int(ops[1])
+                small = _li_expansion_size(value) == 1
+            except AssemblerError:
+                # symbolic immediate: pass 1 reserved the full expansion
+                value = evaluate_expression(ops[1], symbols)
+                small = False
+            if small:
+                wrapped = value & 0xFFFFFFFF
+                signed = wrapped - (1 << 32) if wrapped >= (1 << 31) else wrapped
+                return [("addi", [ops[0], "x0", str(signed)])]
+            hi, lo = _split_hi_lo(value)
+            return [("lui", [ops[0], str(hi)]), ("addi", [ops[0], ops[0], str(lo)])]
+        if name == "la":
+            if ops[1] not in symbols:
+                raise AssemblerError(f"unknown label {ops[1]!r}", stmt.line_number,
+                                     stmt.line_text)
+            hi, lo = _split_hi_lo(symbols[ops[1]])
+            return [("lui", [ops[0], str(hi)]), ("addi", [ops[0], ops[0], str(lo)])]
+        return None
+
+    def _resolve_target(self, token: str, stmt: _Statement, symbols: Dict[str, int]) -> int:
+        """Return a PC-relative byte offset for a branch/jump operand.
+
+        Bare numbers are relative offsets; anything naming a symbol
+        (including ``label+4`` expressions) is an absolute address.
+        """
+        token = token.strip()
+        if token in symbols:
+            return symbols[token] - stmt.address
+        try:
+            return parse_int(token)
+        except AssemblerError:
+            pass
+        try:
+            value = evaluate_expression(token, symbols)
+        except AssemblerError:
+            raise AssemblerError(
+                f"unknown branch target {token!r}", stmt.line_number, stmt.line_text
+            ) from None
+        names = re.findall(r"[A-Za-z_.][A-Za-z0-9_.$]*", token)
+        if any(name in symbols for name in names):
+            return value - stmt.address
+        return value
+
+    def _encode_one(self, stmt: _Statement, symbols: Dict[str, int]) -> List[int]:
+        name = stmt.mnemonic
+        ops = stmt.operands
+        spec = SPECS_BY_NAME.get(name)
+        if spec is None:
+            raise AssemblerError(f"unknown mnemonic {name!r}", stmt.line_number, stmt.line_text)
+
+        def need(count: int):
+            if len(ops) != count:
+                raise AssemblerError(
+                    f"{name} expects {count} operands, got {len(ops)}",
+                    stmt.line_number,
+                    stmt.line_text,
+                )
+
+        if name == "ebreak":
+            return [encode("ebreak")]
+
+        if name in ("lui", "auipc"):
+            need(2)
+            imm = evaluate_expression(ops[1], symbols)
+            return [encode(name, rd=parse_register(ops[0]), imm=imm & 0xFFFFF)]
+
+        if name == "jal":
+            if len(ops) == 1:
+                ops = ["ra", ops[0]]
+            need_count = 2
+            if len(ops) != need_count:
+                raise AssemblerError("jal expects [rd,] target", stmt.line_number, stmt.line_text)
+            offset = self._resolve_target(ops[1], stmt, symbols)
+            return [encode("jal", rd=parse_register(ops[0]), imm=offset)]
+
+        if name == "jalr":
+            if len(ops) == 2 and "(" in ops[1]:
+                off, base = self._parse_mem_operand(ops[1], stmt, symbols)
+                return [encode("jalr", rd=parse_register(ops[0]), rs1=base, imm=off)]
+            need(3)
+            return [encode("jalr", rd=parse_register(ops[0]), rs1=parse_register(ops[1]),
+                           imm=evaluate_expression(ops[2], symbols))]
+
+        if spec.is_branch:
+            need(3)
+            offset = self._resolve_target(ops[2], stmt, symbols)
+            return [encode(name, rs1=parse_register(ops[0]), rs2=parse_register(ops[1]),
+                           imm=offset)]
+
+        if spec.is_load and name != "lw_l2":
+            need(2)
+            off, base = self._parse_mem_operand(ops[1], stmt, symbols)
+            return [encode(name, rd=parse_register(ops[0]), rs1=base, imm=off)]
+
+        if spec.is_store and name != "sw_l2":
+            need(2)
+            off, base = self._parse_mem_operand(ops[1], stmt, symbols)
+            return [encode(name, rs2=parse_register(ops[0]), rs1=base, imm=off)]
+
+        if name in ("addi", "slti", "sltiu", "xori", "ori", "andi", "slli", "srli", "srai"):
+            need(3)
+            return [encode(name, rd=parse_register(ops[0]), rs1=parse_register(ops[1]),
+                           imm=evaluate_expression(ops[2], symbols))]
+
+        if spec.fmt == "R" and not spec.is_custom:
+            need(3)
+            return [encode(name, rd=parse_register(ops[0]), rs1=parse_register(ops[1]),
+                           rs2=parse_register(ops[2]))]
+
+        # --- NCPU custom extension ------------------------------------
+        if name == "mv_neu":
+            need(2)
+            index = evaluate_expression(ops[0], symbols)
+            if not 0 <= index <= 31:
+                raise AssemblerError(f"transition neuron index {index} out of range [0, 31]",
+                                     stmt.line_number, stmt.line_text)
+            return [encode("mv_neu", rd=index, rs1=parse_register(ops[1]))]
+        if name in ("trans_bnn", "trigger_bnn"):
+            imm = evaluate_expression(ops[0], symbols) if ops else 0
+            return [encode(name, imm=imm)]
+        if name == "sw_l2":
+            need(2)
+            off, base = self._parse_mem_operand(ops[1], stmt, symbols)
+            return [encode("sw_l2", rs2=parse_register(ops[0]), rs1=base, imm=off)]
+        if name == "lw_l2":
+            need(2)
+            off, base = self._parse_mem_operand(ops[1], stmt, symbols)
+            return [encode("lw_l2", rd=parse_register(ops[0]), rs1=base, imm=off)]
+
+        raise AssemblerError(f"cannot encode {name!r}", stmt.line_number, stmt.line_text)
+
+    def _parse_mem_operand(self, token: str, stmt: _Statement,
+                           symbols: Dict[str, int] | None = None) -> Tuple[int, int]:
+        match = _MEM_OPERAND_RE.match(token.strip())
+        if not match:
+            raise AssemblerError(f"bad memory operand {token!r}", stmt.line_number,
+                                 stmt.line_text)
+        off_text = match.group("off").strip()
+        if not off_text:
+            offset = 0
+        elif symbols is not None:
+            offset = evaluate_expression(off_text, symbols)
+        else:
+            offset = parse_int(off_text)
+        return offset, parse_register(match.group("base"))
+
+
+def assemble(source: str, base: int = 0) -> Program:
+    """Assemble ``source`` into a :class:`Program` (convenience wrapper)."""
+    return Assembler(base=base).assemble(source)

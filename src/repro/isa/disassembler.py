@@ -1,0 +1,55 @@
+"""Disassembler: turn machine words back into readable assembly."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.isa.instructions import DecodedInstr, decode
+
+_REG_NAMES = ["x%d" % i for i in range(32)]
+
+
+def format_instr(instr: DecodedInstr) -> str:
+    """Render one decoded instruction in the assembler's input syntax."""
+    name = instr.name
+    rd, rs1, rs2, imm = (_REG_NAMES[instr.rd], _REG_NAMES[instr.rs1],
+                         _REG_NAMES[instr.rs2], instr.imm)
+    spec = instr.spec
+
+    if name == "ebreak":
+        return "ebreak"
+    if name in ("lui", "auipc"):
+        return f"{name} {rd}, {(imm >> 12) & 0xFFFFF:#x}"
+    if name == "jal":
+        return f"jal {rd}, {imm}"
+    if name == "jalr":
+        return f"jalr {rd}, {rs1}, {imm}"
+    if spec.is_branch:
+        return f"{name} {rs1}, {rs2}, {imm}"
+    if name == "mv_neu":
+        return f"mv_neu {instr.rd}, {rs1}"
+    if name in ("trans_bnn", "trigger_bnn"):
+        return f"{name} {imm}"
+    if spec.is_load:
+        return f"{name} {rd}, {imm}({rs1})"
+    if spec.is_store:
+        return f"{name} {rs2}, {imm}({rs1})"
+    if spec.fmt == "R":
+        return f"{name} {rd}, {rs1}, {rs2}"
+    return f"{name} {rd}, {rs1}, {imm}"
+
+
+def disassemble_word(word: int) -> str:
+    """Disassemble one 32-bit word (``.word`` fallback on decode failure)."""
+    try:
+        return format_instr(decode(word))
+    except Exception:
+        return f".word {word:#010x}"
+
+
+def disassemble(words: Iterable[int], base: int = 0) -> List[str]:
+    """Disassemble a word sequence into ``addr: text`` lines."""
+    lines = []
+    for index, word in enumerate(words):
+        lines.append(f"{base + 4 * index:#06x}: {disassemble_word(word)}")
+    return lines

@@ -1,0 +1,165 @@
+"""Bit-level encoding helpers for the RV32I instruction formats.
+
+RISC-V instructions are 32-bit words composed of fixed fields.  This module
+provides the pure bit-manipulation layer: field extraction/insertion, sign
+extension, and the per-format immediate scramble/descramble functions.  The
+instruction *semantics* live in :mod:`repro.isa.instructions`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+
+WORD_MASK = 0xFFFF_FFFF
+
+# Field positions shared by every format.
+OPCODE_LO, OPCODE_HI = 0, 6
+RD_LO, RD_HI = 7, 11
+FUNCT3_LO, FUNCT3_HI = 12, 14
+RS1_LO, RS1_HI = 15, 19
+RS2_LO, RS2_HI = 20, 24
+FUNCT7_LO, FUNCT7_HI = 25, 31
+
+
+def bits(word: int, hi: int, lo: int) -> int:
+    """Extract the inclusive bit range ``[hi:lo]`` of ``word``."""
+    if hi < lo:
+        raise ValueError(f"invalid bit range [{hi}:{lo}]")
+    return (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+def set_bits(word: int, hi: int, lo: int, value: int) -> int:
+    """Return ``word`` with the inclusive range ``[hi:lo]`` replaced by ``value``."""
+    width = hi - lo + 1
+    mask = (1 << width) - 1
+    if value & ~mask:
+        raise EncodingError(f"value {value:#x} does not fit in {width} bits")
+    return (word & ~(mask << lo)) | (value << lo)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as a two's-complement number."""
+    value &= (1 << width) - 1
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def to_unsigned32(value: int) -> int:
+    """Wrap a Python int to an unsigned 32-bit value."""
+    return value & WORD_MASK
+
+
+def to_signed32(value: int) -> int:
+    """Wrap a Python int to a signed 32-bit value."""
+    return sign_extend(value, 32)
+
+
+def _check_signed_range(value: int, width: int, what: str) -> None:
+    lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(f"{what} {value} out of range [{lo}, {hi}]")
+
+
+# ---------------------------------------------------------------------------
+# Immediate encoders: take a signed immediate, return the bits to OR into the
+# instruction word.  Immediate decoders: take the instruction word, return the
+# sign-extended immediate.
+# ---------------------------------------------------------------------------
+
+def encode_imm_i(imm: int) -> int:
+    """I-type: imm[11:0] -> inst[31:20]."""
+    _check_signed_range(imm, 12, "I-immediate")
+    return (imm & 0xFFF) << 20
+
+
+def decode_imm_i(word: int) -> int:
+    return sign_extend(bits(word, 31, 20), 12)
+
+
+def encode_imm_s(imm: int) -> int:
+    """S-type: imm[11:5] -> inst[31:25], imm[4:0] -> inst[11:7]."""
+    _check_signed_range(imm, 12, "S-immediate")
+    imm &= 0xFFF
+    return ((imm >> 5) << 25) | ((imm & 0x1F) << 7)
+
+
+def decode_imm_s(word: int) -> int:
+    raw = (bits(word, 31, 25) << 5) | bits(word, 11, 7)
+    return sign_extend(raw, 12)
+
+
+def encode_imm_b(imm: int) -> int:
+    """B-type: a 13-bit signed, 2-byte-aligned branch offset."""
+    _check_signed_range(imm, 13, "B-immediate")
+    if imm % 2:
+        raise EncodingError(f"branch offset {imm} must be 2-byte aligned")
+    imm &= 0x1FFF
+    word = 0
+    word = set_bits(word, 31, 31, (imm >> 12) & 1)
+    word = set_bits(word, 30, 25, (imm >> 5) & 0x3F)
+    word = set_bits(word, 11, 8, (imm >> 1) & 0xF)
+    word = set_bits(word, 7, 7, (imm >> 11) & 1)
+    return word
+
+
+def decode_imm_b(word: int) -> int:
+    raw = (
+        (bits(word, 31, 31) << 12)
+        | (bits(word, 7, 7) << 11)
+        | (bits(word, 30, 25) << 5)
+        | (bits(word, 11, 8) << 1)
+    )
+    return sign_extend(raw, 13)
+
+
+def encode_imm_u(imm: int) -> int:
+    """U-type: imm[31:12] -> inst[31:12]; accepts the *upper* 20-bit value."""
+    if not 0 <= imm <= 0xFFFFF:
+        raise EncodingError(f"U-immediate {imm:#x} out of range [0, 0xFFFFF]")
+    return imm << 12
+
+
+def decode_imm_u(word: int) -> int:
+    """Return the U-type immediate already shifted into position (bits 31:12)."""
+    return to_signed32(word & 0xFFFFF000)
+
+
+def encode_imm_j(imm: int) -> int:
+    """J-type: a 21-bit signed, 2-byte-aligned jump offset."""
+    _check_signed_range(imm, 21, "J-immediate")
+    if imm % 2:
+        raise EncodingError(f"jump offset {imm} must be 2-byte aligned")
+    imm &= 0x1FFFFF
+    word = 0
+    word = set_bits(word, 31, 31, (imm >> 20) & 1)
+    word = set_bits(word, 30, 21, (imm >> 1) & 0x3FF)
+    word = set_bits(word, 20, 20, (imm >> 11) & 1)
+    word = set_bits(word, 19, 12, (imm >> 12) & 0xFF)
+    return word
+
+
+def decode_imm_j(word: int) -> int:
+    raw = (
+        (bits(word, 31, 31) << 20)
+        | (bits(word, 19, 12) << 12)
+        | (bits(word, 20, 20) << 11)
+        | (bits(word, 30, 21) << 1)
+    )
+    return sign_extend(raw, 21)
+
+
+IMM_ENCODERS = {
+    "I": encode_imm_i,
+    "S": encode_imm_s,
+    "B": encode_imm_b,
+    "U": encode_imm_u,
+    "J": encode_imm_j,
+}
+
+IMM_DECODERS = {
+    "I": decode_imm_i,
+    "S": decode_imm_s,
+    "B": decode_imm_b,
+    "U": decode_imm_u,
+    "J": decode_imm_j,
+}

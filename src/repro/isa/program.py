@@ -1,0 +1,55 @@
+"""Program container produced by the assembler and consumed by the simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.isa.instructions import DecodedInstr, decode
+
+
+@dataclass
+class Program:
+    """An assembled program: a flat list of 32-bit words plus metadata.
+
+    Attributes:
+        words: machine-code words, one per 4-byte slot starting at ``base``.
+        symbols: label name -> byte address.
+        base: byte address of ``words[0]``.
+        data: initial data memory contents, byte address -> 32-bit word.
+        source: original assembly text (for diagnostics), may be empty.
+    """
+
+    words: List[int]
+    symbols: Dict[str, int] = field(default_factory=dict)
+    base: int = 0
+    data: Dict[int, int] = field(default_factory=dict)
+    source: str = ""
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    @property
+    def size_bytes(self) -> int:
+        return 4 * len(self.words)
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size_bytes
+
+    def word_at(self, addr: int) -> int:
+        """Return the instruction word at byte address ``addr``."""
+        index = (addr - self.base) // 4
+        if addr % 4 or not 0 <= index < len(self.words):
+            raise IndexError(f"address {addr:#x} outside program [{self.base:#x}, {self.end:#x})")
+        return self.words[index]
+
+    def decoded(self) -> List[DecodedInstr]:
+        """Decode every word (useful for inspection and tests)."""
+        return [decode(w) for w in self.words]
+
+    def address_of(self, label: str) -> int:
+        try:
+            return self.symbols[label]
+        except KeyError:
+            raise KeyError(f"unknown label {label!r}; known: {sorted(self.symbols)}") from None

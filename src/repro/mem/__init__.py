@@ -1,0 +1,43 @@
+"""Memory system: SRAM banks, address arbiter, NCPU memory map, DMA, L2."""
+
+from repro.mem.arbiter import AddressArbiter
+from repro.mem.bus import DEFAULT_L2_BYTES, SharedL2, SystemBus
+from repro.mem.dma import (
+    DEFAULT_WORDS_PER_CYCLE,
+    DMAEngine,
+    TRANSFER_SETUP_CYCLES,
+    TransferRecord,
+)
+from repro.mem.memory_map import (
+    BIAS_BYTES,
+    CoreMode,
+    I_CACHE_BYTES,
+    IMAGE_BYTES,
+    NCPUMemory,
+    OUTPUT_BYTES,
+    REGISTER_FILE_BYTES,
+    W1_BYTES,
+    W2_BYTES,
+)
+from repro.mem.sram import SRAMBank
+
+__all__ = [
+    "AddressArbiter",
+    "SharedL2",
+    "SystemBus",
+    "DEFAULT_L2_BYTES",
+    "DMAEngine",
+    "TransferRecord",
+    "DEFAULT_WORDS_PER_CYCLE",
+    "TRANSFER_SETUP_CYCLES",
+    "CoreMode",
+    "NCPUMemory",
+    "SRAMBank",
+    "I_CACHE_BYTES",
+    "IMAGE_BYTES",
+    "OUTPUT_BYTES",
+    "BIAS_BYTES",
+    "W1_BYTES",
+    "W2_BYTES",
+    "REGISTER_FILE_BYTES",
+]

@@ -1,0 +1,51 @@
+"""Shared L2 memory and the chip-level data bus (paper Fig 6).
+
+The two-core NCPU SoC shares an *incoherent* L2: cores reach it only through
+the explicit write-through ``sw_l2`` / ``lw_l2`` instructions, and bulk data
+moves via the DMA engine.  There is deliberately no hardware coherence — the
+paper adopts software-managed data placement (section V.A).
+"""
+
+from __future__ import annotations
+
+from repro.cpu.memory import FlatMemory
+from repro.errors import ConfigurationError
+
+KB = 1024
+
+#: shared L2 capacity of the fabricated chip's global memory
+DEFAULT_L2_BYTES = 16 * KB
+
+
+class SharedL2(FlatMemory):
+    """The incoherent shared global memory."""
+
+    def __init__(self, size: int = DEFAULT_L2_BYTES):
+        super().__init__(size=size, base=0)
+
+
+class SystemBus:
+    """Arbitrates core and DMA access to the shared L2.
+
+    The model is deliberately simple: the bus tracks how many words each
+    client moved so the energy model can charge bus transactions; timing
+    serialization is handled by the discrete-event scheduler.
+    """
+
+    def __init__(self, l2: SharedL2):
+        self.l2 = l2
+        self.client_words: dict = {}
+
+    def register_client(self, name: str) -> None:
+        if name in self.client_words:
+            raise ConfigurationError(f"bus client {name!r} already registered")
+        self.client_words[name] = 0
+
+    def account(self, name: str, words: int) -> None:
+        if name not in self.client_words:
+            raise ConfigurationError(f"unknown bus client {name!r}")
+        self.client_words[name] += words
+
+    @property
+    def total_words(self) -> int:
+        return sum(self.client_words.values())

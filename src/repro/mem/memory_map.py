@@ -1,0 +1,193 @@
+"""The NCPU core's memory map and mode-dependent SRAM reuse (paper Fig 4a).
+
+Bank inventory per core (the fabricated chip's sizes):
+
+===========  ======  =========================================
+bank         size    role
+===========  ======  =========================================
+instruction  4 kB    I$ (CPU mode only)
+image        4 kB    BNN input image / CPU data cache
+output       1 kB    BNN results / CPU data cache
+w1           25 kB   layer-1 weights (resident) / CPU data cache
+w2..w4       6.5 kB  layer 2-4 weights / CPU data cache
+bias         1 kB    BNN biases (gated in CPU mode)
+===========  ======  =========================================
+
+In CPU mode, the image/output/weight banks are stitched into one ~49.5 kB
+data space behind the address arbiter; in BNN mode they revert to their
+accelerator roles and the arbiter space is unavailable to loads/stores.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, List
+
+import numpy as np
+
+from repro.bnn.model import BNNModel
+from repro.errors import ConfigurationError
+from repro.mem.arbiter import AddressArbiter
+from repro.mem.sram import SRAMBank
+
+KB = 1024
+
+I_CACHE_BYTES = 4 * KB
+IMAGE_BYTES = 4 * KB
+OUTPUT_BYTES = 1 * KB
+W1_BYTES = 25 * KB
+W2_BYTES = W3_BYTES = W4_BYTES = int(6.5 * KB)
+BIAS_BYTES = 1 * KB
+REGISTER_FILE_BYTES = 128  # the paper's "1 kb" register file
+
+#: order in which the data-cache address space is stitched together
+_DATA_BANK_ORDER = ("image", "output", "w1", "w2", "w3", "w4")
+
+_BANK_SIZES = {
+    "image": IMAGE_BYTES,
+    "output": OUTPUT_BYTES,
+    "w1": W1_BYTES,
+    "w2": W2_BYTES,
+    "w3": W3_BYTES,
+    "w4": W4_BYTES,
+}
+
+
+class CoreMode(Enum):
+    """Operating mode of an NCPU core."""
+
+    CPU = "cpu"
+    BNN = "bnn"
+
+
+class NCPUMemory:
+    """All SRAM banks of one NCPU core, with mode-dependent routing."""
+
+    def __init__(self):
+        self.banks: Dict[str, SRAMBank] = {}
+        base = 0
+        for name in _DATA_BANK_ORDER:
+            size = _BANK_SIZES[name]
+            self.banks[name] = SRAMBank(name, size, base=base)
+            base += size
+        self.banks["bias"] = SRAMBank("bias", BIAS_BYTES, base=base)
+        self.banks["icache"] = SRAMBank("icache", I_CACHE_BYTES, base=0)
+        self.arbiter = AddressArbiter([self.banks[n] for n in _DATA_BANK_ORDER])
+        self.mode = CoreMode.CPU
+        self._apply_gating()
+
+    # -- mode handling ---------------------------------------------------
+    def set_mode(self, mode: CoreMode) -> None:
+        self.mode = mode
+        self._apply_gating()
+
+    def _apply_gating(self) -> None:
+        """Clock-gate the banks the current mode does not use (Fig 4a)."""
+        if self.mode is CoreMode.CPU:
+            for name in _DATA_BANK_ORDER:
+                self.banks[name].enabled = True
+            self.banks["bias"].enabled = False
+            self.banks["icache"].enabled = True
+        else:
+            for name in _DATA_BANK_ORDER:
+                self.banks[name].enabled = True
+            self.banks["bias"].enabled = True
+            self.banks["icache"].enabled = False
+
+    # -- CPU-mode view -----------------------------------------------------
+    def data_memory(self) -> AddressArbiter:
+        """The CPU-mode data cache (arbiter over the reused banks)."""
+        if self.mode is not CoreMode.CPU:
+            raise ConfigurationError("data cache is only mapped in CPU mode")
+        return self.arbiter
+
+    @property
+    def data_bytes(self) -> int:
+        return self.arbiter.total_size
+
+    def address_of(self, bank_name: str, offset: int = 0) -> int:
+        bank = self.banks[bank_name]
+        if not 0 <= offset < bank.size:
+            raise ConfigurationError(
+                f"offset {offset:#x} outside bank {bank_name!r}"
+            )
+        return bank.base + offset
+
+    # -- BNN-mode view -----------------------------------------------------
+    def weight_bank_for_layer(self, layer_index: int) -> SRAMBank:
+        """Weight bank per neural layer (layer 0 resident in w1)."""
+        names = ("w1", "w2", "w3", "w4")
+        return self.banks[names[layer_index % len(names)]]
+
+    def load_model(self, model: BNNModel) -> None:
+        """Pack a model's weights/biases into the physical banks.
+
+        Raises if the model does not fit — the same constraint the real chip
+        has (weights fully occupying weight memory force the dynamic
+        reconfiguration discussed in section V.A).
+        """
+        if model.n_layers > 4:
+            wrapped = model.n_layers - 4
+            if wrapped > 4:
+                raise ConfigurationError("models deeper than 8 layers unsupported")
+        bias_offset = 0
+        for index, layer in enumerate(model.layers):
+            bank = self.weight_bank_for_layer(index)
+            packed = layer.packed_weights().reshape(-1)
+            if packed.size * 4 > bank.size:
+                raise ConfigurationError(
+                    f"layer {index} weights ({packed.size * 4} B) exceed bank "
+                    f"{bank.name!r} ({bank.size} B)"
+                )
+            bank.write_words(bank.base, [int(w) for w in packed])
+            # biases are stored as 16-bit halfwords (1 kB bias memory holds
+            # up to 512 neurons' worth)
+            biases = layer.bias.astype(np.int64)
+            if np.abs(biases).max(initial=0) > 0x7FFF:
+                raise ConfigurationError("bias exceeds the 16-bit bias memory format")
+            if bias_offset + 2 * biases.size > self.banks["bias"].size:
+                raise ConfigurationError("bias memory exhausted")
+            bias_bank = self.banks["bias"]
+            was_enabled = bias_bank.enabled
+            bias_bank.enabled = True
+            try:
+                for i, bias in enumerate(biases):
+                    bias_bank.store(bias_bank.base + bias_offset + 2 * i,
+                                    int(bias) & 0xFFFF, 2)
+            finally:
+                bias_bank.enabled = was_enabled
+            bias_offset += 2 * biases.size
+
+    def write_image(self, x_sign: np.ndarray) -> int:
+        """Store a packed binary input image; returns words written."""
+        from repro.bnn import quantize as q
+
+        packed = q.pack_bits(q.sign_to_bits(np.asarray(x_sign)))
+        if packed.size * 4 > self.banks["image"].size:
+            raise ConfigurationError("input image exceeds image memory")
+        self.banks["image"].write_words(self.banks["image"].base,
+                                        [int(w) for w in packed])
+        return int(packed.size)
+
+    def write_result(self, index: int, value: int) -> None:
+        bank = self.banks["output"]
+        bank.store(bank.base + 4 * index, value, 4)
+
+    def read_result(self, index: int) -> int:
+        bank = self.banks["output"]
+        return bank.load(bank.base + 4 * index, 4)
+
+    # -- accounting --------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return sum(bank.size for bank in self.banks.values()) + REGISTER_FILE_BYTES
+
+    def access_counts(self) -> Dict[str, int]:
+        return {name: bank.accesses for name, bank in self.banks.items()}
+
+    def reset_counters(self) -> None:
+        for bank in self.banks.values():
+            bank.reset_counters()
+
+    def bank_names(self) -> List[str]:
+        return list(self.banks)

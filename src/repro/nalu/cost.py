@@ -1,0 +1,95 @@
+"""Hardware cost model for the NALU vs. conventional digital logic (Fig 19b).
+
+The paper implemented the trained NALU for each 8-bit ALU operation in the
+same 65 nm flow and reports post-layout areas 13-35x the conventional
+digital blocks ("the NALU implementation for ADD cost about 17X area than a
+digital adder").  Like the chip-area model in :mod:`repro.power.area`, the
+per-operation ratios are *silicon-measured anchors*; this module wraps them
+with a gate-equivalent decomposition so absolute areas, weight-storage
+shares, and sanity relations (Boolean ops cost relatively more than
+arithmetic, every NALU is >10x its digital counterpart) are available to
+the experiments and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+BITS = 8
+
+#: gate-equivalents of registered 8-bit digital datapath blocks
+GE_DIGITAL: Dict[str, float] = {
+    "add": 136.0,  # 8 full adders + output register
+    "sub": 148.0,
+    "mul": 376.0,  # 8x8 array multiplier + register
+    "and": 60.0,
+    "xor": 72.0,
+    "or": 60.0,
+}
+
+#: paper Fig 19b: post-layout NALU/digital area ratios (anchors).  The text
+#: states ADD explicitly (~17x); the remaining bars read 13-35x, with the
+#: Boolean operations the most expensive relative to their tiny digital
+#: counterparts.
+PAPER_AREA_RATIOS: Dict[str, float] = {
+    "add": 17.0,
+    "sub": 15.0,
+    "and": 35.0,
+    "xor": 32.0,
+    "mul": 13.0,
+    "or": 14.0,
+}
+
+GE_MULTIPLIER = 280.0
+GE_ADDER = 11.0 * BITS
+GE_WEIGHT_REG = 6.0 * BITS
+
+
+@dataclass(frozen=True)
+class CostComparison:
+    """Area of the NALU vs. the digital implementation of one operation."""
+
+    operation: str
+    nalu_ge: float
+    digital_ge: float
+
+    @property
+    def ratio(self) -> float:
+        return self.nalu_ge / self.digital_ge
+
+    @property
+    def multiplier_equivalents(self) -> float:
+        """How many 8x8 multipliers the NALU area corresponds to — the
+        paper's point: multiplication hardware for a trivial ALU op."""
+        return self.nalu_ge / GE_MULTIPLIER
+
+
+def nalu_area_ge(operation: str) -> float:
+    """Absolute NALU area (GE) from the anchored ratio and digital base."""
+    if operation not in PAPER_AREA_RATIOS:
+        raise ConfigurationError(f"no NALU anchor for {operation!r}")
+    return PAPER_AREA_RATIOS[operation] * GE_DIGITAL[operation]
+
+
+def compare_operation(operation: str) -> CostComparison:
+    if operation not in GE_DIGITAL:
+        raise ConfigurationError(f"no digital baseline for {operation!r}")
+    return CostComparison(operation=operation,
+                          nalu_ge=nalu_area_ge(operation),
+                          digital_ge=GE_DIGITAL[operation])
+
+
+def compare_all() -> Dict[str, CostComparison]:
+    """Fig 19b: every operation's NALU/digital area ratio."""
+    return {op: compare_operation(op) for op in GE_DIGITAL}
+
+
+def total_alu_comparison() -> CostComparison:
+    """A whole 6-operation ALU built either way (the section's conclusion:
+    a NALU-based CPU datapath is infeasible for resource-constrained SoCs)."""
+    digital = sum(GE_DIGITAL.values())
+    nalu = sum(nalu_area_ge(op) for op in GE_DIGITAL)
+    return CostComparison(operation="alu", nalu_ge=nalu, digital_ge=digital)

@@ -1,0 +1,113 @@
+"""Neural Arithmetic Logic Unit (Trask et al., the paper's ref [36]).
+
+A NALU cell computes, for input vector x:
+
+* add/sub path:  ``a = W x``            with ``W = tanh(What) * sigmoid(Mhat)``
+* mul path:      ``m = exp(W log(|x| + eps))``
+* gate:          ``g = sigmoid(G x)``
+* output:        ``y = g * a + (1 - g) * m``
+
+The paper stacks two layers and trains on 8-bit ALU operations (ADD, SUB,
+AND, XOR) with an MSE loss, reporting the error *normalized to a randomly
+initialized model* — ADD/SUB learn well, Boolean ops fail, and learning ADD
+and SUB simultaneously collapses to near-random (Fig 19a).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+EPS = 1e-7
+
+
+def _sigmoid(values: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(values, -30, 30)))
+
+
+class NALUCell:
+    """One NALU layer: ``in_dim -> out_dim``."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
+        if in_dim <= 0 or out_dim <= 0:
+            raise ConfigurationError("NALU dimensions must be positive")
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        scale = 1.0 / np.sqrt(in_dim)
+        self.w_hat = rng.uniform(-scale, scale, size=(out_dim, in_dim))
+        self.m_hat = rng.uniform(-scale, scale, size=(out_dim, in_dim))
+        self.g = rng.uniform(-scale, scale, size=(out_dim, in_dim))
+
+    # -- forward ----------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Batch forward; ``x`` is (batch, in_dim)."""
+        cache = {}
+        w = np.tanh(self.w_hat) * _sigmoid(self.m_hat)
+        add = x @ w.T
+        log_x = np.log(np.abs(x) + EPS)
+        mul = np.exp(np.clip(log_x @ w.T, -30, 30))
+        gate = _sigmoid(x @ self.g.T)
+        out = gate * add + (1.0 - gate) * mul
+        cache.update(x=x, w=w, add=add, mul=mul, gate=gate, log_x=log_x)
+        self._cache = cache
+        return out
+
+    # -- backward (returns grad wrt x; accumulates parameter grads) -------
+    def backward(self, grad_out: np.ndarray):
+        c = self._cache
+        x, w, add, mul, gate, log_x = (c["x"], c["w"], c["add"], c["mul"],
+                                       c["gate"], c["log_x"])
+        grad_add = grad_out * gate
+        grad_mul = grad_out * (1.0 - gate)
+        grad_gate = grad_out * (add - mul) * gate * (1.0 - gate)
+
+        # gate weights
+        self.grad_g = grad_gate.T @ x
+        # W receives contributions from both paths
+        grad_w = grad_add.T @ x + (grad_mul * mul).T @ log_x
+        tanh_w = np.tanh(self.w_hat)
+        sig_m = _sigmoid(self.m_hat)
+        self.grad_w_hat = grad_w * (1.0 - tanh_w ** 2) * sig_m
+        self.grad_m_hat = grad_w * tanh_w * sig_m * (1.0 - sig_m)
+
+        # input gradient (through add, mul and gate paths)
+        grad_x = grad_add @ w
+        grad_log = (grad_mul * mul) @ w
+        grad_x += grad_log * (np.sign(x) / (np.abs(x) + EPS))
+        grad_x += grad_gate @ self.g
+        return grad_x
+
+    def params(self) -> List[np.ndarray]:
+        return [self.w_hat, self.m_hat, self.g]
+
+    def grads(self) -> List[np.ndarray]:
+        return [self.grad_w_hat, self.grad_m_hat, self.grad_g]
+
+
+class NALUNetwork:
+    """A two-layer NALU stack (the paper's configuration)."""
+
+    def __init__(self, in_dim: int, hidden: int, out_dim: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.layers = [NALUCell(in_dim, hidden, rng),
+                       NALUCell(hidden, out_dim, rng)]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> None:
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def params(self) -> List[np.ndarray]:
+        return [p for layer in self.layers for p in layer.params()]
+
+    def grads(self) -> List[np.ndarray]:
+        return [g for layer in self.layers for g in layer.grads()]

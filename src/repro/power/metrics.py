@@ -1,0 +1,67 @@
+"""Derived performance/efficiency metrics: TOPS/W, DMIPS, MEP."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.technology import (
+    PowerProfile,
+    bnn_profile,
+    cpu_profile,
+    frequency_model,
+    mep_voltage,
+)
+
+#: VAX 11/780 reference: 1757 Dhrystones/second == 1 MIPS
+DHRYSTONES_PER_SECOND_PER_MIPS = 1757.0
+
+
+def bnn_tops_per_watt(voltage: float, ops_per_cycle: int = 400) -> float:
+    """BNN-mode compute efficiency (the paper counts one MAC as one op)."""
+    f_hz = frequency_model().f_hz(voltage)
+    power_w = bnn_profile().total_power_w(voltage)
+    return ops_per_cycle * f_hz / power_w / 1e12
+
+
+@dataclass(frozen=True)
+class DhrystoneResult:
+    """Dhrystone scoring from a cycle count per iteration."""
+
+    cycles_per_iteration: float
+    frequency_mhz: float
+    power_mw: float
+
+    @property
+    def iterations_per_second(self) -> float:
+        return self.frequency_mhz * 1e6 / self.cycles_per_iteration
+
+    @property
+    def dmips(self) -> float:
+        return self.iterations_per_second / DHRYSTONES_PER_SECOND_PER_MIPS
+
+    @property
+    def dmips_per_mhz(self) -> float:
+        return self.dmips / self.frequency_mhz
+
+    @property
+    def dmips_per_mw(self) -> float:
+        return self.dmips / self.power_mw
+
+
+def score_dhrystone(cycles_per_iteration: float, voltage: float = 1.0,
+                    profile: PowerProfile | None = None) -> DhrystoneResult:
+    """Score a measured Dhrystone iteration cost at a supply voltage."""
+    profile = profile if profile is not None else cpu_profile()
+    f_mhz = frequency_model().f_mhz(voltage)
+    power_mw = profile.total_power_w(voltage) * 1e3
+    return DhrystoneResult(cycles_per_iteration=cycles_per_iteration,
+                           frequency_mhz=f_mhz, power_mw=power_mw)
+
+
+def cpu_mep_voltage() -> float:
+    """The CPU-mode minimum-energy-point voltage from the fitted model."""
+    return mep_voltage(cpu_profile())
+
+
+def bnn_mep_voltage() -> float:
+    return mep_voltage(bnn_profile())

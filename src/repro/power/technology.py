@@ -1,0 +1,248 @@
+"""65 nm technology model fitted to the paper's silicon measurements.
+
+The test chip's measured anchors (Fig 7, Fig 9, Table 2/3):
+
+* frequency: 960 MHz at 1.0 V, 18 MHz at 0.4 V,
+* BNN-mode power: 241 mW at 1.0 V, 1.2 mW at 0.4 V,
+* CPU-mode power: 112 mW at 1.0 V, 0.8 mW at 0.4 V,
+* CPU-mode minimum-energy point (MEP) at 0.5 V,
+* SRAM Vmin 0.55 V (below it, SRAM stays at 0.55 V).
+
+The model forms:
+
+* frequency: alpha-power law ``f(V) = K (V - Vth)^alpha / V``,
+* dynamic power: ``P_dyn = C_eff V^2 f(V)``,
+* leakage: ``P_leak = P0 · V · exp(eta V)`` (subthreshold + DIBL shape).
+
+The three power parameters per operating mode are solved from the two power
+anchors plus either a fixed 1 V leakage share (BNN mode, whose MEP lies below
+0.4 V) or the MEP-position constraint (CPU mode).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import ConfigurationError
+
+V_NOMINAL = 1.0
+V_MIN = 0.4
+SRAM_VMIN = 0.55
+VTH = 0.35
+
+F_NOMINAL_MHZ = 960.0
+F_VMIN_MHZ = 18.0
+
+BNN_POWER_1V_W = 0.241
+BNN_POWER_04V_W = 1.2e-3
+CPU_POWER_1V_W = 0.112
+CPU_POWER_04V_W = 0.8e-3
+CPU_MEP_VOLTAGE = 0.5
+BNN_LEAK_SHARE_1V = 0.05
+
+
+class FrequencyModel:
+    """Alpha-power-law Fmax vs. supply voltage."""
+
+    def __init__(self, vth: float = VTH,
+                 v_lo: float = V_MIN, f_lo_mhz: float = F_VMIN_MHZ,
+                 v_hi: float = V_NOMINAL, f_hi_mhz: float = F_NOMINAL_MHZ):
+        if not vth < v_lo < v_hi:
+            raise ConfigurationError("need vth < v_lo < v_hi")
+        ratio = (f_hi_mhz * v_hi) / (f_lo_mhz * v_lo)
+        self.vth = vth
+        self.alpha = math.log(ratio) / math.log((v_hi - vth) / (v_lo - vth))
+        self.k_mhz = f_hi_mhz * v_hi / (v_hi - vth) ** self.alpha
+
+    def f_mhz(self, voltage: float) -> float:
+        """Maximum operating frequency in MHz at ``voltage``."""
+        if voltage <= self.vth:
+            raise ConfigurationError(
+                f"voltage {voltage} V at or below threshold {self.vth} V"
+            )
+        return self.k_mhz * (voltage - self.vth) ** self.alpha / voltage
+
+    def f_hz(self, voltage: float) -> float:
+        return self.f_mhz(voltage) * 1e6
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Fitted power model of one operating mode.
+
+    ``dynamic = c_eff * V^2 * f``; ``leakage = leak_p0 * V * exp(leak_eta V)``.
+    """
+
+    name: str
+    c_eff: float  # F (effective switched capacitance)
+    leak_p0: float  # W
+    leak_eta: float
+    frequency: FrequencyModel
+
+    def dynamic_power_w(self, voltage: float, f_hz: float | None = None) -> float:
+        f = self.frequency.f_hz(voltage) if f_hz is None else f_hz
+        return self.c_eff * voltage ** 2 * f
+
+    def leakage_power_w(self, voltage: float) -> float:
+        return self.leak_p0 * voltage * math.exp(self.leak_eta * voltage)
+
+    def total_power_w(self, voltage: float, f_hz: float | None = None) -> float:
+        return self.dynamic_power_w(voltage, f_hz) + self.leakage_power_w(voltage)
+
+    def energy_per_cycle_j(self, voltage: float) -> float:
+        """Energy per clock cycle when running at Fmax(V)."""
+        return self.total_power_w(voltage) / self.frequency.f_hz(voltage)
+
+    def energy_j(self, cycles: float, voltage: float,
+                 f_hz: float | None = None) -> float:
+        """Energy to run ``cycles`` at ``voltage`` (at Fmax unless given)."""
+        f = self.frequency.f_hz(voltage) if f_hz is None else f_hz
+        seconds = cycles / f
+        return self.dynamic_power_w(voltage, f) * seconds \
+            + self.leakage_power_w(voltage) * seconds
+
+    @property
+    def leak_share_1v(self) -> float:
+        return self.leakage_power_w(V_NOMINAL) / self.total_power_w(V_NOMINAL)
+
+
+def _solve_profile(name: str, frequency: FrequencyModel, p_1v: float,
+                   p_04v: float, leak_1v: float) -> PowerProfile:
+    """Solve (c_eff, leak_p0, leak_eta) from the two anchors + 1 V leakage."""
+    c_eff = (p_1v - leak_1v) / (V_NOMINAL ** 2 * frequency.f_hz(V_NOMINAL))
+    dyn_04 = c_eff * V_MIN ** 2 * frequency.f_hz(V_MIN)
+    leak_04 = p_04v - dyn_04
+    if leak_04 <= 0:
+        raise ConfigurationError(
+            f"{name}: leakage share {leak_1v:.3g} W at 1 V leaves no leakage "
+            f"budget at 0.4 V (dynamic alone is {dyn_04:.3g} W)"
+        )
+    # leak(V) = p0 V e^{eta V}:  leak_1v / leak_04 = (1/0.4) e^{0.6 eta}
+    eta = math.log(leak_1v / leak_04 * V_MIN / V_NOMINAL) / (V_NOMINAL - V_MIN)
+    p0 = leak_1v / (V_NOMINAL * math.exp(eta * V_NOMINAL))
+    return PowerProfile(name=name, c_eff=c_eff, leak_p0=p0, leak_eta=eta,
+                        frequency=frequency)
+
+
+def _mep_voltage(profile: PowerProfile, lo: float = 0.36, hi: float = 1.0) -> float:
+    """Voltage minimizing energy/cycle (golden-section search)."""
+    phi = (math.sqrt(5.0) - 1) / 2
+    a, b = lo, hi
+    c = b - phi * (b - a)
+    d = a + phi * (b - a)
+    for _ in range(80):
+        if profile.energy_per_cycle_j(c) < profile.energy_per_cycle_j(d):
+            b = d
+        else:
+            a = c
+        c = b - phi * (b - a)
+        d = a + phi * (b - a)
+    return (a + b) / 2
+
+
+@lru_cache(maxsize=None)
+def frequency_model() -> FrequencyModel:
+    return FrequencyModel()
+
+
+@lru_cache(maxsize=None)
+def bnn_profile() -> PowerProfile:
+    """BNN-mode power fit (leakage share at 1 V fixed; MEP below 0.4 V)."""
+    return _solve_profile("bnn", frequency_model(), BNN_POWER_1V_W,
+                          BNN_POWER_04V_W, BNN_LEAK_SHARE_1V * BNN_POWER_1V_W)
+
+
+class TwoDomainProfile:
+    """CPU-mode power model with separate core and SRAM voltage domains.
+
+    The paper scales core and SRAM together from 1 V down to the SRAM's
+    0.55 V Vmin; below that only the core voltage drops (section VI.C).
+    The stranded SRAM domain is what produces the measured 0.5 V
+    minimum-energy point: below it, the SRAM's (voltage-pinned) dynamic and
+    leakage power divide by an ever-slower clock.
+
+    Duck-type compatible with :class:`PowerProfile`.
+    """
+
+    name = "cpu"
+
+    def __init__(self, frequency: FrequencyModel, p_1v: float, p_04v: float,
+                 leak_share_1v_target: float = 0.05,
+                 sram_dynamic_share: float = 0.25,
+                 sram_leak_share: float = 0.77):
+        self.frequency = frequency
+        leak_1v = leak_share_1v_target * p_1v
+        self.c_total = (p_1v - leak_1v) / frequency.f_hz(V_NOMINAL)
+        self.c_sram = self.c_total * sram_dynamic_share
+        self.c_core = self.c_total - self.c_sram
+        self._leak_core_1v = leak_1v * (1.0 - sram_leak_share)
+        self._leak_sram_1v = leak_1v * sram_leak_share
+        # solve the leakage exponent from the 0.4 V power anchor
+        f_04 = frequency.f_hz(V_MIN)
+        dyn_04 = (self.c_core * V_MIN ** 2 + self.c_sram * SRAM_VMIN ** 2) * f_04
+        leak_04_target = p_04v - dyn_04
+        if leak_04_target <= 0:
+            raise ConfigurationError("no leakage budget at 0.4 V; bad shares")
+
+        def leak_total(eta: float) -> float:
+            core = self._leak_core_1v * V_MIN * math.exp(eta * (V_MIN - 1.0))
+            sram = self._leak_sram_1v * SRAM_VMIN * math.exp(eta * (SRAM_VMIN - 1.0))
+            return core + sram
+
+        lo, hi = 0.1, 12.0
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if leak_total(mid) > leak_04_target:
+                lo = mid  # larger eta shrinks low-voltage leakage
+            else:
+                hi = mid
+        self.leak_eta = 0.5 * (lo + hi)
+
+    def _sram_voltage(self, voltage: float) -> float:
+        return effective_voltage_for_sram(voltage)
+
+    def dynamic_power_w(self, voltage: float, f_hz: float | None = None) -> float:
+        f = self.frequency.f_hz(voltage) if f_hz is None else f_hz
+        vs = self._sram_voltage(voltage)
+        return (self.c_core * voltage ** 2 + self.c_sram * vs ** 2) * f
+
+    def leakage_power_w(self, voltage: float) -> float:
+        vs = self._sram_voltage(voltage)
+        core = self._leak_core_1v * voltage * math.exp(self.leak_eta * (voltage - 1.0))
+        sram = self._leak_sram_1v * vs * math.exp(self.leak_eta * (vs - 1.0))
+        return core + sram
+
+    def total_power_w(self, voltage: float, f_hz: float | None = None) -> float:
+        return self.dynamic_power_w(voltage, f_hz) + self.leakage_power_w(voltage)
+
+    def energy_per_cycle_j(self, voltage: float) -> float:
+        return self.total_power_w(voltage) / self.frequency.f_hz(voltage)
+
+    def energy_j(self, cycles: float, voltage: float,
+                 f_hz: float | None = None) -> float:
+        f = self.frequency.f_hz(voltage) if f_hz is None else f_hz
+        seconds = cycles / f
+        return self.dynamic_power_w(voltage, f) * seconds \
+            + self.leakage_power_w(voltage) * seconds
+
+    @property
+    def leak_share_1v(self) -> float:
+        return self.leakage_power_w(V_NOMINAL) / self.total_power_w(V_NOMINAL)
+
+
+@lru_cache(maxsize=None)
+def cpu_profile() -> TwoDomainProfile:
+    """CPU-mode power model (two voltage domains; MEP emerges near 0.5 V)."""
+    return TwoDomainProfile(frequency_model(), CPU_POWER_1V_W, CPU_POWER_04V_W)
+
+
+def mep_voltage(profile: PowerProfile) -> float:
+    """Public MEP search for a fitted profile."""
+    return _mep_voltage(profile)
+
+
+def effective_voltage_for_sram(voltage: float) -> float:
+    """SRAM domain voltage: scaled with the core down to its 0.55 V Vmin."""
+    return max(voltage, SRAM_VMIN)

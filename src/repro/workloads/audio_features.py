@@ -1,0 +1,212 @@
+"""Keyword-detection feature extraction workload (third use case).
+
+The paper's section III names voice detection as a target BNN application
+(its ref [42] is a BNN voice-activity chip).  This workload demonstrates
+the NCPU flow on a 1-D signal: the CPU frames a 256-sample window into 16
+frames and extracts two classic time-domain voice features per frame —
+**energy** (sum of |x|) and **zero-crossing count** — yielding 32 features
+that are binarized against training thresholds and packed for the BNN.
+
+As with the other workloads, a numpy golden model and an RV32I assembly
+kernel exist side by side and are proven bit-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads import layout
+
+#: fixed-point scale for audio samples
+AUDIO_SCALE = 256
+
+WINDOW_LENGTH = 256
+N_FRAMES = 16
+FRAME_LENGTH = WINDOW_LENGTH // N_FRAMES
+FEATURES_PER_FRAME = 2  # energy, zero crossings
+N_FEATURES = N_FRAMES * FEATURES_PER_FRAME
+
+FEATURE_BASE = layout.SCRATCH0_BASE
+THRESHOLD_BASE = layout.SCRATCH1_BASE
+
+
+def quantize_signal(signal: np.ndarray) -> np.ndarray:
+    """Float window -> int32 fixed point."""
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.shape[-1] != WINDOW_LENGTH:
+        raise ConfigurationError(
+            f"window must have {WINDOW_LENGTH} samples, got {signal.shape}"
+        )
+    return np.round(signal * AUDIO_SCALE).astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# numpy reference
+# ---------------------------------------------------------------------------
+
+def features_reference(quantized: np.ndarray) -> np.ndarray:
+    """Per-frame (energy, zero-crossings), matching the assembly exactly.
+
+    Energy is the sum of absolute sample values right-shifted by 4; a zero
+    crossing is counted when consecutive samples have strictly opposite
+    signs (zero counts as non-negative, matching the kernel's sign test).
+    """
+    quantized = np.asarray(quantized, dtype=np.int64).reshape(-1)
+    out = []
+    for frame_index in range(N_FRAMES):
+        frame = quantized[frame_index * FRAME_LENGTH:
+                          (frame_index + 1) * FRAME_LENGTH]
+        energy = int(np.abs(frame).sum()) >> 4
+        negative = frame < 0
+        crossings = int(np.sum(negative[1:] != negative[:-1]))
+        out.extend([energy, crossings])
+    return np.array(out, dtype=np.int64)
+
+
+def float_features(signal: np.ndarray) -> np.ndarray:
+    """Feature extractor for dataset building."""
+    return features_reference(quantize_signal(signal)).astype(np.float64)
+
+
+def training_thresholds(feature_matrix: np.ndarray) -> np.ndarray:
+    lo = feature_matrix.min(axis=0)
+    hi = feature_matrix.max(axis=0)
+    return np.ceil((lo + hi) / 2.0).astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# memory helpers
+# ---------------------------------------------------------------------------
+
+def write_window(memory, quantized: np.ndarray,
+                 base: int = layout.RAW_BASE) -> None:
+    for index, value in enumerate(np.asarray(quantized, dtype=np.int64)):
+        memory.store(base + 4 * index, int(value) & 0xFFFFFFFF, 4)
+
+
+def write_thresholds(memory, thresholds: np.ndarray,
+                     base: int = THRESHOLD_BASE) -> None:
+    for index, value in enumerate(np.asarray(thresholds, dtype=np.int64)):
+        memory.store(base + 4 * index, int(value) & 0xFFFFFFFF, 4)
+
+
+def read_features(memory, base: int = FEATURE_BASE) -> np.ndarray:
+    from repro.isa.encoding import to_signed32
+
+    return np.array([to_signed32(memory.load(base + 4 * i, 4))
+                     for i in range(N_FEATURES)], dtype=np.int64)
+
+
+def read_packed_features(memory, base: int = layout.PACKED_INPUT_BASE) -> np.ndarray:
+    from repro.bnn import quantize as q
+
+    n_words = (N_FEATURES + 31) // 32
+    words = np.array([memory.load(base + 4 * i, 4) for i in range(n_words)],
+                     dtype=np.uint32)
+    return q.unpack_bits(words, N_FEATURES)
+
+
+# ---------------------------------------------------------------------------
+# assembly kernels
+# ---------------------------------------------------------------------------
+
+def frame_features_asm(raw_base: int = layout.RAW_BASE,
+                       feature_base: int = FEATURE_BASE,
+                       standalone: bool = True) -> str:
+    """Energy + zero-crossing count per frame, interleaved feature layout."""
+    body = f"""
+    # ---- {N_FRAMES} frames x (energy, zero crossings) over {WINDOW_LENGTH} samples
+        li s0, {raw_base}
+        li s1, {feature_base}
+        li s2, 0                 # frame index
+    af_frame:
+        li t0, 0                 # sample index within frame
+        li t3, 0                 # energy accumulator
+        li t5, 0                 # crossing count
+        li t6, 0                 # previous sign (0 = non-negative)
+        # first sample decides the initial sign
+        lw t4, 0(s0)
+        bge t4, x0, af_first_pos
+        li t6, 1
+    af_first_pos:
+    af_sample:
+        slli t2, t0, 2
+        add a0, s0, t2
+        lw t4, 0(a0)
+        # energy: accumulate |x|
+        bge t4, x0, af_abs_done
+        sub t4, x0, t4
+    af_abs_done:
+        add t3, t3, t4
+        # zero crossing: compare current sign to previous
+        lw t4, 0(a0)
+        slt a1, t4, x0           # 1 if negative
+        beq a1, t6, af_no_cross
+        addi t5, t5, 1
+        mv t6, a1
+    af_no_cross:
+        addi t0, t0, 1
+        li t2, {FRAME_LENGTH}
+        blt t0, t2, af_sample
+        srai t3, t3, 4           # energy >> 4
+        slli t2, s2, 3           # 2 features x 4 bytes per frame
+        add a0, s1, t2
+        sw t3, 0(a0)
+        sw t5, 4(a0)
+        addi s0, s0, {4 * FRAME_LENGTH}
+        addi s2, s2, 1
+        li t2, {N_FRAMES}
+        blt s2, t2, af_frame
+    """
+    return body + ("\n        ebreak\n" if standalone else "")
+
+
+def binarize_asm(feature_base: int = FEATURE_BASE,
+                 threshold_base: int = THRESHOLD_BASE,
+                 packed_base: int = layout.PACKED_INPUT_BASE,
+                 standalone: bool = True) -> str:
+    """Compare the 32 features to thresholds and pack one word of bits."""
+    body = f"""
+    # ---- binarize {N_FEATURES} features and pack
+        li s0, {feature_base}
+        li s1, {threshold_base}
+        li s2, {packed_base}
+        li t0, 0
+        li s5, 0
+        li s6, 0
+    ab_feat:
+        slli t2, t0, 2
+        add a0, s0, t2
+        lw t3, 0(a0)
+        add a1, s1, t2
+        lw t4, 0(a1)
+        slt t5, t3, t4
+        xori t5, t5, 1
+        sll t5, t5, s6
+        or s5, s5, t5
+        addi s6, s6, 1
+        li t4, 32
+        bne s6, t4, ab_next
+        sw s5, 0(s2)
+        addi s2, s2, 4
+        li s5, 0
+        li s6, 0
+    ab_next:
+        addi t0, t0, 1
+        li t4, {N_FEATURES}
+        blt t0, t4, ab_feat
+        beq s6, x0, ab_done
+        sw s5, 0(s2)
+    ab_done:
+    """
+    return body + ("\n        ebreak\n" if standalone else "")
+
+
+def full_keyword_asm(finish: str = "ebreak") -> str:
+    """Feature extraction + binarization, ending in ebreak/trans_bnn."""
+    if finish not in ("ebreak", "trans_bnn"):
+        raise ConfigurationError(f"unsupported finish {finish!r}")
+    return (frame_features_asm(standalone=False)
+            + binarize_asm(standalone=False)
+            + f"\n        {finish}\n")

@@ -1,0 +1,396 @@
+"""Image-classification pre-processing workload (paper Fig 15a).
+
+The CPU takes a raw RGB frame and produces the binarized, bit-packed BNN
+input, through the paper's three stages:
+
+1. **resize** — 2x2 box-average downsample of each colour plane,
+2. **grayscale filter** — RGB-to-gray conversion ``(r + 2g + b) >> 2``
+   followed by an integer 3x3 Gaussian smoothing kernel
+   ``[[1,2,1],[2,4,2],[1,2,1]] / 16`` (borders passed through),
+3. **normalization** — mean computation, mean-centering, and binarization
+   against the training threshold, bit-packed into the image memory.
+
+Every stage exists twice: a numpy reference (golden model) and an RV32I
+assembly kernel generated for the cycle-accurate simulator.  The unit tests
+prove they agree bit-for-bit.
+
+Pixels are 8-bit values stored one per 32-bit word in planar layout (plane
+``c`` of an ``H x W`` frame starts at ``base + c*H*W*4``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bnn import quantize as q
+from repro.errors import ConfigurationError
+from repro.workloads import layout
+
+#: binarization threshold on 0..255 pixels (matches Dataset.binarized(0.5))
+BINARIZE_THRESHOLD = 128
+
+
+@dataclass(frozen=True)
+class ImageShape:
+    """Raw-frame geometry; output is a (height/2, width/2) gray image."""
+
+    height: int = 32
+    width: int = 32
+
+    def __post_init__(self):
+        if self.height % 2 or self.width % 2:
+            raise ConfigurationError("raw frame dimensions must be even")
+
+    @property
+    def out_height(self) -> int:
+        return self.height // 2
+
+    @property
+    def out_width(self) -> int:
+        return self.width // 2
+
+    @property
+    def n_outputs(self) -> int:
+        return self.out_height * self.out_width
+
+
+# ---------------------------------------------------------------------------
+# numpy references (golden models)
+# ---------------------------------------------------------------------------
+
+def resize_reference(raw: np.ndarray) -> np.ndarray:
+    """2x2 box downsample of a (3, H, W) uint frame."""
+    raw = np.asarray(raw, dtype=np.int64)
+    return (raw[:, 0::2, 0::2] + raw[:, 0::2, 1::2]
+            + raw[:, 1::2, 0::2] + raw[:, 1::2, 1::2]) >> 2
+
+
+def grayscale_reference(resized: np.ndarray) -> np.ndarray:
+    """(3, h, w) -> (h, w) via (r + 2g + b) >> 2, then 3x3 Gaussian."""
+    resized = np.asarray(resized, dtype=np.int64)
+    gray = (resized[0] + 2 * resized[1] + resized[2]) >> 2
+    smoothed = gray.copy()
+    kernel = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=np.int64)
+    h, w = gray.shape
+    for y in range(1, h - 1):
+        for x in range(1, w - 1):
+            window = gray[y - 1:y + 2, x - 1:x + 2]
+            smoothed[y, x] = int((window * kernel).sum()) >> 4
+    return smoothed
+
+
+def normalize_reference(filtered: np.ndarray):
+    """Mean-center and binarize; returns ``(mean, packed_words)``.
+
+    The binarization compares the centered pixel against the centered
+    training threshold, which is arithmetically ``px >= BINARIZE_THRESHOLD``
+    — the mean subtraction is the normalization work the CPU performs.
+    """
+    filtered = np.asarray(filtered, dtype=np.int64).reshape(-1)
+    n = filtered.size
+    if n & (n - 1):
+        raise ConfigurationError("pixel count must be a power of two")
+    mean = int(filtered.sum()) >> int(np.log2(n))
+    centered = filtered - mean
+    bits = (centered >= (BINARIZE_THRESHOLD - mean)).astype(np.uint8)
+    return mean, q.pack_bits(bits)
+
+
+def pipeline_reference(raw: np.ndarray):
+    """Full pre-processing chain; returns ``(gray, packed_words)``."""
+    resized = resize_reference(raw)
+    filtered = grayscale_reference(resized)
+    _, packed = normalize_reference(filtered)
+    return filtered, packed
+
+
+def synthesize_raw_frame(gray_image: np.ndarray, rng=None) -> np.ndarray:
+    """Turn a dataset gray image in [0, 1] into a plausible raw RGB frame.
+
+    The frame is a 2x nearest-neighbour upscale with the gray value on all
+    three channels (plus optional per-channel jitter), so the pre-processing
+    pipeline approximately recovers the dataset image.
+    """
+    gray_image = np.asarray(gray_image, dtype=np.float64)
+    pixels = np.clip(gray_image * 255.0, 0, 255).astype(np.int64)
+    upscaled = np.kron(pixels, np.ones((2, 2), dtype=np.int64))
+    frame = np.stack([upscaled, upscaled, upscaled])
+    if rng is not None:
+        jitter = rng.integers(-6, 7, size=frame.shape)
+        frame = np.clip(frame + jitter, 0, 255)
+    return frame
+
+
+def preprocess_images(images: np.ndarray, size: int = 16, rng=None) -> np.ndarray:
+    """Run the reference pipeline over dataset images; returns sign inputs.
+
+    Used to train the image-use-case BNN on exactly what the CPU pipeline
+    will feed the accelerator.
+    """
+    signs = []
+    for image in images:
+        raw = synthesize_raw_frame(image.reshape(size, size), rng=rng)
+        filtered, _ = pipeline_reference(raw)
+        bits = (filtered.reshape(-1) >= BINARIZE_THRESHOLD).astype(np.uint8)
+        signs.append(q.bits_to_sign(bits))
+    return np.array(signs)
+
+
+# ---------------------------------------------------------------------------
+# memory helpers
+# ---------------------------------------------------------------------------
+
+def write_raw_frame(memory, raw: np.ndarray, base: int = layout.RAW_BASE) -> None:
+    """Store a (3, H, W) frame planar, one pixel per word."""
+    flat = np.asarray(raw, dtype=np.int64).reshape(-1)
+    for index, value in enumerate(flat):
+        memory.store(base + 4 * index, int(value), 4)
+
+
+def read_plane(memory, base: int, height: int, width: int) -> np.ndarray:
+    values = [memory.load(base + 4 * i, 4) for i in range(height * width)]
+    return np.array(values, dtype=np.int64).reshape(height, width)
+
+
+def read_packed_input(memory, n_bits: int,
+                      base: int = layout.PACKED_INPUT_BASE) -> np.ndarray:
+    n_words = (n_bits + 31) // 32
+    words = np.array([memory.load(base + 4 * i, 4) for i in range(n_words)],
+                     dtype=np.uint32)
+    return q.unpack_bits(words, n_bits)
+
+
+# ---------------------------------------------------------------------------
+# assembly kernels
+# ---------------------------------------------------------------------------
+
+def resize_asm(shape: ImageShape = ImageShape(),
+               raw_base: int = layout.RAW_BASE,
+               out_base: int = layout.SCRATCH0_BASE,
+               standalone: bool = True) -> str:
+    """2x2 box downsample over three planes.
+
+    Register plan: s0=input plane ptr base, s1=output ptr, s2=channel,
+    t0=oy, t1=ox, t2/t3/t4 scratch, a-regs addresses.
+    """
+    h, w = shape.height, shape.width
+    body = f"""
+    # ---- resize: (3, {h}, {w}) -> (3, {h // 2}, {w // 2}) 2x2 box average
+        li s2, 0                 # channel
+        li s1, {out_base}        # output pointer (runs contiguously)
+    resize_ch:
+        li t6, {4 * h * w}
+        mul t5, s2, t6
+        li s0, {raw_base}
+        add s0, s0, t5           # input plane base
+        li t0, 0                 # oy
+    resize_row:
+        li t1, 0                 # ox
+    resize_px:
+        slli t2, t0, 1           # iy = 2*oy
+        li t3, {w}
+        mul t2, t2, t3           # iy * W
+        slli t3, t1, 1           # ix = 2*ox
+        add t2, t2, t3           # iy*W + ix
+        slli t2, t2, 2
+        add a0, s0, t2           # &in[iy][ix]
+        lw t3, 0(a0)
+        lw t4, 4(a0)
+        add t3, t3, t4
+        lw t4, {4 * w}(a0)
+        add t3, t3, t4
+        lw t4, {4 * w + 4}(a0)
+        add t3, t3, t4
+        srli t3, t3, 2
+        sw t3, 0(s1)
+        addi s1, s1, 4
+        addi t1, t1, 1
+        li t4, {w // 2}
+        blt t1, t4, resize_px
+        addi t0, t0, 1
+        li t4, {h // 2}
+        blt t0, t4, resize_row
+        addi s2, s2, 1
+        li t4, 3
+        blt s2, t4, resize_ch
+    """
+    return body + ("\n        ebreak\n" if standalone else "")
+
+
+def grayscale_asm(shape: ImageShape = ImageShape(),
+                  in_base: int = layout.SCRATCH0_BASE,
+                  gray_base: int = layout.SCRATCH1_BASE,
+                  out_base: int = layout.SCRATCH2_BASE,
+                  standalone: bool = True) -> str:
+    """RGB->gray conversion then 3x3 Gaussian smoothing."""
+    h, w = shape.out_height, shape.out_width
+    plane = 4 * h * w
+    body = f"""
+    # ---- grayscale: (r + 2g + b) >> 2 over {h}x{w}
+        li s0, {in_base}
+        li s1, {gray_base}
+        li s7, {plane}           # plane stride in bytes
+        li t0, 0
+    gray_px:
+        slli t2, t0, 2
+        add a0, s0, t2
+        lw t3, 0(a0)             # r
+        add a1, a0, s7
+        lw t4, 0(a1)             # g
+        slli t4, t4, 1
+        add t3, t3, t4
+        add a1, a1, s7
+        lw t4, 0(a1)             # b
+        add t3, t3, t4
+        srli t3, t3, 2
+        add a1, s1, t2
+        sw t3, 0(a1)
+        addi t0, t0, 1
+        li t4, {h * w}
+        blt t0, t4, gray_px
+
+    # ---- 3x3 Gaussian [1 2 1; 2 4 2; 1 2 1] >> 4 (inner pixels)
+        li s0, {gray_base}
+        li s1, {out_base}
+        li t0, 0                 # copy borders first: out = gray
+    blur_copy:
+        slli t2, t0, 2
+        add a0, s0, t2
+        lw t3, 0(a0)
+        add a1, s1, t2
+        sw t3, 0(a1)
+        addi t0, t0, 1
+        li t4, {h * w}
+        blt t0, t4, blur_copy
+
+        li t0, 1                 # y
+    blur_row:
+        li t1, 1                 # x
+    blur_px:
+        li t2, {w}
+        mul t2, t0, t2
+        add t2, t2, t1
+        slli t2, t2, 2
+        add a0, s0, t2           # &gray[y][x]
+        # row above
+        lw t3, {-4 * w - 4}(a0)
+        lw t4, {-4 * w}(a0)
+        slli t4, t4, 1
+        add t3, t3, t4
+        lw t4, {-4 * w + 4}(a0)
+        add t3, t3, t4
+        # centre row
+        lw t4, -4(a0)
+        slli t4, t4, 1
+        add t3, t3, t4
+        lw t4, 0(a0)
+        slli t4, t4, 2
+        add t3, t3, t4
+        lw t4, 4(a0)
+        slli t4, t4, 1
+        add t3, t3, t4
+        # row below
+        lw t4, {4 * w - 4}(a0)
+        add t3, t3, t4
+        lw t4, {4 * w}(a0)
+        slli t4, t4, 1
+        add t3, t3, t4
+        lw t4, {4 * w + 4}(a0)
+        add t3, t3, t4
+        srli t3, t3, 4
+        add a1, s1, t2
+        sw t3, 0(a1)
+        addi t1, t1, 1
+        li t4, {w - 1}
+        blt t1, t4, blur_px
+        addi t0, t0, 1
+        li t4, {h - 1}
+        blt t0, t4, blur_row
+    """
+    return body + ("\n        ebreak\n" if standalone else "")
+
+
+def normalize_asm(shape: ImageShape = ImageShape(),
+                  in_base: int = layout.SCRATCH2_BASE,
+                  packed_base: int = layout.PACKED_INPUT_BASE,
+                  standalone: bool = True) -> str:
+    """Mean, mean-centering, binarization, and bit packing."""
+    n = shape.n_outputs
+    shift = n.bit_length() - 1
+    if 1 << shift != n:
+        raise ConfigurationError("output pixel count must be a power of two")
+    n_words = (n + 31) // 32
+    body = f"""
+    # ---- normalization over {n} pixels: mean, centre, binarize, pack
+        li s0, {in_base}
+        li t0, 0
+        li t3, 0                 # sum
+    norm_sum:
+        slli t2, t0, 2
+        add a0, s0, t2
+        lw t4, 0(a0)
+        add t3, t3, t4
+        addi t0, t0, 1
+        li t4, {n}
+        blt t0, t4, norm_sum
+        srai s3, t3, {shift}     # mean
+        li s4, {BINARIZE_THRESHOLD}
+        sub s4, s4, s3           # centred threshold
+
+        li s1, {packed_base}
+        li t0, 0                 # pixel index
+        li s5, 0                 # current word
+        li s6, 0                 # bit position
+    norm_px:
+        slli t2, t0, 2
+        add a0, s0, t2
+        lw t3, 0(a0)
+        sub t3, t3, s3           # centred pixel
+        slt t4, t3, s4           # 1 if below threshold
+        xori t4, t4, 1           # bit = centred >= threshold
+        sll t4, t4, s6
+        or s5, s5, t4
+        addi s6, s6, 1
+        li t4, 32
+        bne s6, t4, norm_next
+        sw s5, 0(s1)
+        addi s1, s1, 4
+        li s5, 0
+        li s6, 0
+    norm_next:
+        addi t0, t0, 1
+        li t4, {n}
+        blt t0, t4, norm_px
+        bne s6, x0, norm_flush   # flush a partial last word
+        j norm_done
+    norm_flush:
+        sw s5, 0(s1)
+    norm_done:
+    """
+    _ = n_words
+    return body + ("\n        ebreak\n" if standalone else "")
+
+
+def full_pipeline_asm(shape: ImageShape = ImageShape(),
+                      finish: str = "ebreak") -> str:
+    """All three stages back-to-back, ending in ``ebreak`` or ``trans_bnn``.
+
+    The ``trans_bnn`` ending is the NCPU flow: the packed input is already
+    sitting in the image memory when the core flips into BNN mode.
+    """
+    if finish not in ("ebreak", "trans_bnn"):
+        raise ConfigurationError(f"unsupported finish {finish!r}")
+    stages = (resize_asm(shape, standalone=False)
+              + grayscale_asm(shape, standalone=False)
+              + normalize_asm(shape, standalone=False))
+    return stages + f"\n        {finish}\n"
+
+
+#: stage name -> generator, for the breakdown experiments
+STAGE_GENERATORS = {
+    "resize": resize_asm,
+    "grayscale": grayscale_asm,
+    "normalize": normalize_asm,
+}

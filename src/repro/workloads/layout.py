@@ -1,0 +1,36 @@
+"""Data-memory layout conventions for the workload assembly kernels.
+
+All workload programs run against the NCPU's CPU-mode data space (the reused
+SRAM banks behind the address arbiter, see :mod:`repro.mem.memory_map`):
+
+* raw inputs and scratch buffers live in the reused *weight* banks,
+* the final binarized, bit-packed BNN input is written into the *image*
+  memory (base 0), exactly where the accelerator expects it after a
+  ``trans_bnn`` mode switch,
+* classification results are read back from the *output* memory.
+
+A plain :class:`~repro.cpu.memory.FlatMemory` works too (the layout only
+assumes a flat little-endian space), which the unit tests use.
+"""
+
+from __future__ import annotations
+
+from repro.mem.memory_map import IMAGE_BYTES, OUTPUT_BYTES, W1_BYTES, W2_BYTES
+
+#: packed BNN input bits (the accelerator's image memory)
+PACKED_INPUT_BASE = 0x0000
+
+#: BNN classification results (the accelerator's output memory)
+RESULT_BASE = IMAGE_BYTES  # 0x1000
+
+#: raw workload input (reused w1 bank, 25 kB)
+RAW_BASE = IMAGE_BYTES + OUTPUT_BYTES  # 0x1400
+
+#: first scratch buffer (reused w2 bank)
+SCRATCH0_BASE = RAW_BASE + W1_BYTES  # 0x7800
+
+#: second scratch buffer (reused w3 bank)
+SCRATCH1_BASE = SCRATCH0_BASE + W2_BYTES  # 0x9200
+
+#: third scratch buffer (reused w4 bank)
+SCRATCH2_BASE = SCRATCH1_BASE + W2_BYTES  # 0xAC00

@@ -1,0 +1,270 @@
+"""Self-checking per-instruction verification programs (riscv-tests style).
+
+For every supported instruction this module generates a small directed test
+program that computes results for several operand patterns, compares them
+against expected values baked in at generation time (computed by the
+*Python golden semantics*, so the simulator is checked against an
+independent oracle), and writes a pass/fail signature:
+
+* ``SIGNATURE_ADDR`` receives ``0x600D`` on success or ``0xBAD0 + case``
+  identifying the first failing case.
+
+``generate_all`` returns the full suite; the test harness runs each program
+on both the functional ISS and the cycle-accurate pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.isa.encoding import to_signed32, to_unsigned32
+
+SIGNATURE_ADDR = 0x4000
+PASS_VALUE = 0x600D
+FAIL_BASE = 0xBAD0
+
+#: operand patterns exercising sign, overflow, and shift corner cases
+OPERAND_PATTERNS: List[Tuple[int, int]] = [
+    (0, 0),
+    (1, 1),
+    (5, 3),
+    (-1, 1),
+    (-5, -3),
+    (0x7FFFFFFF, 1),
+    (-0x80000000, -1),
+    (0x12345678, 0x0F0F0F0F),
+    (-0x7FFFFFFF, 0x55555555),
+]
+
+#: shift amounts for the shift instructions
+SHIFT_PATTERNS: List[Tuple[int, int]] = [
+    (0x80000001, 0), (0x80000001, 1), (0x80000001, 31),
+    (-8, 2), (0x12345678, 16), (1, 31),
+]
+
+_R_OPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "slt": lambda a, b: int(to_signed32(a) < to_signed32(b)),
+    "sltu": lambda a, b: int(to_unsigned32(a) < to_unsigned32(b)),
+    "mul": lambda a, b: to_signed32(a) * to_signed32(b),
+}
+
+_SHIFT_OPS = {
+    "sll": lambda a, sh: a << sh,
+    "srl": lambda a, sh: to_unsigned32(a) >> sh,
+    "sra": lambda a, sh: to_signed32(a) >> sh,
+}
+
+_I_OPS = {
+    "addi": lambda a, imm: a + imm,
+    "andi": lambda a, imm: a & to_unsigned32(imm),
+    "ori": lambda a, imm: a | to_unsigned32(imm),
+    "xori": lambda a, imm: a ^ to_unsigned32(imm),
+    "slti": lambda a, imm: int(to_signed32(a) < imm),
+    "sltiu": lambda a, imm: int(to_unsigned32(a) < to_unsigned32(imm)),
+}
+
+_BRANCHES = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: to_signed32(a) < to_signed32(b),
+    "bge": lambda a, b: to_signed32(a) >= to_signed32(b),
+    "bltu": lambda a, b: to_unsigned32(a) < to_unsigned32(b),
+    "bgeu": lambda a, b: to_unsigned32(a) >= to_unsigned32(b),
+}
+
+_IMM12_PATTERNS = [0, 1, -1, 7, -2048, 2047]
+
+
+def _prologue() -> List[str]:
+    return [f"    li s11, {SIGNATURE_ADDR}", "    li s10, 0  # case number"]
+
+
+def _epilogue() -> List[str]:
+    return [
+        "pass_all:",
+        f"    li t6, {PASS_VALUE}",
+        "    sw t6, 0(s11)",
+        "    ebreak",
+        "fail:",
+        f"    li t6, {FAIL_BASE}",
+        "    add t6, t6, s10",
+        "    sw t6, 0(s11)",
+        "    ebreak",
+    ]
+
+
+def _check(expected: int, case: int) -> List[str]:
+    """Compare t2 against an expected constant; branch to fail on mismatch."""
+    return [
+        f"    li s10, {case}",
+        f"    li t3, {to_unsigned32(expected)}",
+        "    bne t2, t3, fail",
+    ]
+
+
+def r_type_test(name: str) -> str:
+    semantics = _R_OPS[name]
+    lines = _prologue()
+    for case, (a, b) in enumerate(OPERAND_PATTERNS, start=1):
+        expected = to_unsigned32(semantics(to_unsigned32(a), to_unsigned32(b))
+                                 if name in ("and", "or", "xor")
+                                 else semantics(a, b))
+        lines += [
+            f"    li t0, {a}",
+            f"    li t1, {b}",
+            f"    {name} t2, t0, t1",
+        ] + _check(expected, case)
+    lines += ["    j pass_all"] + _epilogue()
+    return "\n".join(lines)
+
+
+def shift_test(name: str, immediate: bool) -> str:
+    semantics = _SHIFT_OPS[name.rstrip("i") if immediate else name]
+    lines = _prologue()
+    for case, (a, shamt) in enumerate(SHIFT_PATTERNS, start=1):
+        expected = to_unsigned32(semantics(a, shamt))
+        lines.append(f"    li t0, {a}")
+        if immediate:
+            lines.append(f"    {name} t2, t0, {shamt}")
+        else:
+            lines.append(f"    li t1, {shamt}")
+            lines.append(f"    {name} t2, t0, t1")
+        lines += _check(expected, case)
+    lines += ["    j pass_all"] + _epilogue()
+    return "\n".join(lines)
+
+
+def i_type_test(name: str) -> str:
+    semantics = _I_OPS[name]
+    lines = _prologue()
+    case = 0
+    for a, _ in OPERAND_PATTERNS[:6]:
+        for imm in _IMM12_PATTERNS[:4]:
+            case += 1
+            expected = to_unsigned32(semantics(to_unsigned32(a), imm))
+            lines += [
+                f"    li t0, {a}",
+                f"    {name} t2, t0, {imm}",
+            ] + _check(expected, case)
+    lines += ["    j pass_all"] + _epilogue()
+    return "\n".join(lines)
+
+
+def branch_test(name: str) -> str:
+    semantics = _BRANCHES[name]
+    lines = _prologue()
+    for case, (a, b) in enumerate(OPERAND_PATTERNS, start=1):
+        taken = semantics(to_unsigned32(a), to_unsigned32(b))
+        lines += [
+            f"    li s10, {case}",
+            f"    li t0, {a}",
+            f"    li t1, {b}",
+            "    li t2, 0",
+            f"    {name} t0, t1, taken_{case}",
+            "    li t2, 1",
+            f"taken_{case}:",
+            # t2 == 0 iff the branch was taken
+            f"    li t3, {0 if taken else 1}",
+            "    bne t2, t3, fail",
+        ]
+    lines += ["    j pass_all"] + _epilogue()
+    return "\n".join(lines)
+
+
+def load_store_test() -> str:
+    """sb/sh/sw + all five loads against known byte patterns."""
+    base = 0x2000
+    lines = _prologue()
+    lines += [
+        f"    li s0, {base}",
+        "    li t0, 0xdeadbeef",
+        "    sw t0, 0(s0)",
+    ]
+    checks = [
+        ("lw", 0, 0xDEADBEEF),
+        ("lh", 0, to_unsigned32(to_signed32(0xFFFFBEEF))),
+        ("lhu", 0, 0xBEEF),
+        ("lh", 2, to_unsigned32(to_signed32(0xFFFFDEAD))),
+        ("lb", 0, to_unsigned32(to_signed32(0xFFFFFFEF))),
+        ("lbu", 3, 0xDE),
+        ("lb", 1, to_unsigned32(to_signed32(0xFFFFFFBE))),
+    ]
+    for case, (op, offset, expected) in enumerate(checks, start=1):
+        lines += [
+            f"    {op} t2, {offset}(s0)",
+        ] + _check(expected, case)
+    # byte/half stores merge into the word
+    lines += [
+        "    li t0, 0x11",
+        "    sb t0, 4(s0)",
+        "    li t0, 0x2233",
+        "    sh t0, 6(s0)",
+        "    lw t2, 4(s0)",
+    ] + _check(0x22330011, 90)
+    lines += ["    j pass_all"] + _epilogue()
+    return "\n".join(lines)
+
+
+def upper_and_jump_test() -> str:
+    """lui / auipc / jal / jalr link-register and target behaviour."""
+    lines = _prologue()
+    lines += [
+        "    lui t2, 0xfffff",
+    ] + _check(0xFFFFF000, 1)
+    lines += [
+        "start_auipc:",
+        "    auipc t0, 0",
+        "    la t1, start_auipc",
+        "    sub t2, t0, t1",
+    ] + _check(0, 2)
+    lines += [
+        "    jal t0, jal_target",
+        "jal_return:",
+        "    j after_jal",
+        "jal_target:",
+        "    la t1, jal_return",
+        "    sub t2, t0, t1",
+        "    beq t2, x0, jal_link_ok",
+        "    li s10, 3",
+        "    j fail",
+        "jal_link_ok:",
+        "    jal x0, after_jal",
+        "after_jal:",
+        "    la t0, jalr_target",
+        "    jalr t1, t0, 0",
+        "jalr_return:",
+        "    j pass_all",
+        "jalr_target:",
+        "    la t3, jalr_return",
+        "    sub t2, t1, t3",
+        "    beq t2, x0, jalr_ok",
+        "    li s10, 4",
+        "    j fail",
+        "jalr_ok:",
+        "    jr t1",
+    ]
+    lines += _epilogue()
+    return "\n".join(lines)
+
+
+def generate_all() -> Dict[str, str]:
+    """name -> self-checking program source for the whole ISA."""
+    suite: Dict[str, str] = {}
+    for name in _R_OPS:
+        suite[name] = r_type_test(name)
+    for name in ("sll", "srl", "sra"):
+        suite[name] = shift_test(name, immediate=False)
+    for name in ("slli", "srli", "srai"):
+        suite[name] = shift_test(name, immediate=True)
+    for name in _I_OPS:
+        suite[name] = i_type_test(name)
+    for name in _BRANCHES:
+        suite[name] = branch_test(name)
+    suite["loads_stores"] = load_store_test()
+    suite["upper_jumps"] = upper_and_jump_test()
+    return suite

@@ -1,0 +1,134 @@
+"""Tests for the cycle-level accelerator model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bnn import (
+    AcceleratorConfig,
+    BNNAccelerator,
+    BNNModel,
+    LAYER_OVERHEAD_CYCLES,
+    binarize_sign,
+)
+from repro.errors import ConfigurationError
+
+
+def model_4x100(input_size=256, width=100, classes=10):
+    return BNNModel.paper_topology(input_size=input_size,
+                                   neurons_per_layer=width, n_classes=classes)
+
+
+class TestConfig:
+    def test_defaults_match_chip(self):
+        config = AcceleratorConfig()
+        assert config.neurons_per_layer == 100
+        assert config.n_physical_layers == 4
+        assert config.peak_macs_per_cycle == 400  # paper's TOPS accounting
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorConfig(neurons_per_layer=0)
+        with pytest.raises(ConfigurationError):
+            AcceleratorConfig(dma_words_per_cycle=0)
+
+
+class TestTiming:
+    def test_layer_cycles_are_fan_in_plus_overhead(self):
+        acc = BNNAccelerator()
+        model = model_4x100()
+        assert acc.layer_cycles(model) == [
+            256 + LAYER_OVERHEAD_CYCLES,
+            100 + LAYER_OVERHEAD_CYCLES,
+            100 + LAYER_OVERHEAD_CYCLES,
+            100 + LAYER_OVERHEAD_CYCLES,
+        ]
+
+    def test_latency_is_sum(self):
+        acc = BNNAccelerator()
+        model = model_4x100()
+        assert acc.latency_cycles(model) == sum(acc.layer_cycles(model))
+
+    def test_interval_is_slowest_layer(self):
+        acc = BNNAccelerator()
+        model = model_4x100()
+        assert acc.interval_cycles(model) == 256 + LAYER_OVERHEAD_CYCLES
+
+    def test_batch_pipelining(self):
+        acc = BNNAccelerator()
+        model = model_4x100()
+        timing = acc.batch_timing(model, 10, stream_weights=False)
+        expected = acc.latency_cycles(model) + 9 * acc.interval_cycles(model)
+        assert timing.total_cycles == expected
+        assert timing.cycles_per_inference < acc.latency_cycles(model)
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ConfigurationError):
+            BNNAccelerator().batch_timing(model_4x100(), 0)
+
+    def test_deep_model_wraps_and_blocks_pipelining(self):
+        rng = np.random.default_rng(0)
+        deep = BNNModel.random([64] + [100] * 5 + [10], rng)
+        acc = BNNAccelerator()
+        assert acc.wraps(deep)
+        assert acc.interval_cycles(deep) == acc.latency_cycles(deep)
+
+    def test_too_wide_model_rejected(self):
+        rng = np.random.default_rng(0)
+        wide = BNNModel.random([64, 128, 10], rng)
+        with pytest.raises(ConfigurationError):
+            BNNAccelerator().check_model(wide)
+
+    def test_weight_streaming_resident_first_layer(self):
+        acc = BNNAccelerator(AcceleratorConfig(dma_words_per_cycle=1.0))
+        model = model_4x100()
+        streamed_bytes = sum(l.weight_bytes for l in model.layers[1:])
+        assert acc.weight_stream_cycles(model) == streamed_bytes // 4
+
+    def test_streaming_can_dominate_small_batches(self):
+        acc = BNNAccelerator(AcceleratorConfig(dma_words_per_cycle=0.25))
+        model = model_4x100()
+        with_stream = acc.batch_timing(model, 1, stream_weights=True)
+        without = acc.batch_timing(model, 1, stream_weights=False)
+        assert with_stream.total_cycles > without.total_cycles
+        assert with_stream.total_cycles == with_stream.weight_stream_cycles
+
+    @given(st.integers(1, 50))
+    def test_total_cycles_monotone_in_batch(self, n):
+        acc = BNNAccelerator()
+        model = model_4x100()
+        t_n = acc.batch_timing(model, n).total_cycles
+        t_n1 = acc.batch_timing(model, n + 1).total_cycles
+        assert t_n1 >= t_n
+
+
+class TestFunctional:
+    def test_inference_matches_model(self):
+        rng = np.random.default_rng(1)
+        model = BNNModel.random([32, 20, 20, 20, 4], rng)
+        acc = BNNAccelerator()
+        x = binarize_sign(rng.standard_normal(32))
+        result = acc.infer(model, x)
+        assert result.prediction == model.predict(x)
+        assert result.macs == model.total_macs
+        assert result.cycles == acc.latency_cycles(model)
+
+    def test_infer_batch(self):
+        rng = np.random.default_rng(2)
+        model = BNNModel.random([16, 12, 3], rng)
+        acc = BNNAccelerator()
+        xs = binarize_sign(rng.standard_normal((7, 16)))
+        predictions, timing = acc.infer_batch(model, xs)
+        np.testing.assert_array_equal(predictions, model.predict_batch(xs))
+        assert timing.n_inputs == 7
+
+    def test_effective_macs_below_peak(self):
+        acc = BNNAccelerator()
+        model = model_4x100()
+        effective = acc.effective_macs_per_cycle(model)
+        assert 0 < effective <= acc.peak_ops_per_cycle()
+
+    def test_peak_ops_per_cycle_paper_number(self):
+        # 400 MACs/cycle at 960 MHz / 241 mW gives the paper's 1.6 TOPS/W
+        assert BNNAccelerator().peak_ops_per_cycle() == 400

@@ -1,0 +1,83 @@
+"""Tests for the STE trainer."""
+
+import numpy as np
+import pytest
+
+from repro.bnn import BNNTrainer, synthetic_mnist, train_bnn
+from repro.errors import ConfigurationError
+
+
+def toy_problem(n=400, seed=0):
+    """Linearly separable 2-class problem in sign domain."""
+    rng = np.random.default_rng(seed)
+    x = np.where(rng.standard_normal((n, 16)) > 0, 1, -1)
+    labels = (x[:, :8].sum(axis=1) > x[:, 8:].sum(axis=1)).astype(np.int64)
+    return x, labels
+
+
+class TestTrainerBasics:
+    def test_needs_two_sizes(self):
+        with pytest.raises(ConfigurationError):
+            BNNTrainer([10])
+
+    def test_input_shape_checked(self):
+        trainer = BNNTrainer([8, 2])
+        with pytest.raises(ConfigurationError):
+            trainer.train(np.ones((4, 9)), np.zeros(4, dtype=int), epochs=1)
+
+    def test_labels_range_checked(self):
+        trainer = BNNTrainer([8, 2])
+        with pytest.raises(ConfigurationError):
+            trainer.train(np.ones((4, 8)), np.array([0, 1, 2, 0]), epochs=1)
+
+    def test_shadow_weights_stay_clipped(self):
+        x, y = toy_problem()
+        trainer = BNNTrainer([16, 8, 2], learning_rate=0.1)
+        trainer.train(x, y, epochs=3)
+        for shadow in trainer.shadow:
+            assert np.all(np.abs(shadow) <= 1.0)
+
+    def test_history_lengths(self):
+        x, y = toy_problem()
+        trainer = BNNTrainer([16, 2])
+        history = trainer.train(x, y, epochs=5)
+        assert len(history.loss) == 5
+        assert len(history.train_accuracy) == 5
+
+    def test_deterministic_given_seeds(self):
+        x, y = toy_problem()
+        m1 = train_bnn(x, y, [16, 8, 2], epochs=3, seed=42)
+        m2 = train_bnn(x, y, [16, 8, 2], epochs=3, seed=42)
+        for l1, l2 in zip(m1.layers, m2.layers):
+            np.testing.assert_array_equal(l1.weights, l2.weights)
+            np.testing.assert_array_equal(l1.bias, l2.bias)
+
+
+class TestLearning:
+    def test_learns_separable_problem(self):
+        x, y = toy_problem()
+        model = train_bnn(x, y, [16, 32, 2], epochs=30, seed=0)
+        assert model.accuracy(x, y) > 0.9
+
+    def test_loss_decreases(self):
+        x, y = toy_problem()
+        trainer = BNNTrainer([16, 16, 2], learning_rate=0.01)
+        history = trainer.train(x, y, epochs=10)
+        assert history.loss[-1] < history.loss[0]
+
+    def test_exported_model_is_pure_integer(self):
+        x, y = toy_problem()
+        model = train_bnn(x, y, [16, 8, 2], epochs=2)
+        for layer in model.layers:
+            assert layer.weights.dtype == np.int8
+            assert set(np.unique(layer.weights)) <= {-1, 1}
+            assert layer.bias.dtype == np.int32
+
+    def test_deep_network_trains_on_synthetic_mnist(self):
+        # small/fast smoke version of the paper's 4x100 topology
+        ds = synthetic_mnist(n_samples=1200, seed=0)
+        train, test = ds.split(0.8)
+        model = train_bnn(train.binarized(), train.labels,
+                          [256, 64, 64, 64, 10], epochs=10, seed=0)
+        accuracy = model.accuracy(test.binarized(), test.labels)
+        assert accuracy > 0.6  # far above the 10 % random floor

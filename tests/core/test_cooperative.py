@@ -1,0 +1,226 @@
+"""Tests for the paper's section VI.A/VIII.A extension modes:
+
+* deeper-than-4-layer models (wrapped on one core),
+* smaller models configured through the ISA (transition neuron 2),
+* two cores chained in series to form a deeper network,
+* the forwarding-network ablation on the pipeline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bnn import BNNAccelerator, BNNModel, binarize_sign
+from repro.bnn.quantize import pack_bits, sign_to_bits
+from repro.core import NCPUCore, NCPUSoC
+from repro.cpu import FlatMemory, PipelinedCPU
+from repro.errors import ConfigurationError
+from repro.isa import assemble
+
+
+def deep_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return BNNModel.random([48, 40, 40, 40, 40, 40, 4], rng)  # 6 layers
+
+
+class TestModelRestructuring:
+    def test_split_shapes(self):
+        model = deep_model()
+        front, back = model.split(3)
+        assert front.n_layers == 3
+        assert back.n_layers == 3
+        assert front.n_classes == back.input_size
+
+    def test_split_bounds(self):
+        model = deep_model()
+        with pytest.raises(ConfigurationError):
+            model.split(0)
+        with pytest.raises(ConfigurationError):
+            model.split(6)
+
+    def test_chained_halves_equal_whole(self):
+        model = deep_model()
+        front, back = model.split(3)
+        rng = np.random.default_rng(1)
+        xs = binarize_sign(rng.standard_normal((8, 48)))
+        whole = model.predict_batch(xs)
+        acts = front.hidden_forward_batch(xs)
+        chained = back.predict_batch(acts)
+        np.testing.assert_array_equal(whole, chained)
+
+    def test_hidden_forward_is_sign_domain(self):
+        model = deep_model()
+        xs = binarize_sign(np.random.default_rng(2).standard_normal((3, 48)))
+        acts = model.hidden_forward_batch(xs)
+        assert set(np.unique(acts)) <= {-1, 1}
+
+    def test_truncated(self):
+        model = deep_model()
+        small = model.truncated(2)
+        assert small.n_layers == 2
+        assert small.n_classes == 40
+        with pytest.raises(ConfigurationError):
+            model.truncated(0)
+        with pytest.raises(ConfigurationError):
+            model.truncated(7)
+
+
+class TestDeepModelOnOneCore:
+    def test_wrapping_blocks_pipelining_but_works(self):
+        model = deep_model()
+        accelerator = BNNAccelerator()
+        assert accelerator.wraps(model)
+        core = NCPUCore()
+        core.load_model(model)
+        x = binarize_sign(np.random.default_rng(3).standard_normal(48))
+        words = pack_bits(sign_to_bits(x))
+        core.memory.banks["image"].write_words(0, [int(w) for w in words])
+        core.switch_to_bnn()
+        assert core.run_bnn(n_inputs=1) == [model.predict(x)]
+
+    def test_wrapped_weight_banks_shared(self):
+        core = NCPUCore()
+        core.load_model(deep_model())
+        # layers 4 and 5 wrapped back into banks w1/w2
+        assert core.memory.weight_bank_for_layer(4).name == "w1"
+        assert core.memory.weight_bank_for_layer(5).name == "w2"
+
+
+class TestIsaConfiguredSmallerModel:
+    def test_transition_neuron_truncates(self):
+        model = deep_model()
+        core = NCPUCore()
+        core.load_model(model)
+        truncated = model.truncated(2)
+        x = binarize_sign(np.random.default_rng(4).standard_normal(48))
+        words = pack_bits(sign_to_bits(x))
+        core.memory.banks["image"].write_words(0, [int(w) for w in words])
+        core.run_cpu_program(assemble("""
+            li a0, 2
+            mv_neu 2, a0      # run only the first two layers
+            trans_bnn
+        """))
+        assert core.run_bnn(n_inputs=1) == [truncated.predict(x)]
+
+    def test_truncated_run_is_faster(self):
+        model = deep_model()
+        full_core = NCPUCore()
+        full_core.load_model(model)
+        small_core = NCPUCore()
+        small_core.load_model(model)
+        x = binarize_sign(np.random.default_rng(5).standard_normal(48))
+        words = [int(w) for w in pack_bits(sign_to_bits(x))]
+        for core in (full_core, small_core):
+            core.memory.banks["image"].write_words(0, words)
+        full_core.switch_to_bnn()
+        full_core.run_bnn(n_inputs=1)
+        small_core.env.write_transition_neuron(2, 2)
+        small_core.switch_to_bnn()
+        small_core.run_bnn(n_inputs=1)
+        assert small_core.clock < full_core.clock
+
+
+class TestChainedCores:
+    def test_chained_predictions_match_model(self):
+        soc = NCPUSoC(n_cores=2)
+        model = deep_model()
+        xs = binarize_sign(np.random.default_rng(6).standard_normal((5, 48)))
+        predictions, makespan = soc.run_chained_inference(model, xs)
+        np.testing.assert_array_equal(predictions, model.predict_batch(xs))
+        assert makespan > 0
+
+    def test_single_input_accepted(self):
+        soc = NCPUSoC(n_cores=2)
+        model = deep_model()
+        x = binarize_sign(np.random.default_rng(7).standard_normal(48))
+        predictions, _ = soc.run_chained_inference(model, x)
+        assert predictions == [model.predict(x)]
+
+    def test_chaining_beats_wrapping_on_throughput(self):
+        """The cooperative mode's point: chained cores pipeline a deep net
+        that a single (wrapping) core must serialize."""
+        soc = NCPUSoC(n_cores=2)
+        model = deep_model()
+        n = 10
+        xs = binarize_sign(np.random.default_rng(8).standard_normal((n, 48)))
+        _, chained_makespan = soc.run_chained_inference(model, xs)
+        single = BNNAccelerator()
+        wrapped = single.batch_timing(model, n, stream_weights=False)
+        assert chained_makespan < wrapped.total_cycles
+
+    def test_needs_two_cores(self):
+        soc = NCPUSoC(n_cores=1)
+        with pytest.raises(ConfigurationError):
+            soc.run_chained_inference(deep_model(), np.ones(48, dtype=np.int8))
+
+    def test_intermediate_activations_in_core1_image_memory(self):
+        soc = NCPUSoC(n_cores=2)
+        model = deep_model()
+        x = binarize_sign(np.random.default_rng(9).standard_normal(48))
+        soc.run_chained_inference(model, x, split_at=3)
+        front, _ = model.split(3)
+        expected = front.hidden_forward_batch(x[None, :])[0]
+        from repro.bnn.quantize import bits_to_sign, unpack_bits
+
+        words = np.array(soc.core(1).memory.banks["image"].read_words(
+            0, (front.n_classes + 31) // 32), dtype=np.uint32)
+        got = bits_to_sign(unpack_bits(words, front.n_classes))
+        np.testing.assert_array_equal(got, expected)
+
+    def test_results_in_core1_output_memory(self):
+        soc = NCPUSoC(n_cores=2)
+        model = deep_model()
+        xs = binarize_sign(np.random.default_rng(10).standard_normal((3, 48)))
+        predictions, _ = soc.run_chained_inference(model, xs)
+        assert soc.core(1).read_results(3) == predictions
+
+
+class TestForwardingAblation:
+    SOURCE = """
+        li a0, 1
+        addi a1, a0, 2
+        add a2, a1, a0
+        add a3, a2, a1
+        li t0, 64
+        sw a3, 0(t0)
+        lw a4, 0(t0)
+        addi a5, a4, 1
+        ebreak
+    """
+
+    def test_same_architectural_result(self):
+        program = assemble(self.SOURCE)
+        with_fwd = PipelinedCPU(program, memory=FlatMemory(size=256))
+        without = PipelinedCPU(program, memory=FlatMemory(size=256),
+                               forwarding=False)
+        with_fwd.run()
+        without.run()
+        assert with_fwd.regs.snapshot() == without.regs.snapshot()
+
+    def test_no_forwarding_costs_cycles(self):
+        program = assemble(self.SOURCE)
+        fast = PipelinedCPU(program, memory=FlatMemory(size=256)).run()
+        slow = PipelinedCPU(program, memory=FlatMemory(size=256),
+                            forwarding=False).run()
+        assert slow.stats.cycles > fast.stats.cycles
+        assert slow.stats.stalls > fast.stats.stalls
+
+    def test_back_to_back_costs_two_bubbles(self):
+        # operands are fetched at EX in this design, so the interlock holds
+        # a back-to-back consumer for two cycles (ID-read designs need 3)
+        program = assemble("li a0, 1\naddi a1, a0, 1\nebreak")
+        result = PipelinedCPU(program, forwarding=False).run()
+        assert result.stats.stalls == 2
+
+    def test_cycle_invariant_still_holds(self):
+        program = assemble(self.SOURCE)
+        result = PipelinedCPU(program, memory=FlatMemory(size=256),
+                              forwarding=False).run()
+        stats = result.stats
+        assert stats.cycles == stats.instructions + 4 + stats.stalls \
+            + stats.flushes
+
+    def test_independent_instructions_unaffected(self):
+        program = assemble("li a0, 1\nli a1, 2\nli a2, 3\nebreak")
+        fast = PipelinedCPU(program).run()
+        slow = PipelinedCPU(program, forwarding=False).run()
+        assert fast.stats.cycles == slow.stats.cycles

@@ -1,0 +1,99 @@
+"""Tests for timelines, segments, utilization, and power traces."""
+
+import pytest
+
+from repro.core import BNN, CPU, IDLE, SWITCH, Timeline
+from repro.errors import ConfigurationError
+
+
+class TestSegments:
+    def test_segment_validation(self):
+        timeline = Timeline()
+        with pytest.raises(ConfigurationError):
+            timeline.add("c", CPU, 10, 5)
+
+    def test_cycles(self):
+        timeline = Timeline()
+        segment = timeline.add("c", CPU, 5, 15)
+        assert segment.cycles == 10
+
+    def test_end_of_empty(self):
+        assert Timeline().end == 0
+
+
+class TestUtilization:
+    def make(self):
+        timeline = Timeline()
+        timeline.add("a", CPU, 0, 70)
+        timeline.add("a", BNN, 70, 100)
+        timeline.add("b", IDLE, 0, 50)
+        timeline.add("b", BNN, 50, 100)
+        return timeline
+
+    def test_fully_busy_core(self):
+        assert self.make().utilization("a") == 1.0
+
+    def test_partially_idle_core(self):
+        assert self.make().utilization("b") == 0.5
+
+    def test_switch_counts_as_busy(self):
+        timeline = Timeline()
+        timeline.add("a", SWITCH, 0, 10)
+        timeline.add("a", BNN, 10, 100)
+        assert timeline.utilization("a") == 1.0
+
+    def test_utilizations_dict(self):
+        utils = self.make().utilizations()
+        assert set(utils) == {"a", "b"}
+
+    def test_core_names_order(self):
+        assert self.make().core_names() == ["a", "b"]
+
+    def test_busy_cycles_kind_filter(self):
+        timeline = self.make()
+        assert timeline.busy_cycles("a", kinds=(CPU,)) == 70
+
+
+class TestValidation:
+    def test_overlap_detected(self):
+        timeline = Timeline()
+        timeline.add("a", CPU, 0, 50)
+        timeline.add("a", BNN, 40, 80)
+        with pytest.raises(ConfigurationError):
+            timeline.validate_no_overlap()
+
+    def test_disjoint_ok(self):
+        timeline = Timeline()
+        timeline.add("a", CPU, 0, 50)
+        timeline.add("a", BNN, 50, 80)
+        timeline.validate_no_overlap()
+
+
+class TestPowerTrace:
+    def test_trace_structure(self):
+        timeline = Timeline()
+        timeline.add("a", CPU, 0, 100)
+        timeline.add("a", BNN, 100, 150)
+        traces = timeline.power_trace(voltage=1.0, f_hz=50e6)
+        assert "a" in traces
+        points = traces["a"]
+        assert len(points) == 4  # two points per segment
+        assert points[0][0] == 0.0
+        assert points[-1][0] == pytest.approx(150 / 50e6 * 1e6)
+
+    def test_bnn_draws_more_than_cpu(self):
+        timeline = Timeline()
+        timeline.add("a", CPU, 0, 100)
+        timeline.add("a", BNN, 100, 200)
+        points = timeline.power_trace(1.0, 50e6)["a"]
+        cpu_power = points[0][1]
+        bnn_power = points[2][1]
+        assert bnn_power > cpu_power
+
+    def test_idle_draws_leakage_only(self):
+        timeline = Timeline()
+        timeline.add("a", CPU, 0, 100)
+        timeline.add("a", IDLE, 100, 200)
+        points = timeline.power_trace(1.0, 50e6)["a"]
+        assert points[2][1] < points[0][1]
+        assert points[2][1] > 0

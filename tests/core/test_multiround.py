@@ -1,0 +1,107 @@
+"""Multi-round operation: the NCPU core alternating CPU and BNN phases over
+a stream of frames, with post-processing reading the results back — the
+paper's continuous real-time operation (Fig 5b's assembly flow)."""
+
+import numpy as np
+
+from repro.bnn import BNNModel, binarize_sign
+from repro.bnn.quantize import pack_bits, sign_to_bits
+from repro.core import CoreMode, NCPUCore
+from repro.isa import assemble
+from repro.workloads import layout
+
+
+def small_model(seed=0):
+    return BNNModel.random([64, 32, 32, 32, 4], np.random.default_rng(seed))
+
+
+class TestContinuousOperation:
+    def test_many_rounds_alternate_cleanly(self):
+        model = small_model()
+        core = NCPUCore()
+        core.load_model(model)
+        rng = np.random.default_rng(1)
+        expected = []
+        got = []
+        for round_index in range(6):
+            x = binarize_sign(rng.standard_normal(64))
+            expected.append(model.predict(x))
+            core.memory.banks["image"].write_words(
+                0, [int(w) for w in pack_bits(sign_to_bits(x))])
+            run = core.run_cpu_program(assemble("""
+                li a0, 64
+                mv_neu 0, a0
+                li a0, 1
+                mv_neu 1, a0
+                trans_bnn
+            """))
+            assert run.stop_reason == "trans_bnn"
+            got.extend(core.run_bnn())
+            core.switch_to_cpu()
+            assert core.mode is CoreMode.CPU
+        assert got == expected
+        core.timeline.validate_no_overlap()
+        # 6 rounds = 12 switch segments, interleaved cpu/bnn
+        kinds = [s.kind for s in core.timeline.core_segments(core.name)]
+        assert kinds.count("switch") == 12
+        assert kinds.count("bnn") == 6
+
+    def test_post_processing_reads_results_via_cpu(self):
+        """After BNN mode, CPU code loads the classification from the
+        output memory (reconfigured as data cache) — the paper's
+        'classification results directly from the output memory'."""
+        model = small_model()
+        core = NCPUCore()
+        core.load_model(model)
+        x = binarize_sign(np.random.default_rng(2).standard_normal(64))
+        core.memory.banks["image"].write_words(
+            0, [int(w) for w in pack_bits(sign_to_bits(x))])
+        core.env.write_transition_neuron(0, 64)
+        core.switch_to_bnn()
+        prediction = core.run_bnn(n_inputs=1)[0]
+        core.switch_to_cpu()
+
+        post = assemble(f"""
+            li a1, {layout.RESULT_BASE}
+            lw a0, 0(a1)          # the BNN's classification
+            addi a0, a0, 100      # post-process it
+            sw a0, 4(a1)
+            ebreak
+        """)
+        result = core.run_cpu_program(post)
+        assert result.halted
+        assert core.registers.read(10) == prediction + 100
+        assert core.memory.banks["output"].load(
+            layout.RESULT_BASE + 4, 4) == prediction + 100
+
+    def test_clock_strictly_increases_across_rounds(self):
+        model = small_model()
+        core = NCPUCore()
+        core.load_model(model)
+        x = binarize_sign(np.random.default_rng(3).standard_normal(64))
+        core.memory.banks["image"].write_words(
+            0, [int(w) for w in pack_bits(sign_to_bits(x))])
+        core.env.write_transition_neuron(0, 64)
+        stamps = []
+        for _ in range(3):
+            core.switch_to_bnn()
+            core.run_bnn(n_inputs=1)
+            core.switch_to_cpu()
+            stamps.append(core.clock)
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 3
+
+    def test_utilization_stays_full_across_rounds(self):
+        model = small_model()
+        core = NCPUCore()
+        core.load_model(model)
+        x = binarize_sign(np.random.default_rng(4).standard_normal(64))
+        core.memory.banks["image"].write_words(
+            0, [int(w) for w in pack_bits(sign_to_bits(x))])
+        core.env.write_transition_neuron(0, 64)
+        for _ in range(4):
+            core.switch_to_bnn()
+            core.run_bnn(n_inputs=1)
+            core.switch_to_cpu()
+        # no idle segments were ever inserted
+        assert core.utilization() == 1.0

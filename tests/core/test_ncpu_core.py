@@ -1,0 +1,218 @@
+"""Integration tests for the reconfigurable NCPU core."""
+
+import numpy as np
+import pytest
+
+from repro.bnn import BNNModel, binarize_sign
+from repro.bnn.quantize import pack_bits, sign_to_bits
+from repro.core import CoreMode, NCPUCore, TransitionPolicy
+from repro.errors import ConfigurationError, SimulationError
+from repro.isa import assemble
+from repro.workloads import image_pipeline as ip
+from repro.workloads import layout
+
+
+def small_model(input_size=64, width=32, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return BNNModel.random([input_size, width, width, width, classes], rng)
+
+
+def write_packed_input(core, x_sign):
+    words = pack_bits(sign_to_bits(x_sign))
+    core.memory.banks["image"].write_words(0, [int(w) for w in words])
+
+
+class TestModes:
+    def test_starts_in_cpu_mode(self):
+        assert NCPUCore().mode is CoreMode.CPU
+
+    def test_switch_roundtrip(self):
+        core = NCPUCore()
+        core.load_model(small_model())
+        core.switch_to_bnn()
+        assert core.mode is CoreMode.BNN
+        core.switch_to_cpu()
+        assert core.mode is CoreMode.CPU
+
+    def test_run_bnn_requires_bnn_mode(self):
+        core = NCPUCore()
+        core.load_model(small_model())
+        with pytest.raises(SimulationError):
+            core.run_bnn()
+
+    def test_run_cpu_requires_cpu_mode(self):
+        core = NCPUCore()
+        core.load_model(small_model())
+        core.switch_to_bnn()
+        with pytest.raises(SimulationError):
+            core.run_cpu_program(assemble("ebreak"))
+
+    def test_run_bnn_requires_model(self):
+        core = NCPUCore()
+        core.memory.set_mode(CoreMode.BNN)
+        with pytest.raises(SimulationError):
+            core.run_bnn()
+
+    def test_switch_idempotent(self):
+        core = NCPUCore()
+        core.load_model(small_model())
+        core.switch_to_bnn()
+        clock = core.clock
+        core.switch_to_bnn()
+        assert core.clock == clock
+
+
+class TestCpuExecution:
+    def test_program_runs_on_banked_memory(self):
+        core = NCPUCore()
+        result = core.run_cpu_program(assemble("""
+            li a0, 77
+            li a1, 0x1400      # w1 bank reused as data cache
+            sw a0, 0(a1)
+            lw a2, 0(a1)
+            ebreak
+        """))
+        assert result.halted
+        assert core.memory.banks["w1"].writes == 1
+        assert core.clock == result.stats.cycles
+
+    def test_trans_bnn_switches_mode(self):
+        core = NCPUCore()
+        core.load_model(small_model())
+        result = core.run_cpu_program(assemble("nop\ntrans_bnn"))
+        assert result.stop_reason == "trans_bnn"
+        assert core.mode is CoreMode.BNN
+
+    def test_mv_neu_configures_transition_neurons(self):
+        core = NCPUCore()
+        core.load_model(small_model())
+        core.run_cpu_program(assemble("""
+            li a0, 64
+            mv_neu 0, a0       # input size
+            li a0, 2
+            mv_neu 1, a0       # batch
+            trans_bnn
+        """))
+        assert core.env.transition_neurons[0] == 64
+        assert core.env.transition_neurons[1] == 2
+
+
+class TestBnnExecution:
+    def test_inference_matches_model(self):
+        model = small_model()
+        core = NCPUCore()
+        core.load_model(model)
+        x = binarize_sign(np.random.default_rng(1).standard_normal(64))
+        write_packed_input(core, x)
+        core.switch_to_bnn()
+        predictions = core.run_bnn(n_inputs=1)
+        assert predictions == [model.predict(x)]
+        assert core.read_results(1) == predictions
+
+    def test_batch_inference(self):
+        model = small_model()
+        core = NCPUCore()
+        core.load_model(model)
+        rng = np.random.default_rng(2)
+        xs = binarize_sign(rng.standard_normal((3, 64)))
+        words_per = 2  # 64 bits
+        for index, x in enumerate(xs):
+            words = pack_bits(sign_to_bits(x))
+            core.memory.banks["image"].write_words(4 * words_per * index,
+                                                   [int(w) for w in words])
+        core.switch_to_bnn()
+        predictions = core.run_bnn(n_inputs=3)
+        np.testing.assert_array_equal(predictions, model.predict_batch(xs))
+
+    def test_batch_from_transition_neuron(self):
+        model = small_model()
+        core = NCPUCore()
+        core.load_model(model)
+        x = binarize_sign(np.random.default_rng(3).standard_normal(64))
+        write_packed_input(core, x)
+        core.env.write_transition_neuron(1, 1)
+        core.switch_to_bnn()
+        assert len(core.run_bnn()) == 1
+
+    def test_mismatched_input_size_rejected(self):
+        core = NCPUCore()
+        core.load_model(small_model())
+        core.env.write_transition_neuron(0, 100)
+        core.switch_to_bnn()
+        with pytest.raises(ConfigurationError):
+            core.run_bnn()
+
+    def test_bnn_advances_clock(self):
+        core = NCPUCore()
+        core.load_model(small_model())
+        x = binarize_sign(np.random.default_rng(4).standard_normal(64))
+        write_packed_input(core, x)
+        core.switch_to_bnn()
+        before = core.clock
+        core.run_bnn(n_inputs=1)
+        assert core.clock > before
+
+
+class TestTransitionCosts:
+    def test_zero_latency_switch_is_cheap(self):
+        core = NCPUCore(transition_policy=TransitionPolicy(zero_latency=True))
+        core.load_model(small_model())
+        core.switch_to_bnn()
+        assert core.clock <= 8
+
+    def test_ablated_switch_pays_weight_stream(self):
+        fast = NCPUCore(transition_policy=TransitionPolicy(zero_latency=True))
+        slow = NCPUCore(transition_policy=TransitionPolicy(zero_latency=False))
+        model = small_model()
+        fast.load_model(model)
+        slow.load_model(model)
+        fast.switch_to_bnn()
+        slow.switch_to_bnn()
+        assert slow.clock > fast.clock
+        assert slow.clock >= fast.accelerator.weight_stream_cycles(model)
+
+    def test_timeline_records_switch(self):
+        core = NCPUCore()
+        core.load_model(small_model())
+        core.switch_to_bnn()
+        kinds = [s.kind for s in core.timeline.core_segments(core.name)]
+        assert "switch" in kinds
+
+
+class TestEndToEndImageFlow:
+    """The flagship integration test: raw pixels -> preprocessing assembly on
+    the banked memory -> trans_bnn -> XNOR inference -> result memory."""
+
+    def test_full_flow(self):
+        rng = np.random.default_rng(7)
+        model = BNNModel.paper_topology(input_size=256, rng=rng)
+        core = NCPUCore()
+        core.load_model(model)
+
+        raw = rng.integers(0, 256, size=(3, 32, 32))
+        data = core.memory.data_memory()
+        ip.write_raw_frame(data, raw, base=layout.RAW_BASE)
+
+        source = """
+            li a0, 256
+            mv_neu 0, a0
+            li a0, 1
+            mv_neu 1, a0
+        """ + ip.full_pipeline_asm(ip.ImageShape(32, 32), finish="trans_bnn")
+        result = core.run_cpu_program(assemble(source))
+        assert result.stop_reason == "trans_bnn"
+        assert core.mode is CoreMode.BNN
+
+        predictions = core.run_bnn()
+
+        # golden: numpy pipeline + model
+        _, packed = ip.pipeline_reference(raw)
+        from repro.bnn.quantize import bits_to_sign, unpack_bits
+
+        expected_sign = bits_to_sign(unpack_bits(packed, 256))
+        assert predictions == [model.predict(expected_sign)]
+
+        core.switch_to_cpu()
+        assert core.read_results(1) == predictions
+        core.timeline.validate_no_overlap()
+        assert core.utilization() > 0.99

@@ -1,0 +1,178 @@
+"""Tests for the discrete-event end-to-end scheduler (Figs 13/14/17)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    Item,
+    SchedulerConfig,
+    compare_end_to_end,
+    items_for_fraction,
+    simulate_heterogeneous,
+    simulate_ncpu,
+    simulate_single_ncpu,
+)
+from repro.errors import ConfigurationError
+
+ZERO_COST = SchedulerConfig(offload_cycles=0, switch_cycles=0)
+
+
+class TestItems:
+    def test_items_for_fraction(self):
+        items = items_for_fraction(0.7, 4, item_cycles=1000)
+        assert len(items) == 4
+        assert items[0].cpu_cycles == 700
+        assert items[0].bnn_cycles == 300
+        assert items[0].cpu_fraction == pytest.approx(0.7)
+
+    def test_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            items_for_fraction(0.0, 2)
+        with pytest.raises(ConfigurationError):
+            items_for_fraction(1.0, 2)
+
+    def test_negative_item_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Item(cpu_cycles=-1, bnn_cycles=5)
+
+
+class TestPaperNumbers:
+    """The DES reproduces the paper's Fig 13 improvements from first
+    principles (see DESIGN.md section 5 for the batch sizes)."""
+
+    def test_fig13b_70_percent_batch2(self):
+        items = items_for_fraction(0.70, 2)
+        comparison = compare_end_to_end(items, ZERO_COST)
+        # paper: 41.2 %
+        assert comparison.improvement == pytest.approx(0.412, abs=0.002)
+
+    def test_fig13a_40_percent_batch4(self):
+        items = items_for_fraction(0.40, 4)
+        comparison = compare_end_to_end(items, ZERO_COST)
+        # paper: 28.5 %
+        assert comparison.improvement == pytest.approx(0.286, abs=0.002)
+
+    def test_image_use_case_fraction(self):
+        # paper Fig 17: 43 % at the image use case's 76 % CPU fraction
+        items = items_for_fraction(0.76, 2)
+        comparison = compare_end_to_end(items, ZERO_COST)
+        assert comparison.improvement == pytest.approx(0.432, abs=0.002)
+
+    def test_single_ncpu_degradation(self):
+        # paper Fig 17: single NCPU only 13.8 % slower than CPU+BNN
+        items = items_for_fraction(0.76, 2)
+        comparison = compare_end_to_end(items, ZERO_COST)
+        assert comparison.single_core_degradation == pytest.approx(0.136, abs=0.003)
+
+
+class TestHeterogeneous:
+    def test_pipelining_overlaps(self):
+        items = items_for_fraction(0.5, 3, item_cycles=1000)
+        timeline = simulate_heterogeneous(items, ZERO_COST)
+        # CPU: 3x500 serial; BNN trails one item: total = 4x500
+        assert timeline.end == 2000
+
+    def test_offload_blocks_cpu(self):
+        items = items_for_fraction(0.5, 2, item_cycles=1000)
+        with_offload = simulate_heterogeneous(
+            items, SchedulerConfig(offload_cycles=100, switch_cycles=0))
+        without = simulate_heterogeneous(items, ZERO_COST)
+        assert with_offload.end > without.end
+
+    def test_bnn_idle_time_recorded(self):
+        items = items_for_fraction(0.7, 2)
+        timeline = simulate_heterogeneous(items, ZERO_COST)
+        idle = [s for s in timeline.core_segments("bnn") if s.kind == "idle"]
+        assert idle, "the accelerator should wait on the CPU"
+
+    def test_timelines_never_overlap(self):
+        items = items_for_fraction(0.33, 5)
+        simulate_heterogeneous(items, ZERO_COST).validate_no_overlap()
+
+
+class TestNCPU:
+    def test_split_across_cores(self):
+        items = items_for_fraction(0.5, 4, item_cycles=1000)
+        timeline = simulate_ncpu(items, n_cores=2, config=ZERO_COST)
+        assert timeline.end == 2000  # each core: 2 x (500+500)
+
+    def test_single_core_serializes(self):
+        items = items_for_fraction(0.5, 4, item_cycles=1000)
+        timeline = simulate_single_ncpu(items, ZERO_COST)
+        assert timeline.end == 4000
+
+    def test_switch_cost_applied(self):
+        items = items_for_fraction(0.5, 2, item_cycles=1000)
+        config = SchedulerConfig(switch_cycles=10)
+        timeline = simulate_ncpu(items, n_cores=2, config=config)
+        # each core: 1000 work + 2 switches
+        assert timeline.end == 1020
+
+    def test_non_zero_latency_pays_weight_stream(self):
+        items = items_for_fraction(0.5, 2, item_cycles=1000)
+        ablated = SchedulerConfig(switch_cycles=10, weight_stream_cycles=500,
+                                  zero_latency=False)
+        enabled = SchedulerConfig(switch_cycles=10, weight_stream_cycles=500,
+                                  zero_latency=True)
+        slow = simulate_ncpu(items, config=ablated)
+        fast = simulate_ncpu(items, config=enabled)
+        assert slow.end == fast.end + 500
+
+    def test_core_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            simulate_ncpu([Item(1, 1)], n_cores=0)
+
+    def test_near_full_utilization(self):
+        items = items_for_fraction(0.7, 4)
+        timeline = simulate_ncpu(items, n_cores=2)
+        utils = timeline.utilizations()
+        # paper Table 4: 99.3 % on both cores
+        assert all(u > 0.99 for u in utils.values())
+
+    def test_no_overlap(self):
+        items = items_for_fraction(0.6, 7)
+        simulate_ncpu(items, n_cores=2).validate_no_overlap()
+
+
+class TestComparisonProperties:
+    @given(st.floats(min_value=0.1, max_value=0.9),
+           st.integers(min_value=2, max_value=20))
+    def test_two_cores_never_lose_to_baseline(self, fraction, batch):
+        items = items_for_fraction(fraction, batch)
+        comparison = compare_end_to_end(items, ZERO_COST)
+        # odd batches at low CPU fraction can tie (the unbalanced core's BNN
+        # tail matches the baseline's accelerator tail); never slower
+        assert comparison.improvement >= -1e-9
+
+    @given(st.floats(min_value=0.5, max_value=0.9),
+           st.integers(min_value=1, max_value=10).map(lambda n: 2 * n))
+    def test_two_cores_beat_baseline_even_batches(self, fraction, batch):
+        items = items_for_fraction(fraction, batch)
+        comparison = compare_end_to_end(items, ZERO_COST)
+        assert comparison.improvement > 0
+
+    @given(st.floats(min_value=0.1, max_value=0.9),
+           st.integers(min_value=1, max_value=20))
+    def test_single_ncpu_never_faster_without_offload(self, fraction, batch):
+        items = items_for_fraction(fraction, batch)
+        comparison = compare_end_to_end(items, ZERO_COST)
+        assert comparison.single_core_degradation >= -1e-9
+
+    @given(st.floats(min_value=0.55, max_value=0.9))
+    def test_improvement_grows_with_cpu_fraction(self, fraction):
+        lower = compare_end_to_end(items_for_fraction(fraction - 0.05, 2),
+                                   ZERO_COST)
+        higher = compare_end_to_end(items_for_fraction(fraction, 2), ZERO_COST)
+        assert higher.improvement >= lower.improvement - 1e-9
+
+    def test_improvement_declines_with_batch_under_offload(self):
+        # Fig 14's mechanism: the baseline hides more of its offload at
+        # larger batch sizes, shrinking the NCPU's advantage
+        config = SchedulerConfig(offload_cycles=940, switch_cycles=4)
+        improvements = []
+        for batch in (2, 10, 50, 100):
+            items = items_for_fraction(0.7, batch)
+            improvements.append(compare_end_to_end(items, config).improvement)
+        assert all(a >= b for a, b in zip(improvements, improvements[1:]))
+        assert improvements[-1] > 0.35  # paper: >=37 % at batch 100

@@ -1,0 +1,131 @@
+"""Property tests: the DES must agree with the closed-form latency algebra,
+and timeline energy accounting must be consistent."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Item,
+    SchedulerConfig,
+    simulate_heterogeneous,
+    simulate_ncpu,
+    simulate_single_ncpu,
+)
+from repro.power import timeline_energy_j
+
+ZERO = SchedulerConfig(offload_cycles=0, switch_cycles=0)
+
+items_strategy = st.lists(
+    st.builds(Item,
+              cpu_cycles=st.integers(min_value=1, max_value=5000),
+              bnn_cycles=st.integers(min_value=1, max_value=5000)),
+    min_size=1, max_size=12,
+)
+
+
+class TestClosedForms:
+    @settings(max_examples=60, deadline=None)
+    @given(items=items_strategy)
+    def test_heterogeneous_matches_recurrence(self, items):
+        """baseline end == the pipelined recurrence over CPU/BNN phases."""
+        timeline = simulate_heterogeneous(items, ZERO)
+        cpu_free = 0
+        bnn_free = 0
+        for item in items:
+            cpu_free += item.cpu_cycles
+            bnn_free = max(cpu_free, bnn_free) + item.bnn_cycles
+        assert timeline.end == max(cpu_free, bnn_free)
+
+    @settings(max_examples=60, deadline=None)
+    @given(items=items_strategy)
+    def test_ncpu_matches_per_core_sums(self, items):
+        timeline = simulate_ncpu(items, n_cores=2, config=ZERO)
+        core_sums = [0, 0]
+        for index, item in enumerate(items):
+            core_sums[index % 2] += item.total_cycles
+        assert timeline.end == max(core_sums)
+
+    @settings(max_examples=40, deadline=None)
+    @given(items=items_strategy)
+    def test_single_ncpu_is_serial_sum(self, items):
+        timeline = simulate_single_ncpu(items, ZERO)
+        assert timeline.end == sum(item.total_cycles for item in items)
+
+    @settings(max_examples=40, deadline=None)
+    @given(items=items_strategy,
+           offload=st.integers(min_value=0, max_value=500))
+    def test_offload_only_hurts_baseline(self, items, offload):
+        config = SchedulerConfig(offload_cycles=offload, switch_cycles=0)
+        with_cost = simulate_heterogeneous(items, config)
+        without = simulate_heterogeneous(items, ZERO)
+        assert with_cost.end >= without.end
+        ncpu_with = simulate_ncpu(items, config=config)
+        ncpu_without = simulate_ncpu(items, config=ZERO)
+        assert ncpu_with.end == ncpu_without.end  # NCPU never offloads
+
+    @settings(max_examples=40, deadline=None)
+    @given(cpu=st.integers(min_value=1, max_value=5000),
+           bnn=st.integers(min_value=1, max_value=5000),
+           n_items=st.integers(min_value=1, max_value=16),
+           cores=st.integers(min_value=1, max_value=4))
+    def test_more_cores_never_slower_for_uniform_items(self, cpu, bnn,
+                                                       n_items, cores):
+        # (with heterogeneous items, round-robin splitting is not monotone
+        # in core count — a documented property of the simple policy)
+        items = [Item(cpu_cycles=cpu, bnn_cycles=bnn)] * n_items
+        fewer = simulate_ncpu(items, n_cores=cores, config=ZERO)
+        more = simulate_ncpu(items, n_cores=cores + 1, config=ZERO)
+        assert more.end <= fewer.end
+
+    @settings(max_examples=40, deadline=None)
+    @given(items=items_strategy)
+    def test_timelines_are_well_formed(self, items):
+        for timeline in (simulate_heterogeneous(items, ZERO),
+                         simulate_ncpu(items, config=ZERO)):
+            timeline.validate_no_overlap()
+
+
+class TestTimelineEnergy:
+    def test_energy_scales_with_duration(self):
+        from repro.core import Timeline, CPU
+
+        short = Timeline()
+        short.add("a", CPU, 0, 100)
+        long = Timeline()
+        long.add("a", CPU, 0, 200)
+        e_short = timeline_energy_j(short, 1.0, 50e6)
+        e_long = timeline_energy_j(long, 1.0, 50e6)
+        assert e_long == pytest.approx(2 * e_short)
+
+    def test_idle_cheaper_than_active(self):
+        from repro.core import Timeline, CPU, IDLE
+
+        active = Timeline()
+        active.add("a", CPU, 0, 100)
+        idle = Timeline()
+        idle.add("a", IDLE, 0, 100)
+        assert timeline_energy_j(idle, 1.0, 50e6) \
+            < timeline_energy_j(active, 1.0, 50e6)
+
+    def test_bnn_segment_more_expensive_than_cpu(self):
+        from repro.core import Timeline, BNN, CPU
+
+        cpu = Timeline()
+        cpu.add("a", CPU, 0, 100)
+        bnn = Timeline()
+        bnn.add("a", BNN, 0, 100)
+        assert timeline_energy_j(bnn, 1.0, 50e6) \
+            > timeline_energy_j(cpu, 1.0, 50e6)
+
+    def test_two_ncpus_use_less_energy_iso_work(self):
+        """Finishing sooner means less leakage time: the energy side of
+        the paper's end-to-end argument."""
+        from repro.core import compare_end_to_end, items_for_fraction
+
+        comparison = compare_end_to_end(items_for_fraction(0.76, 2),
+                                        SchedulerConfig())
+        e_base = timeline_energy_j(comparison.baseline, 1.0, 50e6,
+                                   reconfigurable=False)
+        e_ncpu = timeline_energy_j(comparison.ncpu_dual, 1.0, 50e6)
+        assert e_ncpu < e_base

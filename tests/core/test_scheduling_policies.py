@@ -1,0 +1,80 @@
+"""Tests for the item-splitting policies (round-robin vs LPT)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Item, SchedulerConfig, simulate_ncpu
+from repro.errors import ConfigurationError
+
+ZERO = SchedulerConfig(offload_cycles=0, switch_cycles=0)
+
+items_strategy = st.lists(
+    st.builds(Item,
+              cpu_cycles=st.integers(min_value=1, max_value=4000),
+              bnn_cycles=st.integers(min_value=1, max_value=4000)),
+    min_size=1, max_size=16,
+)
+
+
+class TestPolicies:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simulate_ncpu([Item(1, 1)], policy="magic")
+
+    def test_round_robin_is_default(self):
+        items = [Item(100, 10), Item(1, 1), Item(100, 10), Item(1, 1)]
+        default = simulate_ncpu(items, config=ZERO)
+        explicit = simulate_ncpu(items, config=ZERO, policy="round_robin")
+        assert default.end == explicit.end
+
+    def test_lpt_balances_heterogeneous_batch(self):
+        # round-robin puts both heavy items on core 0; LPT splits them
+        items = [Item(1000, 1000), Item(1, 1), Item(1000, 1000), Item(1, 1)]
+        rr = simulate_ncpu(items, config=ZERO, policy="round_robin")
+        lpt = simulate_ncpu(items, config=ZERO, policy="lpt")
+        assert rr.end == 4000
+        assert lpt.end == 2002
+
+    def test_lpt_equal_items_same_as_round_robin(self):
+        items = [Item(500, 500)] * 6
+        rr = simulate_ncpu(items, config=ZERO)
+        lpt = simulate_ncpu(items, config=ZERO, policy="lpt")
+        assert rr.end == lpt.end
+
+    @settings(max_examples=80, deadline=None)
+    @given(items=items_strategy)
+    def test_lpt_never_worse_than_round_robin(self, items):
+        rr = simulate_ncpu(items, config=ZERO, policy="round_robin")
+        lpt = simulate_ncpu(items, config=ZERO, policy="lpt")
+        assert lpt.end <= rr.end
+
+    @settings(max_examples=40, deadline=None)
+    @given(items=items_strategy,
+           cores=st.integers(min_value=1, max_value=4))
+    def test_lpt_monotone_in_cores(self, items, cores):
+        # LPT restores the more-cores-never-slower property that
+        # round-robin lacks for heterogeneous items
+        fewer = simulate_ncpu(items, n_cores=cores, config=ZERO, policy="lpt")
+        more = simulate_ncpu(items, n_cores=cores + 1, config=ZERO,
+                             policy="lpt")
+        assert more.end <= fewer.end
+
+    @settings(max_examples=40, deadline=None)
+    @given(items=items_strategy)
+    def test_lpt_within_4_3_of_lower_bound(self, items):
+        # Graham's bound: LPT makespan <= (4/3 - 1/3m) * OPT; with the
+        # trivial lower bounds max(item) and sum/m
+        lpt = simulate_ncpu(items, n_cores=2, config=ZERO, policy="lpt")
+        total = sum(i.total_cycles for i in items)
+        lower = max(max(i.total_cycles for i in items), -(-total // 2))
+        assert lpt.end <= (4 / 3) * lower + 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(items=items_strategy)
+    def test_policies_preserve_work(self, items):
+        for policy in ("round_robin", "lpt"):
+            timeline = simulate_ncpu(items, config=ZERO, policy=policy)
+            busy = sum(timeline.busy_cycles(core)
+                       for core in timeline.core_names())
+            assert busy == sum(i.total_cycles for i in items)

@@ -1,0 +1,140 @@
+"""Tests for the SoC models (two-core NCPU and heterogeneous baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.bnn import BNNModel, binarize_sign
+from repro.bnn.quantize import pack_bits, sign_to_bits
+from repro.core import HeterogeneousSoC, NCPUSoC
+from repro.cpu import CoreEnv
+from repro.errors import ConfigurationError, SimulationError
+from repro.isa import assemble
+
+
+def small_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return BNNModel.random([64, 32, 32, 32, 4], rng)
+
+
+class TestNCPUSoC:
+    def test_two_cores_share_l2(self):
+        soc = NCPUSoC(n_cores=2)
+        producer = assemble("li a0, 0x5a5a\nsw_l2 a0, 0x100(zero)\nebreak")
+        consumer = assemble("lw_l2 a1, 0x100(zero)\nebreak")
+        result0 = soc.core(0).run_cpu_program(producer)
+        assert result0.halted
+        core1 = soc.core(1)
+        cpu_result = core1.run_cpu_program(consumer)
+        assert cpu_result.halted
+        # the consumer saw the producer's value through the shared L2
+        assert soc.l2.load(0x100, 4) == 0x5A5A
+
+    def test_core_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            NCPUSoC(n_cores=0)
+
+    def test_load_model_all(self):
+        soc = NCPUSoC(n_cores=2)
+        soc.load_model_all(small_model())
+        assert all(core.model is not None for core in soc.cores)
+
+    def test_parallel_classification(self):
+        soc = NCPUSoC(n_cores=2)
+        model = small_model()
+        soc.load_model_all(model)
+        rng = np.random.default_rng(1)
+        xs = binarize_sign(rng.standard_normal((2, 64)))
+        for core, x in zip(soc.cores, xs):
+            words = pack_bits(sign_to_bits(x))
+            core.memory.banks["image"].write_words(0, [int(w) for w in words])
+            core.switch_to_bnn()
+        predictions = [core.run_bnn(n_inputs=1)[0] for core in soc.cores]
+        np.testing.assert_array_equal(predictions, model.predict_batch(xs))
+        # both cores ran concurrently: makespan is a single core's time
+        assert soc.makespan == max(core.clock for core in soc.cores)
+
+    def test_merged_timeline(self):
+        soc = NCPUSoC(n_cores=2)
+        soc.core(0).run_cpu_program(assemble("nop\nebreak"))
+        soc.core(1).run_cpu_program(assemble("nop\nnop\nebreak"))
+        merged = soc.merged_timeline()
+        assert set(merged.core_names()) == {"ncpu0", "ncpu1"}
+
+    def test_utilizations(self):
+        soc = NCPUSoC(n_cores=2)
+        soc.core(0).run_cpu_program(assemble("nop\nebreak"))
+        body = "\n".join(["nop"] * 50) + "\nebreak"
+        soc.core(1).run_cpu_program(assemble(body))
+        utils = soc.utilizations()
+        assert utils["ncpu1"] == pytest.approx(1.0)
+        assert utils["ncpu0"] < 0.5
+
+
+class TestHeterogeneousSoC:
+    def test_cpu_program_runs(self):
+        soc = HeterogeneousSoC()
+        result = soc.run_cpu_program(assemble("li a0, 1\nebreak"))
+        assert result.halted
+        assert soc.cpu_clock == result.stats.cycles
+
+    def test_offload_requires_model(self):
+        soc = HeterogeneousSoC()
+        with pytest.raises(SimulationError):
+            soc.offload_and_classify(0)
+
+    def test_offload_and_classify(self):
+        soc = HeterogeneousSoC()
+        model = small_model()
+        soc.device.load_model(model)
+        x = binarize_sign(np.random.default_rng(2).standard_normal(64))
+        words = pack_bits(sign_to_bits(x))
+        soc.cpu_memory.write_words(0x2000, [int(w) for w in words])
+        before = soc.cpu_clock
+        soc.offload_and_classify(0x2000, n_inputs=1)
+        assert soc.results() == [model.predict(x)]
+        assert soc.cpu_clock > before  # the offload DMA blocked the CPU
+        assert soc.device.free_at > soc.cpu_clock  # accelerator still running
+
+    def test_accelerator_overlaps_next_cpu_work(self):
+        soc = HeterogeneousSoC()
+        model = small_model()
+        soc.device.load_model(model)
+        x = binarize_sign(np.random.default_rng(3).standard_normal(64))
+        words = pack_bits(sign_to_bits(x))
+        soc.cpu_memory.write_words(0x2000, [int(w) for w in words])
+        soc.offload_and_classify(0x2000)
+        cpu_after_offload = soc.cpu_clock
+        soc.run_cpu_program(assemble("nop\nnop\nebreak"))
+        # the CPU continued while the accelerator was busy
+        assert soc.cpu_clock > cpu_after_offload
+        assert soc.makespan >= soc.device.free_at
+
+    def test_utilizations_shape(self):
+        soc = HeterogeneousSoC()
+        model = small_model()
+        soc.device.load_model(model)
+        x = binarize_sign(np.random.default_rng(4).standard_normal(64))
+        words = pack_bits(sign_to_bits(x))
+        soc.cpu_memory.write_words(0x2000, [int(w) for w in words])
+        soc.run_cpu_program(assemble("\n".join(["nop"] * 600) + "\nebreak"))
+        soc.offload_and_classify(0x2000)
+        utils = soc.utilizations()
+        assert 0 < utils["bnn"] < utils["cpu"] <= 1.0
+
+
+class TestCrossCoreMessaging:
+    def test_trigger_bnn_event_visible(self):
+        # the baseline-style flow: CPU triggers the accelerator explicitly
+        env_program = assemble("trigger_bnn 1\nebreak")
+        soc = HeterogeneousSoC()
+        result = soc.run_cpu_program(env_program)
+        events = result.env.events_named("trigger_bnn")
+        assert len(events) == 1
+
+    def test_l2_roundtrip_through_env(self):
+        soc = HeterogeneousSoC()
+        program = assemble("li a0, 9\nsw_l2 a0, 4(zero)\nlw_l2 a1, 4(zero)\nebreak")
+        result = soc.run_cpu_program(program)
+        assert result.halted
+        assert soc.l2.load(4, 4) == 9
+        assert isinstance(soc.env, CoreEnv)

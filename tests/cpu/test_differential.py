@@ -1,0 +1,167 @@
+"""Differential testing: the pipeline must match the functional golden model.
+
+Random programs (ALU ops, memory ops into a confined window, forward
+branches) are executed on both simulators; architectural state must agree.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import FlatMemory, FunctionalCPU, PipelinedCPU
+from repro.isa import assemble
+
+_REGS = ["a0", "a1", "a2", "a3", "a4", "t0", "t1"]
+_ALU_R = ["add", "sub", "and", "or", "xor", "slt", "sltu", "sll", "srl", "sra", "mul"]
+_ALU_I = ["addi", "andi", "ori", "xori", "slti", "sltiu"]
+_SHIFT_I = ["slli", "srli", "srai"]
+_BRANCHES = ["beq", "bne", "blt", "bge", "bltu", "bgeu"]
+
+# data window: [256, 288); the generator only produces offsets inside it
+_BASE_REG = "s0"
+
+
+@st.composite
+def random_program(draw):
+    lines = [f"li {_BASE_REG}, 256"]
+    for i, reg in enumerate(_REGS):
+        lines.append(f"li {reg}, {draw(st.integers(-100, 100))}")
+    count = draw(st.integers(min_value=5, max_value=40))
+    for index in range(count):
+        kind = draw(st.sampled_from(["alu_r", "alu_i", "shift", "load", "store",
+                                     "branch", "lui"]))
+        rd = draw(st.sampled_from(_REGS))
+        rs1 = draw(st.sampled_from(_REGS))
+        rs2 = draw(st.sampled_from(_REGS))
+        if kind == "alu_r":
+            op = draw(st.sampled_from(_ALU_R))
+            lines.append(f"{op} {rd}, {rs1}, {rs2}")
+        elif kind == "alu_i":
+            op = draw(st.sampled_from(_ALU_I))
+            lines.append(f"{op} {rd}, {rs1}, {draw(st.integers(-512, 511))}")
+        elif kind == "shift":
+            op = draw(st.sampled_from(_SHIFT_I))
+            lines.append(f"{op} {rd}, {rs1}, {draw(st.integers(0, 31))}")
+        elif kind == "load":
+            width = draw(st.sampled_from(["lw", "lh", "lhu", "lb", "lbu"]))
+            offset = draw(st.integers(0, 6)) * 4
+            lines.append(f"{width} {rd}, {offset}({_BASE_REG})")
+        elif kind == "store":
+            width = draw(st.sampled_from(["sw", "sh", "sb"]))
+            offset = draw(st.integers(0, 6)) * 4
+            lines.append(f"{width} {rs2}, {offset}({_BASE_REG})")
+        elif kind == "lui":
+            lines.append(f"lui {rd}, {draw(st.integers(0, 0xFFFFF))}")
+        else:
+            op = draw(st.sampled_from(_BRANCHES))
+            skip = draw(st.integers(1, 3))
+            lines.append(f"{op} {rs1}, {rs2}, L{index}")
+            for sub in range(skip):
+                filler_rd = draw(st.sampled_from(_REGS))
+                lines.append(f"addi {filler_rd}, {filler_rd}, 1")
+            lines.append(f"L{index}:")
+    lines.append("ebreak")
+    return "\n".join(lines)
+
+
+@settings(max_examples=60, deadline=None)
+@given(source=random_program())
+def test_pipeline_matches_functional(source):
+    program = assemble(source)
+
+    f_mem = FlatMemory(size=512)
+    p_mem = FlatMemory(size=512)
+    functional = FunctionalCPU(program, memory=f_mem)
+    pipelined = PipelinedCPU(program, memory=p_mem)
+
+    f_result = functional.run(max_steps=20_000)
+    p_result = pipelined.run(max_cycles=100_000)
+
+    assert f_result.stop_reason == "halt"
+    assert p_result.stop_reason == "halt"
+    assert functional.regs.snapshot() == pipelined.regs.snapshot()
+    assert f_mem.read_words(256, 8) == p_mem.read_words(256, 8)
+    assert f_result.stats.instructions == p_result.stats.instructions
+    # the pipeline can never be faster than one instruction per cycle
+    assert p_result.stats.cycles >= f_result.stats.instructions
+
+
+@settings(max_examples=30, deadline=None)
+@given(source=random_program())
+def test_pipeline_cycles_bounded_by_hazard_model(source):
+    """cycles == instructions + fill + stalls + flushes exactly."""
+    program = assemble(source)
+    pipelined = PipelinedCPU(program, memory=FlatMemory(size=512))
+    result = pipelined.run(max_cycles=100_000)
+    stats = result.stats
+    assert stats.cycles == stats.instructions + 4 + stats.stalls + stats.flushes
+
+
+@st.composite
+def looped_program(draw):
+    """Programs with bounded countdown loops (possibly nested) whose bodies
+    are random ALU/memory work — exercises repeated flushes, loop-carried
+    dependencies, and store/load recurrences."""
+    lines = [f"li {_BASE_REG}, 256"]
+    for reg in _REGS:
+        lines.append(f"li {reg}, {draw(st.integers(-50, 50))}")
+    n_loops = draw(st.integers(1, 3))
+    for loop_index in range(n_loops):
+        iterations = draw(st.integers(1, 6))
+        lines.append(f"li s1, {iterations}")
+        lines.append(f"outer_{loop_index}:")
+        body_len = draw(st.integers(1, 6))
+        for sub in range(body_len):
+            kind = draw(st.sampled_from(["alu", "mem", "inner"]))
+            rd = draw(st.sampled_from(_REGS))
+            rs = draw(st.sampled_from(_REGS))
+            if kind == "alu":
+                op = draw(st.sampled_from(_ALU_R))
+                lines.append(f"{op} {rd}, {rs}, {draw(st.sampled_from(_REGS))}")
+            elif kind == "mem":
+                offset = draw(st.integers(0, 6)) * 4
+                lines.append(f"sw {rs}, {offset}({_BASE_REG})")
+                lines.append(f"lw {rd}, {offset}({_BASE_REG})")
+            else:
+                inner = draw(st.integers(1, 4))
+                label = f"inner_{loop_index}_{sub}"
+                lines.append(f"li s2, {inner}")
+                lines.append(f"{label}:")
+                lines.append(f"add {rd}, {rd}, {rs}")
+                lines.append("addi s2, s2, -1")
+                lines.append(f"bnez s2, {label}")
+        lines.append("addi s1, s1, -1")
+        lines.append(f"bnez s1, outer_{loop_index}")
+    lines.append("ebreak")
+    return "\n".join(lines)
+
+
+@settings(max_examples=40, deadline=None)
+@given(source=looped_program())
+def test_looped_programs_match(source):
+    program = assemble(source)
+    f_mem = FlatMemory(size=512)
+    p_mem = FlatMemory(size=512)
+    functional = FunctionalCPU(program, memory=f_mem)
+    pipelined = PipelinedCPU(program, memory=p_mem)
+    f_result = functional.run(max_steps=200_000)
+    p_result = pipelined.run(max_cycles=1_000_000)
+    assert f_result.stop_reason == "halt"
+    assert p_result.stop_reason == "halt"
+    assert functional.regs.snapshot() == pipelined.regs.snapshot()
+    assert f_mem.read_words(256, 8) == p_mem.read_words(256, 8)
+    assert f_result.stats.instructions == p_result.stats.instructions
+
+
+@settings(max_examples=15, deadline=None)
+@given(source=looped_program())
+def test_looped_programs_match_without_forwarding(source):
+    """The ablated pipeline is slower but architecturally identical."""
+    program = assemble(source)
+    golden = FunctionalCPU(program, memory=FlatMemory(size=512))
+    golden_result = golden.run(max_steps=200_000)
+    ablated = PipelinedCPU(program, memory=FlatMemory(size=512),
+                           forwarding=False)
+    ablated_result = ablated.run(max_cycles=2_000_000)
+    assert golden_result.stop_reason == ablated_result.stop_reason == "halt"
+    assert golden.regs.snapshot() == ablated.regs.snapshot()
+    assert ablated_result.stats.cycles >= golden_result.stats.instructions

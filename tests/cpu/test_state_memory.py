@@ -1,0 +1,121 @@
+"""Tests for the register file and flat memory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu import FlatMemory, RegisterFile
+from repro.errors import MemoryError_, SimulationError
+
+
+class TestRegisterFile:
+    def test_x0_hardwired(self):
+        regs = RegisterFile()
+        regs.write(0, 123)
+        assert regs.read(0) == 0
+
+    def test_write_read(self):
+        regs = RegisterFile()
+        regs.write(5, 99)
+        assert regs.read(5) == 99
+
+    def test_values_wrap_to_32_bits(self):
+        regs = RegisterFile()
+        regs.write(1, -1)
+        assert regs.read(1) == 0xFFFFFFFF
+        assert regs.read_signed(1) == -1
+
+    def test_index_checked(self):
+        regs = RegisterFile()
+        with pytest.raises(SimulationError):
+            regs.read(32)
+        with pytest.raises(SimulationError):
+            regs.write(-1, 0)
+
+    def test_snapshot_roundtrip(self):
+        regs = RegisterFile()
+        regs.write(3, 42)
+        other = RegisterFile()
+        other.load_snapshot(regs.snapshot())
+        assert other.read(3) == 42
+
+    def test_getitem_setitem(self):
+        regs = RegisterFile()
+        regs[7] = 11
+        assert regs[7] == 11
+
+
+class TestFlatMemory:
+    def test_word_roundtrip(self):
+        mem = FlatMemory(size=64)
+        mem.store(8, 0xDEADBEEF, 4)
+        assert mem.load(8, 4) == 0xDEADBEEF
+
+    def test_little_endian_bytes(self):
+        mem = FlatMemory(size=64)
+        mem.store(0, 0x11223344, 4)
+        assert mem.load(0, 1) == 0x44
+        assert mem.load(3, 1) == 0x11
+
+    def test_signed_loads(self):
+        mem = FlatMemory(size=64)
+        mem.store(0, 0xFF, 1)
+        assert mem.load(0, 1, signed=True) == -1
+        assert mem.load(0, 1, signed=False) == 0xFF
+        mem.store(2, 0x8000, 2)
+        assert mem.load(2, 2, signed=True) == -0x8000
+
+    def test_halfword(self):
+        mem = FlatMemory(size=64)
+        mem.store(2, 0xBEEF, 2)
+        assert mem.load(2, 2) == 0xBEEF
+
+    def test_misaligned_rejected(self):
+        mem = FlatMemory(size=64)
+        with pytest.raises(MemoryError_):
+            mem.load(2, 4)
+        with pytest.raises(MemoryError_):
+            mem.store(1, 0, 2)
+
+    def test_out_of_range_rejected(self):
+        mem = FlatMemory(size=64)
+        with pytest.raises(MemoryError_):
+            mem.load(64, 4)
+        with pytest.raises(MemoryError_):
+            mem.load(-4, 4)
+
+    def test_base_offset(self):
+        mem = FlatMemory(size=64, base=0x1000)
+        mem.store(0x1000, 7, 4)
+        assert mem.load(0x1000, 4) == 7
+        with pytest.raises(MemoryError_):
+            mem.load(0, 4)
+
+    def test_bad_size_rejected(self):
+        mem = FlatMemory(size=64)
+        with pytest.raises(MemoryError_):
+            mem.load(0, 3)
+
+    def test_access_counters(self):
+        mem = FlatMemory(size=64)
+        mem.store(0, 1, 4)
+        mem.load(0, 4)
+        mem.load(0, 4)
+        assert (mem.load_count, mem.store_count) == (2, 1)
+
+    def test_write_words_read_words(self):
+        mem = FlatMemory(size=64)
+        mem.write_words(0, [1, 2, 3])
+        assert mem.read_words(0, 3) == [1, 2, 3]
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+           st.integers(min_value=0, max_value=15).map(lambda i: i * 4))
+    def test_store_load_roundtrip(self, value, addr):
+        mem = FlatMemory(size=64)
+        mem.store(addr, value, 4)
+        assert mem.load(addr, 4) == value
+
+    def test_truncation_on_narrow_store(self):
+        mem = FlatMemory(size=64)
+        mem.store(0, 0x1FF, 1)
+        assert mem.load(0, 1) == 0xFF

@@ -1,0 +1,92 @@
+"""Microarchitectural verification through the per-cycle pipeline trace."""
+
+from repro.cpu import PipelinedCPU
+from repro.cpu.trace import PipelineTrace, render_diagram
+from repro.isa import assemble
+
+
+def run_traced(source, **kwargs):
+    trace = PipelineTrace()
+    cpu = PipelinedCPU(assemble(source), trace=trace, **kwargs)
+    result = cpu.run()
+    return trace, result
+
+
+class TestStraightLineFlow:
+    def test_instruction_visits_stages_in_order(self):
+        trace, _ = run_traced("nop\nnop\nnop\nebreak")
+        journey = trace.journey(0)  # the first nop
+        assert journey["IF"] == [1]
+        assert journey["ID"] == [2]
+        assert journey["EX"] == [3]
+        assert journey["MEM"] == [4]
+        assert journey["WB"] == [5]
+
+    def test_one_instruction_enters_per_cycle(self):
+        trace, _ = run_traced("nop\nnop\nnop\nebreak")
+        if_history = [pc for pc in trace.stage_history("IF") if pc is not None]
+        assert if_history[:4] == [0, 4, 8, 12]
+
+    def test_pipeline_full_mid_run(self):
+        trace, _ = run_traced("nop\nnop\nnop\nnop\nnop\nebreak")
+        fullest = max(record.occupied() for record in trace.records)
+        assert fullest == 5
+
+
+class TestHazardsInTrace:
+    def test_load_use_bubble_visible(self):
+        source = """
+            li a1, 64
+            lw a2, 0(a1)
+            addi a3, a2, 1
+            ebreak
+        """
+        trace, result = run_traced(source)
+        assert result.stats.stalls == 1
+        # the consumer (pc=8) sits in ID for two consecutive cycles
+        journey = trace.journey(8)
+        assert len(journey["ID"]) == 2
+        # and EX has exactly one hazard bubble beyond the fill
+        ex = trace.stage_history("EX")
+        mid_bubbles = [i for i, pc in enumerate(ex[2:], start=2) if pc is None]
+        assert len(mid_bubbles) >= 1
+
+    def test_taken_branch_squashes_wrong_path(self):
+        source = """
+            beq x0, x0, target
+            li a0, 99
+            li a1, 99
+        target:
+            ebreak
+        """
+        trace, _ = run_traced(source)
+        # the wrong-path instruction (pc=4) is fetched but never reaches EX
+        wrong = trace.journey(4)
+        assert wrong["IF"] or wrong["ID"]  # it was in flight
+        assert wrong["EX"] == []
+        assert wrong["WB"] == []
+
+    def test_no_forwarding_extends_id_occupancy(self):
+        source = "li a0, 1\naddi a1, a0, 1\nebreak"
+        fast_trace, _ = run_traced(source)
+        slow_trace, _ = run_traced(source, forwarding=False)
+        assert (len(slow_trace.journey(4)["ID"])
+                > len(fast_trace.journey(4)["ID"]))
+
+
+class TestDiagramRendering:
+    def test_render_contains_stage_headers(self):
+        trace, _ = run_traced("nop\nebreak")
+        text = render_diagram(trace)
+        for stage in ("IF", "ID", "EX", "MEM", "WB"):
+            assert stage in text
+
+    def test_render_bubbles_as_dash(self):
+        trace, _ = run_traced("nop\nebreak")
+        assert "-" in render_diagram(trace)
+
+    def test_capture_respects_limit(self):
+        trace = PipelineTrace(max_cycles=3)
+        cpu = PipelinedCPU(assemble("nop\nnop\nnop\nnop\nebreak"), trace=trace)
+        cpu.run()
+        assert len(trace) == 3

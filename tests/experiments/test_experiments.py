@@ -1,0 +1,165 @@
+"""Tests for the experiment harness: every table/figure runs and lands
+within its documented band of the paper."""
+
+import pytest
+
+from repro.experiments import (
+    fig09_voltage_sweep,
+    fig10_overhead,
+    fig11_power_overhead,
+    fig12_area_energy,
+    fig13_utilization_timeline,
+    fig14_batch_sweep,
+    fig16_power_trace,
+    table2_mcu,
+    table4_utilization,
+)
+from repro.experiments.common import ExperimentResult, Metric
+
+
+class TestCommon:
+    def test_metric_deviation(self):
+        metric = Metric(name="x", measured=110.0, paper=100.0)
+        assert metric.deviation == pytest.approx(0.10)
+
+    def test_metric_without_paper(self):
+        assert Metric(name="x", measured=5.0).deviation is None
+
+    def test_result_lookup(self):
+        result = ExperimentResult("T", "title")
+        result.add("a", 1.0, paper=2.0)
+        assert result.metric("a").measured == 1.0
+        with pytest.raises(KeyError):
+            result.metric("b")
+
+    def test_table_rendering(self):
+        result = ExperimentResult("T1", "demo")
+        result.add("a", 1.2345, paper=1.2)
+        text = result.to_table()
+        assert "T1: demo" in text
+        assert "a" in text
+
+    def test_markdown_rendering(self):
+        result = ExperimentResult("T1", "demo", notes="hello")
+        result.add("a", 1.0, paper=1.0, unit="ms")
+        md = result.to_markdown()
+        assert "| a |" in md
+        assert "hello" in md
+
+
+class TestFig09:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig09_voltage_sweep.run()
+
+    def test_anchors_exact(self, result):
+        for name in ("frequency at 1 V", "BNN power at 1 V",
+                     "CPU power at 0.4 V"):
+            assert abs(result.metric(name).deviation) < 1e-3
+
+    def test_mep_close_to_paper(self, result):
+        assert abs(result.metric("CPU MEP voltage").deviation) < 0.10
+
+    def test_series_monotone(self, result):
+        freqs = result.series["frequency_mhz"]
+        assert all(a < b for a, b in zip(freqs, freqs[1:]))
+
+
+class TestFig10:
+    def test_all_overheads_exact(self):
+        result = fig10_overhead.run()
+        for metric in result.metrics:
+            assert abs(metric.deviation) < 0.01
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_power_overhead.run()
+
+    def test_average_calibrated(self, result):
+        assert abs(result.metric("average per-instruction overhead")
+                   .deviation) < 1e-3
+
+    def test_programs_near_15_percent(self, result):
+        for name in ("crc32", "sort", "fir", "bitcount", "stringsearch",
+                     "matmul"):
+            overhead = result.metric(f"{name} program overhead").measured
+            assert 13.0 < overhead < 17.0
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_area_energy.run()
+
+    def test_area_saving_exact(self, result):
+        assert abs(result.metric("area saving").deviation) < 0.01
+
+    def test_energy_endpoints_in_band(self, result):
+        assert abs(result.metric("energy saving at 1 V").deviation) < 0.25
+        assert abs(result.metric("energy saving at 0.4 V").deviation) < 0.10
+
+    def test_crossover_exists_in_range(self, result):
+        crossover = result.metric("crossover voltage").measured
+        assert 0.4 < crossover < 1.0
+
+
+class TestFig13:
+    def test_improvements_match_paper(self):
+        result = fig13_utilization_timeline.run()
+        for label in ("40% CPU fraction (batch 4)",
+                      "70% CPU fraction (batch 2)"):
+            assert abs(result.metric(f"improvement at {label}")
+                       .deviation) < 0.01
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig14_batch_sweep.run()
+
+    def test_batch100_anchored(self, result):
+        assert abs(result.metric("improvement at batch 100").deviation) < 0.02
+
+    def test_monotone_decline(self, result):
+        assert result.metric("decline is monotone").measured == 1.0
+
+
+class TestFig16:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig16_power_trace.run()
+
+    def test_improvement_43_percent(self, result):
+        assert abs(result.metric("end-to-end improvement").deviation) < 0.02
+
+    def test_trace_spans_oscilloscope_window(self, result):
+        assert abs(result.metric("baseline makespan").deviation) < 0.10
+
+    def test_traces_present_for_all_cores(self, result):
+        assert set(result.series["baseline_trace"]) == {"cpu", "bnn"}
+        assert set(result.series["ncpu_trace"]) == {"ncpu0", "ncpu1"}
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2_mcu.run()
+
+    def test_dmips_per_mhz_band(self, result):
+        assert abs(result.metric("DMIPS/MHz").deviation) < 0.15
+
+    def test_power_anchors(self, result):
+        assert abs(result.metric("power at 0.4 V").deviation) < 0.01
+
+    def test_competitor_rows_carried(self, result):
+        assert len(result.series["competitors"]) == 4
+
+
+class TestTable4:
+    def test_utilizations(self):
+        result = table4_utilization.run()
+        assert result.metric("NCPU0 utilization").measured > 99.0
+        baseline_bnn = result.metric("baseline BNN utilization").measured
+        assert baseline_bnn < 50.0  # the accelerator mostly idles

@@ -1,0 +1,75 @@
+"""Tests for the Fig 7 spec table, the ablation study, and the multi-bit
+extension experiment."""
+
+import pytest
+
+from repro.experiments import ablations, extension_multibit, fig07_specs
+
+
+class TestFig07:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig07_specs.run()
+
+    def test_power_rows_exact(self, result):
+        for name in ("nominal frequency", "BNN power at 1 V",
+                     "CPU power at 1 V"):
+            assert abs(result.metric(name).deviation) < 1e-3
+
+    def test_sram_inventory_close(self, result):
+        assert abs(result.metric("on-chip SRAM").deviation) < 0.10
+
+    def test_cores_fit_die(self, result):
+        assert result.metric(
+            "cores fit the 2.8 mm^2 die with periphery margin").measured == 1.0
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablations.run()
+
+    def test_zero_latency_preserves_gain(self, result):
+        on = result.metric("improvement, zero-latency on").measured
+        off = result.metric("improvement, zero-latency off").measured
+        assert on > off > 0
+
+    def test_forwarding_buys_ipc(self, result):
+        assert result.metric("forwarding IPC gain").measured > 20
+
+    def test_dma_bandwidth_saturates(self, result):
+        at_1 = result.metric("batch-2 cycles at 1.0 words/cycle DMA").measured
+        at_2 = result.metric("batch-2 cycles at 2.0 words/cycle DMA").measured
+        at_quarter = result.metric(
+            "batch-2 cycles at 0.25 words/cycle DMA").measured
+        assert at_quarter > at_1 >= at_2  # diminishing returns once hidden
+
+    def test_chaining_wins(self, result):
+        assert result.metric("chaining speedup").measured > 1.5
+
+
+class TestExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return extension_multibit.run()
+
+    def test_8bit_matches_float(self, result):
+        assert result.metric("8-bit matches float (within 1 point)"
+                             ).measured == 1.0
+
+    def test_accuracy_ordering(self, result):
+        acc8 = result.metric("8-bit accuracy").measured
+        acc4 = result.metric("4-bit accuracy").measured
+        binary = result.metric("binary (STE) accuracy").measured
+        assert acc8 > acc4 > 80
+        assert binary > 85
+
+    def test_bnn_cost_advantages(self, result):
+        assert result.metric("BNN throughput advantage vs 8-bit").measured > 6
+        assert result.metric("BNN storage advantage vs 8-bit").measured > 6
+
+    def test_latency_scales_with_bits(self, result):
+        l8 = result.metric("8-bit latency").measured
+        l4 = result.metric("4-bit latency").measured
+        binary = result.metric("binary latency").measured
+        assert l8 > l4 > binary

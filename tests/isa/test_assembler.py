@@ -1,0 +1,257 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AssemblerError
+from repro.isa import assemble, decode, disassemble_word, encode
+from repro.isa.assembler import parse_int, parse_register
+
+
+class TestParsing:
+    def test_abi_register_names(self):
+        assert parse_register("zero") == 0
+        assert parse_register("ra") == 1
+        assert parse_register("sp") == 2
+        assert parse_register("a0") == 10
+        assert parse_register("t0") == 5
+        assert parse_register("t6") == 31
+        assert parse_register("s0") == 8
+        assert parse_register("fp") == 8
+        assert parse_register("s11") == 27
+        assert parse_register("x17") == 17
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            parse_register("q7")
+
+    def test_parse_int_formats(self):
+        assert parse_int("42") == 42
+        assert parse_int("-7") == -7
+        assert parse_int("0x10") == 16
+        assert parse_int("-0x10") == -16
+        assert parse_int("0b101") == 5
+        assert parse_int("1_000") == 1000
+
+    def test_parse_int_garbage(self):
+        with pytest.raises(AssemblerError):
+            parse_int("abc")
+
+
+class TestBasicAssembly:
+    def test_single_instruction(self):
+        prog = assemble("add x1, x2, x3")
+        assert prog.words == [encode("add", rd=1, rs1=2, rs2=3)]
+
+    def test_comments_and_blanks(self):
+        prog = assemble(
+            """
+            # a comment
+            addi x1, x0, 5   ; trailing comment
+
+            addi x2, x0, 6   // c-style
+            """
+        )
+        assert len(prog.words) == 2
+
+    def test_load_store_operands(self):
+        prog = assemble("lw a0, 8(sp)\nsw a0, -4(s0)")
+        lw, sw = prog.decoded()
+        assert (lw.name, lw.rd, lw.rs1, lw.imm) == ("lw", 10, 2, 8)
+        assert (sw.name, sw.rs2, sw.rs1, sw.imm) == ("sw", 10, 8, -4)
+
+    def test_label_branch_backward(self):
+        prog = assemble(
+            """
+            loop:
+                addi x1, x1, 1
+                bne x1, x2, loop
+            """
+        )
+        branch = prog.decoded()[1]
+        assert branch.name == "bne"
+        assert branch.imm == -4
+
+    def test_label_branch_forward(self):
+        prog = assemble(
+            """
+                beq x1, x2, done
+                addi x3, x0, 1
+            done:
+                ebreak
+            """
+        )
+        assert prog.decoded()[0].imm == 8
+        assert prog.symbols["done"] == 8
+
+    def test_label_on_same_line(self):
+        prog = assemble("start: addi x1, x0, 1")
+        assert prog.symbols["start"] == 0
+
+    def test_numeric_branch_offset(self):
+        prog = assemble("beq x0, x0, 12")
+        assert prog.decoded()[0].imm == 12
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\na:\naddi x0, x0, 0")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("frobnicate x1, x2")
+        assert "frobnicate" in str(excinfo.value)
+
+    def test_unknown_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("beq x0, x0, nowhere")
+
+    def test_operand_count_checked(self):
+        with pytest.raises(AssemblerError):
+            assemble("add x1, x2")
+
+    def test_base_address(self):
+        prog = assemble("j target\nnop\ntarget: ebreak", base=0x100)
+        assert prog.base == 0x100
+        assert prog.symbols["target"] == 0x108
+        assert prog.decoded()[0].imm == 8  # still PC-relative
+
+
+class TestDirectives:
+    def test_word_directive(self):
+        prog = assemble(".word 0xdeadbeef, 42")
+        assert prog.words == [0xDEADBEEF, 42]
+
+    def test_org_directive(self):
+        prog = assemble("nop\n.org 0x10\ntail: nop")
+        assert prog.symbols["tail"] == 0x10
+        assert len(prog.words) == 5  # padding filled with zeros
+
+    def test_org_backwards_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("nop\nnop\n.org 0")
+
+
+class TestPseudoInstructions:
+    def test_nop(self):
+        assert assemble("nop").words == [encode("addi")]
+
+    def test_mv(self):
+        instr = assemble("mv a0, a1").decoded()[0]
+        assert (instr.name, instr.rd, instr.rs1, instr.imm) == ("addi", 10, 11, 0)
+
+    def test_li_small(self):
+        prog = assemble("li a0, 42")
+        assert len(prog.words) == 1
+        instr = prog.decoded()[0]
+        assert (instr.name, instr.imm) == ("addi", 42)
+
+    def test_li_negative_small(self):
+        instr = assemble("li a0, -42").decoded()[0]
+        assert instr.imm == -42
+
+    def test_li_large(self):
+        prog = assemble("li a0, 0x12345678")
+        assert len(prog.words) == 2
+        lui, addi = prog.decoded()
+        assert lui.name == "lui" and addi.name == "addi"
+
+    def test_li_large_with_carry(self):
+        # lo12 of 0xFFF forces the +0x1000 carry compensation in lui
+        prog = assemble("li a0, 0x12345FFF\nebreak")
+        from repro.cpu import run_functional
+
+        cpu, _ = run_functional(prog)
+        assert cpu.regs.read(10) == 0x12345FFF
+
+    def test_la(self):
+        prog = assemble(
+            """
+            la a0, data
+            ebreak
+            data: .word 7
+            """
+        )
+        from repro.cpu import run_functional
+
+        cpu, _ = run_functional(prog)
+        assert cpu.regs.read(10) == prog.symbols["data"]
+
+    def test_j_and_ret(self):
+        prog = assemble("j x\nx: ret")
+        j, ret = prog.decoded()
+        assert (j.name, j.rd) == ("jal", 0)
+        assert (ret.name, ret.rs1) == ("jalr", 1)
+
+    def test_call(self):
+        prog = assemble("call f\nf: ret")
+        call = prog.decoded()[0]
+        assert (call.name, call.rd) == ("jal", 1)
+
+    def test_conditional_pseudos(self):
+        prog = assemble(
+            """
+            t: beqz a0, t
+            bnez a0, t
+            bgt a0, a1, t
+            ble a0, a1, t
+            bgtu a0, a1, t
+            bleu a0, a1, t
+            bgez a0, t
+            bltz a0, t
+            """
+        )
+        names = [i.name for i in prog.decoded()]
+        assert names == ["beq", "bne", "blt", "bge", "bltu", "bgeu", "bge", "blt"]
+
+    def test_seqz_snez_not_neg(self):
+        names = [i.name for i in assemble(
+            "seqz a0, a1\nsnez a0, a1\nnot a0, a1\nneg a0, a1").decoded()]
+        assert names == ["sltiu", "sltu", "xori", "sub"]
+
+    def test_halt(self):
+        assert assemble("halt").decoded()[0].name == "ebreak"
+
+
+class TestCustomAssembly:
+    def test_mv_neu(self):
+        instr = assemble("mv_neu 3, a0").decoded()[0]
+        assert (instr.name, instr.rd, instr.rs1) == ("mv_neu", 3, 10)
+
+    def test_mv_neu_index_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("mv_neu 40, a0")
+
+    def test_trans_bnn_default_imm(self):
+        instr = assemble("trans_bnn").decoded()[0]
+        assert (instr.name, instr.imm) == ("trans_bnn", 0)
+
+    def test_trigger_bnn_with_imm(self):
+        instr = assemble("trigger_bnn 5").decoded()[0]
+        assert (instr.name, instr.imm) == ("trigger_bnn", 5)
+
+    def test_l2_ops(self):
+        prog = assemble("sw_l2 a0, 0x40(zero)\nlw_l2 a1, 0x40(zero)")
+        sw, lw = prog.decoded()
+        assert (sw.name, sw.rs2, sw.imm) == ("sw_l2", 10, 0x40)
+        assert (lw.name, lw.rd, lw.imm) == ("lw_l2", 11, 0x40)
+
+
+class TestDisassemblerRoundtrip:
+    @given(st.sampled_from([
+        "add x1, x2, x3", "addi x4, x5, -12", "lw x6, 8(x7)", "sw x8, -4(x9)",
+        "beq x1, x2, 16", "jal x1, 2048", "jalr x3, x4, 4", "lui x5, 0x12",
+        "sll x1, x2, x3", "srai x1, x2, 7", "mv_neu 3, x10", "trans_bnn 0",
+        "sw_l2 x3, 8(x2)", "lw_l2 x4, 8(x2)", "trigger_bnn 1", "ebreak",
+    ]))
+    def test_disassemble_reassembles_to_same_word(self, text):
+        word = assemble(text).words[0]
+        again = assemble(disassemble_word(word)).words[0]
+        assert again == word
+
+    def test_word_fallback(self):
+        assert disassemble_word(0xFFFFFFFF) == ".word 0xffffffff"
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_disassembler_never_raises(self, word):
+        disassemble_word(word)

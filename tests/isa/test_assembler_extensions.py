@@ -1,0 +1,185 @@
+"""Tests for the assembler's data directives, constants, and expressions."""
+
+import pytest
+
+from repro.cpu import run_functional
+from repro.errors import AssemblerError
+from repro.isa import assemble
+from repro.isa.assembler import evaluate_expression
+
+
+class TestExpressions:
+    SYMBOLS = {"base": 0x100, "top": 0x200}
+
+    def test_plain_int(self):
+        assert evaluate_expression("42", {}) == 42
+
+    def test_symbol(self):
+        assert evaluate_expression("base", self.SYMBOLS) == 0x100
+
+    def test_sum_chain(self):
+        assert evaluate_expression("base+8", self.SYMBOLS) == 0x108
+        assert evaluate_expression("top-base", self.SYMBOLS) == 0x100
+        assert evaluate_expression("base + 4 - 2", self.SYMBOLS) == 0x102
+
+    def test_leading_sign(self):
+        assert evaluate_expression("-8", {}) == -8
+        assert evaluate_expression("-base+4", self.SYMBOLS) == -0xFC
+
+    def test_hi_lo(self):
+        assert evaluate_expression("%hi(0x12345678)", {}) == 0x12345
+        assert evaluate_expression("%lo(0x12345678)", {}) == 0x678
+        # %lo sign-compensation: hi<<12 + lo must reconstruct the value
+        value = 0x12345FFF
+        hi = evaluate_expression(f"%hi({value:#x})", {})
+        lo = evaluate_expression(f"%lo({value:#x})", {})
+        assert ((hi << 12) + lo) & 0xFFFFFFFF == value
+
+    def test_hi_lo_of_symbol(self):
+        assert evaluate_expression("%hi(base)", self.SYMBOLS) == 0
+
+    def test_unknown_symbol(self):
+        with pytest.raises(AssemblerError):
+            evaluate_expression("bogus+1", {})
+
+    def test_empty(self):
+        with pytest.raises(AssemblerError):
+            evaluate_expression("  ", {})
+
+
+class TestEquates:
+    def test_equ_in_immediates(self):
+        prog = assemble("""
+        .equ SIZE, 40
+            li a0, SIZE
+            addi a1, zero, SIZE+2
+            ebreak
+        """)
+        cpu, result = run_functional(prog)
+        assert result.halted
+        assert cpu.regs.read(10) == 40
+        assert cpu.regs.read(11) == 42
+
+    def test_set_alias(self):
+        prog = assemble(".set X, 7\nli a0, X\nebreak")
+        cpu, _ = run_functional(prog)
+        assert cpu.regs.read(10) == 7
+
+    def test_equ_in_memory_offset(self):
+        prog = assemble("""
+        .equ SLOT, 64
+            li a0, 9
+            sw a0, SLOT(zero)
+            lw a1, SLOT(zero)
+            ebreak
+        """)
+        cpu, _ = run_functional(prog)
+        assert cpu.regs.read(11) == 9
+
+    def test_equ_referencing_equ(self):
+        prog = assemble(".equ A, 4\n.equ B, A+4\nli a0, B\nebreak")
+        cpu, _ = run_functional(prog)
+        assert cpu.regs.read(10) == 8
+
+    def test_duplicate_equ_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".equ A, 1\n.equ A, 2\nebreak")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".equ 9lives, 1\nebreak")
+
+    def test_equ_in_org(self):
+        prog = assemble(".equ HERE, 0x10\nnop\n.org HERE\ntail: ebreak")
+        assert prog.symbols["tail"] == 0x10
+
+
+class TestDataDirectives:
+    def test_byte_packing(self):
+        prog = assemble("data: .byte 1, 2, 3, 4, 5")
+        assert prog.words[0] == 0x04030201
+        assert prog.words[1] == 0x00000005
+
+    def test_half_packing(self):
+        prog = assemble("data: .half 0x1234, 0x5678, 0x9abc")
+        assert prog.words[0] == 0x56781234
+        assert prog.words[1] == 0x9ABC
+
+    def test_ascii(self):
+        prog = assemble('.ascii "abcd"')
+        assert prog.words[0].to_bytes(4, "little") == b"abcd"
+
+    def test_asciz_terminates(self):
+        prog = assemble('.asciz "abc"')
+        assert prog.words[0].to_bytes(4, "little") == b"abc\x00"
+
+    def test_ascii_with_comma_and_escape(self):
+        prog = assemble(r'.asciz "a, b\n"')
+        raw = b"".join(w.to_bytes(4, "little") for w in prog.words)
+        assert raw.startswith(b"a, b\n\x00")
+
+    def test_unquoted_string_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".ascii hello")
+
+    def test_word_with_label_value(self):
+        prog = assemble("entry: nop\ntable: .word entry, table")
+        assert prog.word_at(prog.symbols["table"]) == prog.symbols["entry"]
+        assert prog.word_at(prog.symbols["table"] + 4) == prog.symbols["table"]
+
+    def test_labels_after_data_correct(self):
+        prog = assemble("a: .byte 1, 2, 3, 4, 5\nb: nop")
+        assert prog.symbols["b"] == 8  # 5 bytes pad to 2 words
+
+    def test_program_reads_string_at_runtime(self):
+        # instruction and data memory are separate (Harvard, like the NCPU's
+        # I$ vs banked D$), so embedded data is staged into data memory
+        from repro.cpu import FlatMemory, FunctionalCPU
+
+        prog = assemble("""
+            la a0, message
+            lbu a1, 0(a0)     # 'H'
+            lbu a2, 5(a0)     # '!'
+            ebreak
+        message: .asciz "Hello!"
+        """)
+        memory = FlatMemory(size=4096)
+        memory.write_words(prog.base, prog.words)  # stage the data section
+        cpu = FunctionalCPU(prog, memory=memory)
+        result = cpu.run()
+        assert result.halted
+        assert cpu.regs.read(11) == ord("H")
+        assert cpu.regs.read(12) == ord("!")
+
+
+class TestRelocationOperators:
+    def test_hi_lo_materialize_address(self):
+        prog = assemble("""
+            lui a0, %hi(target)
+            addi a0, a0, %lo(target)
+            ebreak
+        .org 0x800
+        target: .word 0
+        """)
+        cpu, _ = run_functional(prog)
+        assert cpu.regs.read(10) == prog.symbols["target"]
+
+    def test_branch_to_label_plus_offset(self):
+        prog = assemble("""
+            j skip+4
+        skip:
+            li a0, 1          # skipped
+            li a1, 2
+            ebreak
+        """)
+        cpu, result = run_functional(prog)
+        assert result.halted
+        assert cpu.regs.read(10) == 0
+        assert cpu.regs.read(11) == 2
+
+    def test_symbolic_li_reserves_two_words(self):
+        prog = assemble(".equ SMALL, 5\nli a0, SMALL\nebreak")
+        # symbolic li always expands to lui+addi (pass-1 sizing)
+        assert len(prog.words) == 3
+        cpu, _ = run_functional(prog)
+        assert cpu.regs.read(10) == 5

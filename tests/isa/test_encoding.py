@@ -1,0 +1,101 @@
+"""Unit tests for the bit-level encoding helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.isa import encoding as enc
+
+
+class TestBits:
+    def test_extracts_low_bits(self):
+        assert enc.bits(0b1101, 2, 0) == 0b101
+
+    def test_extracts_high_bits(self):
+        assert enc.bits(0xF0000000, 31, 28) == 0xF
+
+    def test_single_bit(self):
+        assert enc.bits(0b100, 2, 2) == 1
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            enc.bits(0, 0, 5)
+
+    def test_set_bits_roundtrip(self):
+        word = enc.set_bits(0, 14, 12, 0b101)
+        assert enc.bits(word, 14, 12) == 0b101
+
+    def test_set_bits_overflow_raises(self):
+        with pytest.raises(EncodingError):
+            enc.set_bits(0, 14, 12, 8)
+
+    def test_set_bits_preserves_other_fields(self):
+        word = enc.set_bits(0xFFFFFFFF, 7, 4, 0)
+        assert word == 0xFFFFFF0F
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert enc.sign_extend(0x7FF, 12) == 0x7FF
+
+    def test_negative(self):
+        assert enc.sign_extend(0xFFF, 12) == -1
+
+    def test_boundary(self):
+        assert enc.sign_extend(0x800, 12) == -2048
+
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_roundtrip_12bit(self, value):
+        assert enc.sign_extend(value & 0xFFF, 12) == value
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_signed32_roundtrip(self, value):
+        assert enc.to_signed32(enc.to_unsigned32(value)) == value
+
+
+class TestImmediates:
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_i_roundtrip(self, imm):
+        assert enc.decode_imm_i(enc.encode_imm_i(imm)) == imm
+
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_s_roundtrip(self, imm):
+        assert enc.decode_imm_s(enc.encode_imm_s(imm)) == imm
+
+    @given(st.integers(min_value=-2048, max_value=2047).map(lambda v: v * 2))
+    def test_b_roundtrip(self, imm):
+        assert enc.decode_imm_b(enc.encode_imm_b(imm)) == imm
+
+    @given(st.integers(min_value=0, max_value=0xFFFFF))
+    def test_u_roundtrip(self, imm):
+        decoded = enc.decode_imm_u(enc.encode_imm_u(imm))
+        assert (decoded & 0xFFFFFFFF) == (imm << 12) & 0xFFFFFFFF
+
+    @given(st.integers(min_value=-(2 ** 19), max_value=2 ** 19 - 1).map(lambda v: v * 2))
+    def test_j_roundtrip(self, imm):
+        assert enc.decode_imm_j(enc.encode_imm_j(imm)) == imm
+
+    def test_i_out_of_range(self):
+        with pytest.raises(EncodingError):
+            enc.encode_imm_i(2048)
+
+    def test_b_misaligned(self):
+        with pytest.raises(EncodingError):
+            enc.encode_imm_b(3)
+
+    def test_j_misaligned(self):
+        with pytest.raises(EncodingError):
+            enc.encode_imm_j(5)
+
+    def test_u_out_of_range(self):
+        with pytest.raises(EncodingError):
+            enc.encode_imm_u(1 << 20)
+
+    def test_b_field_positions(self):
+        # offset -2 has all immediate bits set: inst[31], inst[7], etc.
+        word = enc.encode_imm_b(-2)
+        assert enc.bits(word, 31, 31) == 1
+        assert enc.bits(word, 7, 7) == 1
+        assert enc.bits(word, 30, 25) == 0x3F
+        assert enc.bits(word, 11, 8) == 0xF

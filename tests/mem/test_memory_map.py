@@ -1,0 +1,164 @@
+"""Tests for the NCPU memory map, DMA, and shared L2."""
+
+import numpy as np
+import pytest
+
+from repro.bnn import BNNModel, binarize_sign
+from repro.errors import ConfigurationError, MemoryError_
+from repro.mem import (
+    CoreMode,
+    DMAEngine,
+    NCPUMemory,
+    SharedL2,
+    SystemBus,
+    TRANSFER_SETUP_CYCLES,
+)
+
+
+class TestNCPUMemoryMap:
+    def test_bank_inventory(self):
+        mem = NCPUMemory()
+        assert set(mem.bank_names()) == {
+            "image", "output", "w1", "w2", "w3", "w4", "bias", "icache",
+        }
+
+    def test_data_space_is_contiguous(self):
+        mem = NCPUMemory()
+        lo, hi = mem.arbiter.span
+        assert lo == 0
+        assert hi == mem.data_bytes
+        # ~49.5 kB of reused SRAM become the CPU data cache
+        assert mem.data_bytes == (4 + 1 + 25) * 1024 + 3 * int(6.5 * 1024)
+
+    def test_total_sram_matches_chip_scale(self):
+        # per-core SRAM (excluding L2): ~54.6 kB; two cores ~109 kB, in line
+        # with the chip's 128 kB total including L2
+        mem = NCPUMemory()
+        assert 50 * 1024 < mem.total_bytes < 60 * 1024
+
+    def test_cpu_mode_gates_bias(self):
+        mem = NCPUMemory()
+        assert not mem.banks["bias"].enabled
+        assert mem.banks["icache"].enabled
+
+    def test_bnn_mode_gates_icache(self):
+        mem = NCPUMemory()
+        mem.set_mode(CoreMode.BNN)
+        assert mem.banks["bias"].enabled
+        assert not mem.banks["icache"].enabled
+
+    def test_data_memory_only_in_cpu_mode(self):
+        mem = NCPUMemory()
+        mem.set_mode(CoreMode.BNN)
+        with pytest.raises(ConfigurationError):
+            mem.data_memory()
+
+    def test_address_of(self):
+        mem = NCPUMemory()
+        assert mem.address_of("image") == 0
+        assert mem.address_of("output") == 4096
+        with pytest.raises(ConfigurationError):
+            mem.address_of("image", offset=4096)
+
+    def test_weight_bank_for_layer_wraps(self):
+        mem = NCPUMemory()
+        assert mem.weight_bank_for_layer(0).name == "w1"
+        assert mem.weight_bank_for_layer(3).name == "w4"
+        assert mem.weight_bank_for_layer(4).name == "w1"  # deep nets wrap
+
+    def test_load_model_fits_paper_topology(self):
+        mem = NCPUMemory()
+        model = BNNModel.paper_topology(input_size=256)
+        mem.load_model(model)
+        # layer-1 packed weights: 100 neurons x 8 words
+        assert mem.banks["w1"].writes == 100 * 8
+        # biases stored as halfwords, one write each
+        assert mem.banks["bias"].writes == 100 + 100 + 100 + 10
+        # and they fit comfortably in the 1 kB bias memory
+        assert 2 * (100 + 100 + 100 + 10) <= mem.banks["bias"].size
+
+    def test_load_model_rejects_oversized_layer(self):
+        mem = NCPUMemory()
+        rng = np.random.default_rng(0)
+        # layer 2 (into w2, 6.5 kB) with 100 neurons x 2048 inputs = 25.6 kB
+        big = BNNModel.random([64, 2048, 100], rng)
+        with pytest.raises(ConfigurationError):
+            mem.load_model(big)
+
+    def test_write_image_and_results(self):
+        mem = NCPUMemory()
+        x = binarize_sign(np.random.default_rng(0).standard_normal(256))
+        words = mem.write_image(x)
+        assert words == 8
+        mem.write_result(0, 7)
+        assert mem.read_result(0) == 7
+
+    def test_image_capacity_checked(self):
+        mem = NCPUMemory()
+        too_big = np.ones(IMAGE_BITS + 32, dtype=np.int8)
+        with pytest.raises(ConfigurationError):
+            mem.write_image(too_big)
+
+
+IMAGE_BITS = 4 * 1024 * 8
+
+
+class TestDMA:
+    def test_transfer_cycles(self):
+        dma = DMAEngine(words_per_cycle=0.5)
+        assert dma.transfer_cycles(0) == 0
+        assert dma.transfer_cycles(10) == TRANSFER_SETUP_CYCLES + 20
+
+    def test_full_bandwidth(self):
+        dma = DMAEngine(words_per_cycle=2.0)
+        assert dma.transfer_cycles(10) == TRANSFER_SETUP_CYCLES + 5
+
+    def test_negative_rejected(self):
+        dma = DMAEngine()
+        with pytest.raises(ConfigurationError):
+            dma.transfer_cycles(-1)
+
+    def test_bandwidth_validated(self):
+        with pytest.raises(ConfigurationError):
+            DMAEngine(words_per_cycle=0)
+
+    def test_copy_moves_data_and_records(self):
+        dma = DMAEngine(words_per_cycle=1.0)
+        src = SharedL2(size=256)
+        dst = SharedL2(size=256)
+        src.write_words(0, [1, 2, 3, 4])
+        cycles = dma.copy(src, 0, dst, 16, 4, description="test")
+        assert dst.read_words(16, 4) == [1, 2, 3, 4]
+        assert cycles == TRANSFER_SETUP_CYCLES + 4
+        assert dma.total_words == 4
+        assert dma.total_cycles == cycles
+        assert dma.transfers[0].description == "test"
+
+    def test_copy_into_sram_bank(self):
+        dma = DMAEngine()
+        l2 = SharedL2(size=256)
+        l2.write_words(0, [5, 6])
+        mem = NCPUMemory()
+        dma.copy(l2, 0, mem.banks["image"], mem.address_of("image"), 2)
+        assert mem.banks["image"].read_words(0, 2) == [5, 6]
+
+
+class TestSystemBus:
+    def test_accounting(self):
+        bus = SystemBus(SharedL2())
+        bus.register_client("core0")
+        bus.register_client("dma")
+        bus.account("core0", 10)
+        bus.account("dma", 5)
+        assert bus.total_words == 15
+
+    def test_duplicate_client_rejected(self):
+        bus = SystemBus(SharedL2())
+        bus.register_client("core0")
+        with pytest.raises(ConfigurationError):
+            bus.register_client("core0")
+
+    def test_unknown_client_rejected(self):
+        bus = SystemBus(SharedL2())
+        with pytest.raises(ConfigurationError):
+            bus.account("ghost", 1)

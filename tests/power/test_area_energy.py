@@ -1,0 +1,173 @@
+"""Tests for the area model and energy comparisons."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power import (
+    CPU_MODE_POWER_OVERHEAD_AVG,
+    FIG18_SAVINGS,
+    area_saving,
+    bnn_area,
+    bnn_task_energy,
+    core_power_w,
+    cpu_area,
+    design_leakage_w,
+    fmax_mhz,
+    heterogeneous_area,
+    instruction_power_overhead,
+    instruction_relative_power,
+    ncpu_area,
+    ncpu_energy_saving,
+    program_power_overhead,
+    stage_overhead_fractions,
+)
+
+
+class TestAreaModel:
+    def test_headline_saving(self):
+        # paper Fig 12a: 35.7 % area reduction vs CPU+BNN
+        assert area_saving(100) == pytest.approx(0.357, abs=1e-3)
+
+    def test_fig18_anchor_savings_exact(self):
+        for width, saving in FIG18_SAVINGS.items():
+            assert area_saving(width) == pytest.approx(saving, abs=2e-3)
+
+    def test_saving_decreases_with_width(self):
+        savings = [area_saving(n) for n in (50, 100, 200, 400)]
+        assert all(a > b for a, b in zip(savings, savings[1:]))
+
+    def test_ncpu_total_overhead_vs_bnn(self):
+        # paper Fig 10: +2.7 % including SRAM
+        ratio = ncpu_area(100).total_mm2 / bnn_area(100).total_mm2
+        assert ratio == pytest.approx(1.027, abs=0.005)
+
+    def test_ncpu_core_overhead_vs_bnn(self):
+        # paper Fig 10: +13.1 % core logic
+        ratio = ncpu_area(100).compute_mm2 / bnn_area(100).compute_mm2
+        assert ratio == pytest.approx(1.131, rel=1e-6)
+
+    def test_stage_overheads_sum_to_core_overhead(self):
+        assert sum(stage_overhead_fractions().values()) == pytest.approx(0.131)
+
+    def test_neuroex_dominates(self):
+        fractions = stage_overhead_fractions()
+        assert fractions["NeuroEX"] == max(fractions.values())
+
+    def test_heterogeneous_is_sum(self):
+        het = heterogeneous_area(100)
+        assert het.total_mm2 == pytest.approx(
+            cpu_area().total_mm2 + bnn_area(100).total_mm2
+        )
+
+    def test_two_cores_fit_on_die(self):
+        # 2.8 mm^2 die holds two NCPU cores plus L2/PLL/IO
+        assert 2 * ncpu_area(100).total_mm2 < 2.8
+
+    def test_width_validated(self):
+        with pytest.raises(ConfigurationError):
+            bnn_area(0)
+
+    def test_fmax_degradation(self):
+        assert fmax_mhz("bnn", 1.0) == pytest.approx(960 * 0.959)
+        assert fmax_mhz("cpu", 1.0) == pytest.approx(960 * 0.948)
+        with pytest.raises(ConfigurationError):
+            fmax_mhz("gpu", 1.0)
+
+
+class TestEnergyComparison:
+    def test_overhead_at_nominal_voltage(self):
+        # paper Fig 12b: -7.2 % at 1 V (ours lands within 1.5 points)
+        assert -0.09 < ncpu_energy_saving(1.0) < -0.05
+
+    def test_saving_at_low_voltage(self):
+        # paper Fig 12b: +12.6 % at 0.4 V
+        assert 0.10 < ncpu_energy_saving(0.4) < 0.16
+
+    def test_crossover_exists(self):
+        # saving turns positive somewhere between 0.4 V and 1 V
+        assert ncpu_energy_saving(0.45) > 0 > ncpu_energy_saving(0.55)
+
+    def test_saving_monotone_decreasing_with_voltage(self):
+        # strictly decreasing up to 0.8 V; the curve flattens out above
+        voltages = (0.4, 0.45, 0.5, 0.6, 0.8)
+        savings = [ncpu_energy_saving(v) for v in voltages]
+        assert all(a > b for a, b in zip(savings, savings[1:]))
+        assert abs(ncpu_energy_saving(1.0) - ncpu_energy_saving(0.8)) < 0.01
+
+    def test_task_energy_components_positive(self):
+        for design in ("ncpu", "heterogeneous"):
+            energy = bnn_task_energy(design, 10_000, 0.6)
+            assert energy.dynamic_j > 0
+            assert energy.leakage_j > 0
+            assert energy.total_j == energy.dynamic_j + energy.leakage_j
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError):
+            bnn_task_energy("tpu", 1000, 1.0)
+
+    def test_leakage_scales_with_area(self):
+        small = design_leakage_w(ncpu_area(100), 0.8)
+        large = design_leakage_w(heterogeneous_area(100), 0.8)
+        assert large > small
+
+    def test_sram_vmin_raises_low_voltage_leakage(self):
+        # at 0.4 V the SRAM domain sits at 0.55 V, leaking more than the core
+        breakdown = ncpu_area(100)
+        leak = design_leakage_w(breakdown, 0.4)
+        from repro.power import leakage_density_w_per_mm2
+
+        all_at_04 = breakdown.total_mm2 * leakage_density_w_per_mm2(0.4)
+        assert leak > all_at_04
+
+
+class TestPerInstructionModel:
+    def test_average_overhead_calibrated(self):
+        from repro.isa import RV32I_BASE_NAMES
+
+        overheads = [instruction_power_overhead(n) for n in RV32I_BASE_NAMES]
+        assert sum(overheads) / len(overheads) == pytest.approx(
+            CPU_MODE_POWER_OVERHEAD_AVG, abs=1e-6
+        )
+
+    def test_overhead_spread_is_moderate(self):
+        # paper Fig 11b: all instructions within roughly 13-16 %
+        from repro.isa import RV32I_BASE_NAMES
+
+        overheads = [instruction_power_overhead(n) for n in RV32I_BASE_NAMES]
+        assert min(overheads) > 0.10
+        assert max(overheads) < 0.18
+
+    def test_loads_cost_more_than_alu(self):
+        assert instruction_relative_power("lw") > instruction_relative_power("add")
+
+    def test_program_overhead_from_mix(self):
+        mix = {"addi": 50, "lw": 20, "sw": 10, "beq": 10, "add": 10}
+        overhead = program_power_overhead(mix)
+        assert 0.12 < overhead < 0.17
+
+    def test_program_overhead_empty(self):
+        assert program_power_overhead({}) == 0.0
+
+    def test_custom_instructions_mapped(self):
+        overhead = program_power_overhead({"sw_l2": 5, "trans_bnn": 1, "mv_neu": 2})
+        assert overhead > 0
+
+
+class TestCorePower:
+    def test_idle_core_leaks_only(self):
+        idle = core_power_w("cpu", 1.0, 50e6, active=False)
+        active = core_power_w("cpu", 1.0, 50e6, active=True)
+        assert idle < active
+        from repro.power import cpu_profile
+
+        assert idle == pytest.approx(cpu_profile().leakage_power_w(1.0))
+
+    def test_reconfigurable_costs_more(self):
+        ncpu = core_power_w("cpu", 1.0, 50e6, reconfigurable=True)
+        baseline = core_power_w("cpu", 1.0, 50e6, reconfigurable=False)
+        assert ncpu > baseline
+
+    def test_bnn_mode_power_at_50mhz_scales(self):
+        p50 = core_power_w("bnn", 1.0, 50e6)
+        p100 = core_power_w("bnn", 1.0, 100e6)
+        assert p100 > p50

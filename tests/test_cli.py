@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+    li a0, 5
+    li a1, 7
+    add a2, a0, a1
+    ebreak
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestAsm:
+    def test_asm_to_stdout(self, source_file, capsys):
+        assert main(["asm", source_file]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 4
+        assert all(len(line) == 8 for line in out)
+
+    def test_asm_to_file(self, source_file, tmp_path, capsys):
+        output = str(tmp_path / "prog.hex")
+        assert main(["asm", source_file, "-o", output]) == 0
+        assert "4 words" in capsys.readouterr().out
+        assert len(open(output).read().split()) == 4
+
+    def test_asm_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text("frobnicate x1")
+        assert main(["asm", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["asm", "/nonexistent.s"]) == 2
+
+
+class TestDis:
+    def test_roundtrip(self, source_file, tmp_path, capsys):
+        hex_file = str(tmp_path / "prog.hex")
+        main(["asm", source_file, "-o", hex_file])
+        capsys.readouterr()
+        assert main(["dis", hex_file]) == 0
+        out = capsys.readouterr().out
+        assert "addi" in out
+        assert "add" in out
+        assert "ebreak" in out
+
+
+class TestRun:
+    def test_run_pipeline(self, source_file, capsys):
+        assert main(["run", source_file, "--regs"]) == 0
+        out = capsys.readouterr().out
+        assert "stop: halt" in out
+        assert "ipc=" in out
+        assert "x12=        12" in out
+
+    def test_run_functional(self, source_file, capsys):
+        assert main(["run", source_file, "--functional"]) == 0
+        out = capsys.readouterr().out
+        assert "instructions=4" in out
+
+    def test_run_nonhalting_returns_failure(self, tmp_path, capsys):
+        path = tmp_path / "loop.s"
+        path.write_text("loop: j loop")
+        assert main(["run", str(path), "--max-cycles", "100"]) == 1
+
+
+class TestInfoAndExperiments:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "960 MHz" in out
+        assert "35.7%" in out
+
+    def test_experiments_filtered(self, capsys):
+        assert main(["experiments", "fig13"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 13" in out
+        assert "41.2" in out

@@ -1,0 +1,119 @@
+"""Coverage for small helpers: stats merging, events, program container,
+and the exception hierarchy."""
+
+import pytest
+
+from repro.cpu import CoreEnv, ExecStats
+from repro.cpu.env import CoreEvent
+from repro.errors import (
+    AssemblerError,
+    ConfigurationError,
+    DecodingError,
+    EncodingError,
+    MemoryError_,
+    ReproError,
+    SimulationError,
+    TrainingError,
+)
+from repro.isa import Program, assemble, encode
+
+
+class TestExecStats:
+    def test_merge_adds_everything(self):
+        a = ExecStats(cycles=10, instructions=8, stalls=1, flushes=2,
+                      mem_reads=3, mem_writes=4)
+        a.instr_counts["add"] = 5
+        a.stage_busy["EX"] = 7
+        b = ExecStats(cycles=20, instructions=15, stalls=2, flushes=0,
+                      mem_reads=1, mem_writes=1)
+        b.instr_counts["add"] = 2
+        b.instr_counts["lw"] = 3
+        merged = a.merge(b)
+        assert merged.cycles == 30
+        assert merged.instructions == 23
+        assert merged.stalls == 3
+        assert merged.flushes == 2
+        assert merged.mem_reads == 4
+        assert merged.instr_counts["add"] == 7
+        assert merged.instr_counts["lw"] == 3
+        assert merged.stage_busy["EX"] == 7
+
+    def test_ipc_cpi_zero_safe(self):
+        empty = ExecStats()
+        assert empty.ipc == 0.0
+        assert empty.cpi == 0.0
+
+    def test_cpi_is_inverse_of_ipc(self):
+        stats = ExecStats(cycles=20, instructions=10)
+        assert stats.ipc == pytest.approx(1 / stats.cpi)
+
+
+class TestCoreEnv:
+    def test_event_str(self):
+        event = CoreEvent(name="trans_bnn", cycle=10, pc=0x40, imm=2)
+        text = str(event)
+        assert "trans_bnn" in text and "cycle=10" in text
+
+    def test_transition_neuron_wraps_index(self):
+        env = CoreEnv()
+        env.write_transition_neuron(33, 7)  # wraps to 1
+        assert env.transition_neurons[1] == 7
+
+    def test_transition_neuron_masks_value(self):
+        env = CoreEnv()
+        env.write_transition_neuron(0, 1 << 36)
+        assert env.transition_neurons[0] == 0
+
+    def test_events_named_filters(self):
+        env = CoreEnv()
+        env.record("a", 1, 0)
+        env.record("b", 2, 4)
+        env.record("a", 3, 8)
+        assert len(env.events_named("a")) == 2
+
+
+class TestProgram:
+    def test_word_at_bounds(self):
+        program = assemble("nop\nebreak")
+        assert program.word_at(0) == encode("addi")
+        with pytest.raises(IndexError):
+            program.word_at(8)
+        with pytest.raises(IndexError):
+            program.word_at(2)  # misaligned
+
+    def test_size_and_end(self):
+        program = assemble("nop\nnop\nebreak", base=0x100)
+        assert program.size_bytes == 12
+        assert program.end == 0x10C
+        assert len(program) == 3
+
+    def test_address_of_unknown_label(self):
+        program = assemble("x: nop")
+        assert program.address_of("x") == 0
+        with pytest.raises(KeyError) as excinfo:
+            program.address_of("y")
+        assert "known" in str(excinfo.value)
+
+    def test_decoded_covers_all_words(self):
+        program = assemble("nop\nadd x1, x2, x3\nebreak")
+        assert [i.name for i in program.decoded()] == ["addi", "add", "ebreak"]
+
+    def test_empty_program(self):
+        assert len(Program(words=[])) == 0
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("error_class", [
+        EncodingError, DecodingError, AssemblerError, MemoryError_,
+        SimulationError, ConfigurationError, TrainingError,
+    ])
+    def test_all_derive_from_repro_error(self, error_class):
+        assert issubclass(error_class, ReproError)
+
+    def test_assembler_error_location(self):
+        error = AssemblerError("boom", line_number=3, line_text="bad line")
+        assert "line 3" in str(error)
+        assert error.line_number == 3
+
+    def test_assembler_error_without_location(self):
+        assert str(AssemblerError("boom")) == "boom"

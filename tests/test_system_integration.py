@@ -1,0 +1,160 @@
+"""Full-system integration: both SoC organizations run the *real* image
+workload functionally — raw pixels, real assembly, real banks, real
+XNOR inference — and their outputs and timing relations match the paper's
+story end to end."""
+
+import numpy as np
+import pytest
+
+from repro.bnn import BNNModel
+from repro.bnn.quantize import bits_to_sign, unpack_bits
+from repro.core import HeterogeneousSoC, NCPUCore, NCPUSoC
+from repro.isa import assemble
+from repro.power import memory_access_energy_j, sram_access_energy_j
+from repro.workloads import image_pipeline as ip
+from repro.workloads import layout
+
+
+@pytest.fixture(scope="module")
+def model():
+    return BNNModel.paper_topology(input_size=256,
+                                   rng=np.random.default_rng(21))
+
+
+@pytest.fixture(scope="module")
+def frame():
+    return np.random.default_rng(22).integers(0, 256, size=(3, 32, 32))
+
+
+@pytest.fixture(scope="module")
+def golden_prediction(model, frame):
+    _, packed = ip.pipeline_reference(frame)
+    signs = bits_to_sign(unpack_bits(packed, 256))
+    return model.predict(signs)
+
+
+NCPU_SOURCE = """
+    li a0, 256
+    mv_neu 0, a0
+    li a0, 1
+    mv_neu 1, a0
+""" + ip.full_pipeline_asm(ip.ImageShape(32, 32), finish="trans_bnn")
+
+BASELINE_SOURCE = ip.full_pipeline_asm(ip.ImageShape(32, 32),
+                                       finish="ebreak")
+
+
+class TestBaselineSoCRunsTheWorkload:
+    def test_preprocess_offload_classify(self, model, frame,
+                                         golden_prediction):
+        soc = HeterogeneousSoC()
+        soc.device.load_model(model)
+        ip.write_raw_frame(soc.cpu_memory, frame, base=layout.RAW_BASE)
+        result = soc.run_cpu_program(assemble(BASELINE_SOURCE))
+        assert result.halted
+        soc.offload_and_classify(layout.PACKED_INPUT_BASE, n_inputs=1)
+        assert soc.results() == [golden_prediction]
+
+    def test_offload_cost_shows_in_timeline(self, model, frame):
+        soc = HeterogeneousSoC()
+        soc.device.load_model(model)
+        ip.write_raw_frame(soc.cpu_memory, frame, base=layout.RAW_BASE)
+        soc.run_cpu_program(assemble(BASELINE_SOURCE))
+        before = soc.cpu_clock
+        soc.offload_and_classify(layout.PACKED_INPUT_BASE)
+        dma_segments = [s for s in soc.timeline.segments if s.kind == "dma"]
+        assert dma_segments and soc.cpu_clock > before
+
+
+class TestNCPUMatchesBaselineFunctionally:
+    def test_same_prediction_no_offload(self, model, frame,
+                                        golden_prediction):
+        core = NCPUCore()
+        core.load_model(model)
+        ip.write_raw_frame(core.memory.data_memory(), frame,
+                           base=layout.RAW_BASE)
+        run = core.run_cpu_program(assemble(NCPU_SOURCE))
+        assert run.stop_reason == "trans_bnn"
+        assert core.run_bnn() == [golden_prediction]
+        # the NCPU never moved the input: zero DMA segments
+        assert all(s.kind != "dma"
+                   for s in core.timeline.core_segments(core.name))
+
+    def test_two_cores_beat_one_baseline_on_two_frames(self, model):
+        """The end-to-end argument measured functionally, not scheduled:
+        two NCPU cores each process one frame; the baseline serializes its
+        CPU over both frames with the accelerator overlapping."""
+        rng = np.random.default_rng(23)
+        frames = [rng.integers(0, 256, size=(3, 32, 32)) for _ in range(2)]
+
+        soc = NCPUSoC(n_cores=2)
+        soc.load_model_all(model)
+        predictions = []
+        for core, raw in zip(soc.cores, frames):
+            ip.write_raw_frame(core.memory.data_memory(), raw,
+                               base=layout.RAW_BASE)
+            run = core.run_cpu_program(assemble(NCPU_SOURCE))
+            assert run.stop_reason == "trans_bnn"
+            predictions.extend(core.run_bnn())
+        ncpu_makespan = soc.makespan
+
+        baseline = HeterogeneousSoC()
+        baseline.device.load_model(model)
+        baseline_predictions = []
+        for raw in frames:
+            ip.write_raw_frame(baseline.cpu_memory, raw, base=layout.RAW_BASE)
+            baseline.run_cpu_program(assemble(BASELINE_SOURCE))
+            baseline.offload_and_classify(layout.PACKED_INPUT_BASE)
+        baseline_predictions = baseline.results()
+        baseline_makespan = baseline.makespan
+
+        assert predictions == baseline_predictions
+        improvement = 1 - ncpu_makespan / baseline_makespan
+        # our measured workload is ~99 % CPU, so two cores approach the
+        # 50 % ceiling (paper's 43 % at its 76 % fraction)
+        assert 0.40 < improvement < 0.55
+
+    def test_result_published_to_l2_for_host(self, model, frame,
+                                             golden_prediction):
+        soc = NCPUSoC(n_cores=1)
+        core = soc.core(0)
+        core.load_model(model)
+        ip.write_raw_frame(core.memory.data_memory(), frame,
+                           base=layout.RAW_BASE)
+        run = core.run_cpu_program(assemble(NCPU_SOURCE))
+        assert run.stop_reason == "trans_bnn"
+        core.run_bnn()
+        core.switch_to_cpu()
+        publish = assemble(f"""
+            li a1, {layout.RESULT_BASE}
+            lw a0, 0(a1)
+            sw_l2 a0, 0x40(zero)     # hand the classification to the host
+            ebreak
+        """)
+        assert core.run_cpu_program(publish).halted
+        assert soc.l2.load(0x40, 4) == golden_prediction
+
+
+class TestSramEnergyAccounting:
+    def test_access_energy_scales_with_bank_size(self):
+        small = sram_access_energy_j(1024, 100, 1.0)
+        large = sram_access_energy_j(16 * 1024, 100, 1.0)
+        assert large > small
+
+    def test_vmin_floor_applies(self):
+        at_04 = sram_access_energy_j(4096, 100, 0.4)
+        at_055 = sram_access_energy_j(4096, 100, 0.55)
+        assert at_04 == pytest.approx(at_055)
+
+    def test_workload_generates_measurable_bank_energy(self, model, frame):
+        core = NCPUCore()
+        core.load_model(model)
+        core.memory.reset_counters()
+        ip.write_raw_frame(core.memory.data_memory(), frame,
+                           base=layout.RAW_BASE)
+        core.run_cpu_program(assemble(NCPU_SOURCE))
+        energy = memory_access_energy_j(core.memory, 1.0)
+        assert energy > 0
+        counts = core.memory.access_counts()
+        # the w1 bank (raw frame) dominates the pre-processing traffic
+        assert counts["w1"] > counts["output"]

@@ -1,0 +1,106 @@
+"""Tests for the ASCII visualization helpers."""
+
+import pytest
+
+from repro.core import BNN, CPU, IDLE, SWITCH, Timeline
+from repro.errors import ConfigurationError
+from repro.viz import render_bars, render_series, render_timeline
+
+
+class TestTimelineRendering:
+    def make(self):
+        timeline = Timeline()
+        timeline.add("cpu", CPU, 0, 70)
+        timeline.add("cpu", IDLE, 70, 100)
+        timeline.add("bnn", IDLE, 0, 70)
+        timeline.add("bnn", BNN, 70, 100)
+        return timeline
+
+    def test_lanes_per_core(self):
+        text = render_timeline(self.make(), width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("cpu")
+        assert lines[1].startswith("bnn")
+
+    def test_glyph_proportions(self):
+        text = render_timeline(self.make(), width=50)
+        cpu_lane = text.splitlines()[0]
+        # ~70 % of the lane is 'C'
+        assert 30 <= cpu_lane.count("C") <= 40
+
+    def test_switch_glyph(self):
+        timeline = Timeline()
+        timeline.add("a", CPU, 0, 10)
+        timeline.add("a", SWITCH, 10, 20)
+        timeline.add("a", BNN, 20, 100)
+        text = render_timeline(timeline, width=20)
+        assert "s" in text.splitlines()[0]
+
+    def test_empty(self):
+        assert "empty" in render_timeline(Timeline())
+
+    def test_width_validated(self):
+        with pytest.raises(ConfigurationError):
+            render_timeline(self.make(), width=4)
+
+    def test_short_segments_still_visible(self):
+        timeline = Timeline()
+        timeline.add("a", CPU, 0, 1000)
+        timeline.add("a", SWITCH, 1000, 1002)  # 0.2 % of the span
+        text = render_timeline(timeline, width=32)
+        assert "s" in text.splitlines()[0]
+
+
+class TestSeriesRendering:
+    def test_basic_chart(self):
+        text = render_series([0, 1, 2, 3], [0, 1, 4, 9], title="squares")
+        assert "squares" in text
+        assert text.count("*") == 4
+
+    def test_extremes_on_borders(self):
+        text = render_series([0, 10], [0, 5], width=20, height=5)
+        lines = [l for l in text.splitlines() if "*" in l]
+        assert len(lines) == 2
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            render_series([1, 2], [1])
+
+    def test_empty(self):
+        assert "empty" in render_series([], [])
+
+    def test_constant_series(self):
+        text = render_series([1, 2, 3], [5, 5, 5])
+        assert "*" in text
+
+    def test_y_label(self):
+        assert "y: mW" in render_series([0, 1], [0, 1], y_label="mW")
+
+
+class TestBarRendering:
+    def test_bars_with_reference(self):
+        text = render_bars({"add": 17.0, "and": 35.0}, unit="x",
+                           reference={"add": 17.0})
+        assert "add" in text and "and" in text
+        assert "(paper 17x)" in text
+
+    def test_longest_bar_is_peak(self):
+        text = render_bars({"small": 1.0, "big": 10.0}, width=30)
+        lines = text.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_empty(self):
+        assert "no bars" in render_bars({})
+
+
+class TestIntegrationWithScheduler:
+    def test_fig13_timeline_renders(self):
+        from repro.core import SchedulerConfig, compare_end_to_end, items_for_fraction
+
+        comparison = compare_end_to_end(
+            items_for_fraction(0.7, 2),
+            SchedulerConfig(offload_cycles=0, switch_cycles=0))
+        baseline = render_timeline(comparison.baseline)
+        ncpu = render_timeline(comparison.ncpu_dual)
+        assert "C" in baseline and "B" in baseline
+        assert "ncpu0" in ncpu and "ncpu1" in ncpu

@@ -1,0 +1,142 @@
+"""Tests for the keyword-detection workload (third use case)."""
+
+import numpy as np
+import pytest
+
+from repro.bnn import BNNModel, binarize_sign
+from repro.bnn.datasets import synthetic_keywords
+from repro.core import NCPUCore
+from repro.cpu import FlatMemory, run_pipelined
+from repro.errors import ConfigurationError
+from repro.isa import assemble
+from repro.workloads import audio_features as af
+from repro.workloads import layout
+
+
+def sample_signal(seed=0):
+    return synthetic_keywords(n_samples=1, seed=seed).signals[0]
+
+
+class TestDataset:
+    def test_shapes(self):
+        ds = synthetic_keywords(n_samples=30)
+        assert ds.signals.shape == (30, 256)
+        assert ds.n_classes == 4
+        assert ds.length == 256
+
+    def test_deterministic(self):
+        a = synthetic_keywords(n_samples=10, seed=4)
+        b = synthetic_keywords(n_samples=10, seed=4)
+        np.testing.assert_array_equal(a.signals, b.signals)
+
+    def test_background_class_is_noise(self):
+        ds = synthetic_keywords(n_samples=400, noise_sigma=0.1)
+        background = ds.signals[ds.labels == 0]
+        keyword = ds.signals[ds.labels == 2]
+        assert np.abs(background).mean() < np.abs(keyword).mean()
+
+    def test_feature_dataset(self):
+        ds = synthetic_keywords(n_samples=20)
+        features = ds.to_feature_dataset(af.float_features)
+        assert features.images.shape == (20, af.N_FEATURES)
+
+
+class TestReference:
+    def test_feature_count(self):
+        features = af.features_reference(af.quantize_signal(sample_signal()))
+        assert features.shape == (af.N_FEATURES,)
+
+    def test_window_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            af.quantize_signal(np.zeros(100))
+
+    def test_energy_of_silence_is_zero(self):
+        features = af.features_reference(np.zeros(256, dtype=np.int64))
+        energies = features[0::2]
+        np.testing.assert_array_equal(energies, 0)
+
+    def test_zero_crossings_of_alternating_signal(self):
+        window = np.tile([100, -100], 128).astype(np.int64)
+        features = af.features_reference(window)
+        crossings = features[1::2]
+        # every consecutive pair flips: 15 crossings inside each 16-sample
+        # frame (the frame boundary transition belongs to neither frame)
+        np.testing.assert_array_equal(crossings, 15)
+
+    def test_constant_signal_has_no_crossings(self):
+        features = af.features_reference(np.full(256, 50, dtype=np.int64))
+        np.testing.assert_array_equal(features[1::2], 0)
+
+
+class TestAsmEquivalence:
+    @pytest.fixture(scope="class")
+    def run_full(self):
+        quantized = af.quantize_signal(sample_signal(seed=6))
+        matrix = np.array([af.float_features(s)
+                           for s in synthetic_keywords(n_samples=50,
+                                                       seed=6).signals])
+        thresholds = af.training_thresholds(matrix)
+        memory = FlatMemory(size=1 << 17)
+        af.write_window(memory, quantized)
+        af.write_thresholds(memory, thresholds)
+        _, result = run_pipelined(assemble(af.full_keyword_asm()),
+                                  memory=memory)
+        return quantized, thresholds, memory, result
+
+    def test_halts(self, run_full):
+        *_, result = run_full
+        assert result.stop_reason == "halt"
+
+    def test_features_match(self, run_full):
+        quantized, _, memory, _ = run_full
+        np.testing.assert_array_equal(af.read_features(memory),
+                                      af.features_reference(quantized))
+
+    def test_packed_bits_match(self, run_full):
+        quantized, thresholds, memory, _ = run_full
+        features = af.features_reference(quantized)
+        expected = (features >= thresholds).astype(np.uint8)
+        np.testing.assert_array_equal(af.read_packed_features(memory),
+                                      expected)
+
+    def test_negative_heavy_signal(self):
+        quantized = af.quantize_signal(np.full(256, -0.9))
+        memory = FlatMemory(size=1 << 17)
+        af.write_window(memory, quantized)
+        af.write_thresholds(memory, np.zeros(af.N_FEATURES, dtype=np.int64))
+        _, result = run_pipelined(assemble(af.full_keyword_asm()),
+                                  memory=memory)
+        assert result.stop_reason == "halt"
+        np.testing.assert_array_equal(af.read_features(memory),
+                                      af.features_reference(quantized))
+
+
+class TestEndToEndOnNCPU:
+    def test_keyword_flow_through_mode_switch(self):
+        """Signal -> assembly features -> trans_bnn -> classification."""
+        model = BNNModel.paper_topology(input_size=af.N_FEATURES,
+                                        neurons_per_layer=40, n_classes=4,
+                                        rng=np.random.default_rng(9))
+        quantized = af.quantize_signal(sample_signal(seed=10))
+        thresholds = np.zeros(af.N_FEATURES, dtype=np.int64)
+
+        core = NCPUCore()
+        core.load_model(model)
+        data = core.memory.data_memory()
+        af.write_window(data, quantized)
+        af.write_thresholds(data, thresholds)
+        source = f"""
+            li a0, {af.N_FEATURES}
+            mv_neu 0, a0
+            li a0, 1
+            mv_neu 1, a0
+        """ + af.full_keyword_asm(finish="trans_bnn")
+        run = core.run_cpu_program(assemble(source))
+        assert run.stop_reason == "trans_bnn"
+        prediction = core.run_bnn()[0]
+
+        features = af.features_reference(quantized)
+        expected_signs = binarize_sign(
+            (features >= thresholds).astype(np.int64) - 0.5)
+        assert prediction == model.predict(expected_signs)
+        _ = layout  # module used indirectly through the kernel bases

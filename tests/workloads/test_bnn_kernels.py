@@ -1,0 +1,96 @@
+"""Tests: software BNN kernels agree with the model and the cycle estimates."""
+
+import numpy as np
+import pytest
+
+from repro.bnn import (
+    BNNModel,
+    binarize_sign,
+    naive_inference_cycles,
+    packed_inference_cycles,
+)
+from repro.workloads.bnn_kernels import buffer_bases, run_software_bnn
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    return BNNModel.random([33, 20, 20, 5], np.random.default_rng(1))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("implementation", ["naive", "packed"])
+    def test_matches_model(self, small_model, implementation):
+        rng = np.random.default_rng(2)
+        for _ in range(3):
+            x = binarize_sign(rng.standard_normal(33))
+            prediction, _ = run_software_bnn(small_model, x, implementation)
+            assert prediction == small_model.predict(x)
+
+    @pytest.mark.parametrize("implementation", ["naive", "packed"])
+    def test_word_multiple_fan_in(self, implementation):
+        # fan_in = 64 exercises the no-tail-mask path
+        model = BNNModel.random([64, 32, 4], np.random.default_rng(3))
+        x = binarize_sign(np.random.default_rng(4).standard_normal(64))
+        prediction, _ = run_software_bnn(model, x, implementation)
+        assert prediction == model.predict(x)
+
+    def test_unknown_implementation(self, small_model):
+        with pytest.raises(ValueError):
+            run_software_bnn(small_model, np.ones(33, dtype=np.int8), "magic")
+
+
+class TestBufferPlacement:
+    def test_buffers_after_weights(self, small_model):
+        for implementation in ("naive", "packed"):
+            act_a, act_b, scores = buffer_bases(small_model, implementation)
+            assert act_a < act_b < scores
+            from repro.workloads.bnn_kernels import WEIGHTS_BASE
+
+            weight_bytes = sum(l.fan_in * l.fan_out for l in small_model.layers)
+            assert act_a >= WEIGHTS_BASE + (weight_bytes
+                                            if implementation == "naive"
+                                            else weight_bytes // 8)
+
+    def test_large_model_no_overlap(self):
+        # the 4x100 MNIST model previously overlapped fixed buffers
+        model = BNNModel.paper_topology(input_size=256)
+        x = binarize_sign(np.random.default_rng(5).standard_normal(256))
+        prediction, _ = run_software_bnn(model, x, "naive")
+        assert prediction == model.predict(x)
+
+
+class TestCalibration:
+    """The analytic cycle model must track the measured kernels."""
+
+    @pytest.mark.parametrize("sizes", [[33, 20, 20, 5], [60, 40, 40, 40, 6]])
+    def test_naive_estimate_tracks_simulator(self, sizes):
+        model = BNNModel.random(sizes, np.random.default_rng(6))
+        x = binarize_sign(np.random.default_rng(7).standard_normal(sizes[0]))
+        _, stats = run_software_bnn(model, x, "naive")
+        estimate = naive_inference_cycles(model).cycles
+        assert abs(estimate - stats.cycles) / stats.cycles < 0.08
+
+    @pytest.mark.parametrize("sizes", [[33, 20, 20, 5], [60, 40, 40, 40, 6]])
+    def test_packed_estimate_tracks_simulator(self, sizes):
+        model = BNNModel.random(sizes, np.random.default_rng(6))
+        x = binarize_sign(np.random.default_rng(7).standard_normal(sizes[0]))
+        _, stats = run_software_bnn(model, x, "packed")
+        estimate = packed_inference_cycles(model).cycles
+        assert abs(estimate - stats.cycles) / stats.cycles < 0.08
+
+    def test_packed_is_much_faster_than_naive(self):
+        model = BNNModel.random([60, 40, 40, 40, 6], np.random.default_rng(8))
+        x = binarize_sign(np.random.default_rng(9).standard_normal(60))
+        _, naive_stats = run_software_bnn(model, x, "naive")
+        _, packed_stats = run_software_bnn(model, x, "packed")
+        assert naive_stats.cycles > 4 * packed_stats.cycles
+
+    def test_speedup_vs_accelerator(self):
+        from repro.bnn import BNNAccelerator
+
+        model = BNNModel.random([60, 40, 40, 40, 6], np.random.default_rng(8))
+        accelerator_cycles = BNNAccelerator().latency_cycles(model)
+        estimate = naive_inference_cycles(model)
+        # the accelerator wins by orders of magnitude (paper Table 1's 59x
+        # end-to-end speedup comes from this gap)
+        assert estimate.speedup_vs(accelerator_cycles) > 50

@@ -1,0 +1,147 @@
+"""Tests: image pre-processing assembly matches the numpy golden model."""
+
+import numpy as np
+import pytest
+
+from repro.bnn.quantize import unpack_bits
+from repro.cpu import FlatMemory, run_pipelined
+from repro.errors import ConfigurationError
+from repro.isa import assemble
+from repro.workloads import image_pipeline as ip
+from repro.workloads import layout
+
+
+def make_memory():
+    return FlatMemory(size=1 << 17)
+
+
+def random_frame(seed=0, h=32, w=32):
+    return np.random.default_rng(seed).integers(0, 256, size=(3, h, w))
+
+
+class TestReferences:
+    def test_resize_box_average(self):
+        raw = np.arange(3 * 4 * 4).reshape(3, 4, 4)
+        resized = ip.resize_reference(raw)
+        assert resized.shape == (3, 2, 2)
+        assert resized[0, 0, 0] == (0 + 1 + 4 + 5) // 4
+
+    def test_grayscale_weights(self):
+        frame = np.zeros((3, 4, 4), dtype=np.int64)
+        frame[0] = 100  # r
+        frame[1] = 50   # g
+        frame[2] = 100  # b
+        gray = ip.grayscale_reference(frame)
+        assert gray[0, 0] == (100 + 100 + 100) >> 2  # (r + 2g + b) >> 2
+
+    def test_gaussian_preserves_constant(self):
+        frame = np.full((3, 8, 8), 80, dtype=np.int64)
+        gray = ip.grayscale_reference(frame)
+        assert np.all(gray == 80)  # kernel sums to 16, >>4 restores
+
+    def test_normalize_power_of_two_required(self):
+        with pytest.raises(ConfigurationError):
+            ip.normalize_reference(np.zeros(10))
+
+    def test_normalize_threshold_semantics(self):
+        pixels = np.array([0, 255, 100, 200] * 4)
+        _, packed = ip.normalize_reference(pixels)
+        bits = unpack_bits(packed, 16)
+        np.testing.assert_array_equal(bits, (pixels >= 128).astype(np.uint8))
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            ip.ImageShape(31, 32)
+
+
+class TestAsmEquivalence:
+    @pytest.fixture(scope="class")
+    def pipeline_run(self):
+        raw = random_frame(seed=3)
+        memory = make_memory()
+        ip.write_raw_frame(memory, raw)
+        program = assemble(ip.full_pipeline_asm(ip.ImageShape(32, 32)))
+        _, result = run_pipelined(program, memory=memory)
+        return raw, memory, result
+
+    def test_halts(self, pipeline_run):
+        _, _, result = pipeline_run
+        assert result.stop_reason == "halt"
+
+    def test_filtered_image_matches(self, pipeline_run):
+        raw, memory, _ = pipeline_run
+        expected, _ = ip.pipeline_reference(raw)
+        got = ip.read_plane(memory, layout.SCRATCH2_BASE, 16, 16)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_packed_bits_match(self, pipeline_run):
+        raw, memory, _ = pipeline_run
+        _, packed = ip.pipeline_reference(raw)
+        got = ip.read_packed_input(memory, 256)
+        np.testing.assert_array_equal(got, unpack_bits(packed, 256))
+
+    def test_stage_asm_individually(self):
+        raw = random_frame(seed=9)
+        memory = make_memory()
+        ip.write_raw_frame(memory, raw)
+        shape = ip.ImageShape(32, 32)
+        for generator in ip.STAGE_GENERATORS.values():
+            _, result = run_pipelined(assemble(generator(shape)), memory=memory)
+            assert result.stop_reason == "halt"
+        expected, packed = ip.pipeline_reference(raw)
+        got = ip.read_plane(memory, layout.SCRATCH2_BASE, 16, 16)
+        np.testing.assert_array_equal(got, expected)
+        np.testing.assert_array_equal(ip.read_packed_input(memory, 256),
+                                      unpack_bits(packed, 256))
+
+    def test_small_frame(self):
+        # an 8x8 frame exercises different loop bounds
+        raw = random_frame(seed=1, h=8, w=8)
+        shape = ip.ImageShape(8, 8)
+        memory = make_memory()
+        ip.write_raw_frame(memory, raw)
+        program = assemble(ip.full_pipeline_asm(shape))
+        _, result = run_pipelined(program, memory=memory)
+        assert result.stop_reason == "halt"
+        expected, _ = ip.pipeline_reference(raw)
+        got = ip.read_plane(memory, layout.SCRATCH2_BASE, 4, 4)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_trans_bnn_finish(self):
+        raw = random_frame(seed=2, h=8, w=8)
+        memory = make_memory()
+        ip.write_raw_frame(memory, raw)
+        program = assemble(ip.full_pipeline_asm(ip.ImageShape(8, 8),
+                                                finish="trans_bnn"))
+        _, result = run_pipelined(program, memory=memory)
+        assert result.stop_reason == "trans_bnn"
+
+    def test_bad_finish_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ip.full_pipeline_asm(finish="jump")
+
+
+class TestFrameSynthesis:
+    def test_roundtrip_through_pipeline(self):
+        # a synthesized digit frame pre-processes back to a similar image
+        from repro.bnn import digit_template
+
+        gray = digit_template(5)
+        raw = ip.synthesize_raw_frame(gray)
+        filtered, _ = ip.pipeline_reference(raw)
+        original = np.clip(gray * 255, 0, 255).astype(np.int64)
+        # the Gaussian blur softens edges but structure survives
+        correlation = np.corrcoef(filtered.reshape(-1), original.reshape(-1))[0, 1]
+        assert correlation > 0.9
+
+    def test_preprocess_images_shape(self):
+        rng = np.random.default_rng(0)
+        images = rng.random((4, 256))
+        signs = ip.preprocess_images(images)
+        assert signs.shape == (4, 256)
+        assert set(np.unique(signs)) <= {-1, 1}
+
+    def test_jitter_keeps_range(self):
+        rng = np.random.default_rng(0)
+        raw = ip.synthesize_raw_frame(np.ones((16, 16)), rng=rng)
+        assert raw.min() >= 0 and raw.max() <= 255

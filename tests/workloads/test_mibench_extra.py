@@ -1,0 +1,131 @@
+"""Edge-case tests for the second batch of MiBench-style kernels."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import FlatMemory, run_pipelined
+from repro.isa import assemble
+from repro.workloads import layout, mibench
+
+
+def run_asm(source, setup=None):
+    memory = FlatMemory(size=1 << 17)
+    if setup:
+        setup(memory)
+    _, result = run_pipelined(assemble(source), memory=memory)
+    assert result.stop_reason == "halt"
+    return memory, result
+
+
+class TestDijkstra:
+    def test_reference_simple_chain(self):
+        adjacency = np.zeros((3, 3), dtype=np.int64)
+        adjacency[0][1] = 5
+        adjacency[1][2] = 3
+        dist = mibench.dijkstra_reference(adjacency)
+        assert list(dist) == [0, 5, 8]
+
+    def test_reference_prefers_shorter_path(self):
+        adjacency = np.zeros((3, 3), dtype=np.int64)
+        adjacency[0][1] = 10
+        adjacency[0][2] = 1
+        adjacency[2][1] = 2
+        assert mibench.dijkstra_reference(adjacency)[1] == 3
+
+    def test_asm_unreachable_nodes_stay_infinite(self):
+        n = 4
+        adjacency = np.zeros((n, n), dtype=np.int64)
+        adjacency[0][1] = 7  # nodes 2,3 unreachable
+
+        def setup(memory):
+            memory.write_words(mibench.DATA,
+                               [int(v) for v in adjacency.reshape(-1)])
+
+        memory, _ = run_asm(mibench.dijkstra_asm(n), setup)
+        dist = memory.read_words(mibench.OUT, n)
+        assert dist[0] == 0
+        assert dist[1] == 7
+        assert dist[2] == mibench.DIJKSTRA_INF
+        assert dist[3] == mibench.DIJKSTRA_INF
+
+    def test_asm_matches_reference_random(self):
+        result = mibench.run_kernel("dijkstra", seed=3)
+        assert result.passed
+
+
+class TestQuicksort:
+    def _sort(self, values):
+        def setup(memory):
+            memory.write_words(mibench.DATA, [int(v) for v in values])
+
+        memory, result = run_asm(mibench.quicksort_asm(len(values)), setup)
+        return memory.read_words(mibench.DATA, len(values)), result
+
+    def test_random(self):
+        values = np.random.default_rng(0).integers(0, 1000, size=20)
+        got, _ = self._sort(values)
+        assert got == sorted(int(v) for v in values)
+
+    def test_already_sorted(self):
+        got, _ = self._sort(list(range(16)))
+        assert got == list(range(16))
+
+    def test_reverse_sorted(self):
+        got, _ = self._sort(list(range(16, 0, -1)))
+        assert got == list(range(1, 17))
+
+    def test_duplicates(self):
+        values = [5, 3, 5, 1, 3, 5, 1, 1]
+        got, _ = self._sort(values)
+        assert got == sorted(values)
+
+    def test_recursion_uses_the_stack(self):
+        values = np.random.default_rng(1).integers(0, 1000, size=24)
+
+        def setup(memory):
+            memory.write_words(mibench.DATA, [int(v) for v in values])
+
+        _, result = run_asm(mibench.quicksort_asm(len(values)), setup)
+        # jal/jalr pairs beyond the single top-level call indicate recursion
+        assert result.stats.instr_counts["jal"] > 5
+        assert result.stats.instr_counts["jalr"] > 5
+
+
+class TestFnv1a:
+    def test_reference_known_vector(self):
+        # standard FNV-1a test vector: "a" -> 0xe40c292c
+        assert mibench.fnv1a_reference(b"a") == 0xE40C292C
+
+    def test_asm_matches_reference(self):
+        assert mibench.run_kernel("fnv1a", seed=1).passed
+
+
+class TestIsqrt:
+    def test_reference_perfect_squares(self):
+        assert mibench.isqrt_reference([0, 1, 4, 9, 16, 25]) == [0, 1, 2, 3, 4, 5]
+
+    def test_asm_perfect_and_imperfect(self):
+        values = [0, 1, 2, 3, 4, 15, 16, 17, 999, 1_000_000, 2 ** 30]
+
+        def setup(memory):
+            memory.write_words(mibench.DATA, [int(v) for v in values])
+
+        memory, _ = run_asm(mibench.isqrt_asm(len(values)), setup)
+        got = memory.read_words(mibench.OUT, len(values))
+        assert got == mibench.isqrt_reference(values)
+
+    def test_large_values(self):
+        assert mibench.run_kernel("isqrt", seed=7).passed
+
+
+class TestSuiteIntegrity:
+    def test_ten_kernels(self):
+        assert len(mibench.KERNEL_NAMES) == 10
+
+    @pytest.mark.parametrize("name", ["dijkstra", "quicksort", "fnv1a", "isqrt"])
+    def test_new_kernels_in_run_all(self, name):
+        assert name in mibench.KERNEL_NAMES
+
+    def test_scratch_regions_do_not_collide(self):
+        # quicksort's stack sits above dijkstra's visited flags
+        assert layout.SCRATCH2_BASE + 0x1000 > layout.SCRATCH2_BASE
