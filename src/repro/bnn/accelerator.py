@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.bnn.model import BNNModel
 from repro.errors import ConfigurationError
+from repro.sim import get_session
 
 #: fixed per-layer pipeline overhead (bias add, sign, output handoff)
 LAYER_OVERHEAD_CYCLES = 4
@@ -136,7 +137,7 @@ class BNNAccelerator:
         compute = latency + (n_inputs - 1) * interval
         stream = self.weight_stream_cycles(model) if stream_weights else 0
         total = max(compute, stream)
-        return BatchTiming(
+        timing = BatchTiming(
             n_inputs=n_inputs,
             latency_cycles=latency,
             total_cycles=total,
@@ -144,19 +145,39 @@ class BNNAccelerator:
             macs=model.total_macs * n_inputs,
             weight_stream_cycles=stream,
         )
+        registry = get_session().stats
+        scope = registry.scope("bnn")
+        scope.incr("batches")
+        scope.incr("inferences", n_inputs)
+        scope.incr("cycles", total)
+        scope.incr("macs", timing.macs)
+        if stream:
+            scope.incr("weight_stream_cycles", stream)
+        registry.emit("bnn.batch", n_inputs=n_inputs, latency_cycles=latency,
+                      total_cycles=total, interval_cycles=interval,
+                      weight_stream_cycles=stream)
+        return timing
 
     # -- functional execution --------------------------------------------
     def infer(self, model: BNNModel, x_sign: np.ndarray) -> InferenceResult:
         """Classify one sign-domain input with full timing accounting."""
         self.check_model(model)
         scores = model.scores(x_sign)
-        return InferenceResult(
+        result = InferenceResult(
             prediction=int(np.argmax(scores)),
             scores=scores,
             cycles=self.latency_cycles(model),
             macs=model.total_macs,
             layer_cycles=self.layer_cycles(model),
         )
+        registry = get_session().stats
+        scope = registry.scope("bnn")
+        scope.incr("inferences")
+        scope.incr("cycles", result.cycles)
+        scope.incr("macs", result.macs)
+        registry.emit("bnn.infer", prediction=result.prediction,
+                      cycles=result.cycles, macs=result.macs)
+        return result
 
     def infer_batch(self, model: BNNModel, x_signs: Sequence[np.ndarray],
                     stream_weights: bool = True):

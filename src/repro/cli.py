@@ -65,15 +65,38 @@ def cmd_run(args: argparse.Namespace) -> int:
             row = "  ".join(f"x{i:<2}={cpu.regs.read(i):>10}"
                             for i in range(index, index + 4))
             print(row)
+    if args.stats_json:
+        from repro.sim import get_session
+        print(get_session().stats.to_json())
     return 0 if result.stop_reason in ("halt", "trans_bnn") else 1
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.core.events import Timeline
-    from repro.experiments.runner import run_selected
+    from repro.experiments.runner import (
+        render_json,
+        render_markdown,
+        run_selected,
+        select,
+    )
+    from repro.sim import SimConfig, SimSession, set_session
     from repro.viz import render_timeline
 
-    for result in run_selected(args.patterns or None):
+    if args.cache_dir:
+        set_session(SimSession(SimConfig(cache_dir=args.cache_dir)))
+    if args.patterns and not select(args.patterns):
+        print(f"no experiments match {' '.join(args.patterns)!r}",
+              file=sys.stderr)
+        return 1
+    results = run_selected(args.patterns or None,
+                           use_cache=not args.no_cache, jobs=args.jobs)
+    if args.json:
+        print(render_json(results))
+        return 0
+    if args.markdown:
+        print(render_markdown(results))
+        return 0
+    for result in results:
         print(result.to_table())
         if args.draw:
             for name, value in result.series.items():
@@ -147,6 +170,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="use the functional ISS instead of the pipeline")
     run.add_argument("--regs", action="store_true",
                      help="dump the register file after the run")
+    run.add_argument("--stats-json", action="store_true",
+                     help="dump the shared stats registry as JSON")
     run.add_argument("--max-cycles", type=int, default=10_000_000)
     run.set_defaults(func=cmd_run)
 
@@ -156,6 +181,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="substring filters, e.g. fig13 table2")
     exp.add_argument("--draw", action="store_true",
                      help="render any timelines as ASCII lanes")
+    exp.add_argument("-j", "--jobs", type=int, default=1,
+                     help="run experiments in N parallel processes")
+    exp.add_argument("--json", action="store_true",
+                     help="emit machine-readable JSON results")
+    exp.add_argument("--markdown", action="store_true",
+                     help="emit EXPERIMENTS.md-style markdown")
+    exp.add_argument("--no-cache", action="store_true",
+                     help="ignore and do not update the artifact cache")
+    exp.add_argument("--cache-dir",
+                     help="artifact cache root (default ~/.cache/repro, "
+                          "or $REPRO_CACHE_DIR)")
     exp.set_defaults(func=cmd_experiments)
 
     info = sub.add_parser("info", help="print the modelled chip specs")

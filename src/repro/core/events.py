@@ -4,14 +4,21 @@ Every system-level experiment (Figs 13, 14, 16, 17, Table 4) reduces to a
 :class:`Timeline`: per-core segments of CPU work, BNN work, DMA transfer and
 idleness, measured in cycles.  Utilization and the oscilloscope-style power
 traces (Fig 16) derive from it.
+
+Timelines participate in the shared instrumentation layer: every
+:meth:`Timeline.add` bumps the session :class:`~repro.sim.StatsRegistry`
+(``timeline.segments``, ``timeline.<kind>_cycles``) and emits a
+``timeline.segment`` probe event; utilization queries publish per-core
+gauges.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.sim import get_session
 
 #: segment kinds
 CPU = "cpu"
@@ -50,32 +57,51 @@ class Timeline:
     """A set of per-core segments over a common cycle axis."""
 
     segments: List[Segment] = field(default_factory=list)
+    #: per-core sorted-segment cache; rebuilt when ``segments`` grows
+    _by_core_cache: Dict[str, List[Segment]] = field(
+        default_factory=dict, init=False, repr=False, compare=False)
+    _cache_size: int = field(default=-1, init=False, repr=False, compare=False)
 
     def add(self, core: str, kind: str, start: int, end: int,
             label: str = "") -> Segment:
         segment = Segment(core=core, kind=kind, start=start, end=end, label=label)
         self.segments.append(segment)
+        stats = get_session().stats
+        stats.incr("timeline.segments")
+        stats.incr(f"timeline.{kind}_cycles", segment.cycles)
+        stats.emit("timeline.segment", core=core, kind=kind,
+                   start=start, end=end, label=label)
         return segment
 
     @property
     def end(self) -> int:
         return max((s.end for s in self.segments), default=0)
 
+    def _by_core(self) -> Dict[str, List[Segment]]:
+        """Per-core segments sorted by start, memoized until ``segments``
+        changes length (covers both :meth:`add` and direct extension)."""
+        if self._cache_size != len(self.segments):
+            by_core: Dict[str, List[Segment]] = {}
+            for segment in self.segments:
+                by_core.setdefault(segment.core, []).append(segment)
+            for ordered in by_core.values():
+                ordered.sort(key=lambda s: s.start)
+            self._by_core_cache = by_core
+            self._cache_size = len(self.segments)
+        return self._by_core_cache
+
     def core_names(self) -> List[str]:
-        seen = []
-        for segment in self.segments:
-            if segment.core not in seen:
-                seen.append(segment.core)
-        return seen
+        return list(self._by_core())
 
     def core_segments(self, core: str) -> List[Segment]:
-        return sorted((s for s in self.segments if s.core == core),
-                      key=lambda s: s.start)
+        """Sorted segments of one core.  The returned list is a shared
+        cache — treat it as read-only."""
+        return self._by_core().get(core, [])
 
     # -- utilization ----------------------------------------------------
     def busy_cycles(self, core: str, kinds: Tuple[str, ...] = _ACTIVE_KINDS) -> int:
-        return sum(s.cycles for s in self.segments
-                   if s.core == core and s.kind in kinds)
+        return sum(s.cycles for s in self.core_segments(core)
+                   if s.kind in kinds)
 
     def utilization(self, core: str) -> float:
         """Fraction of the total makespan this core spends doing real work."""
@@ -85,39 +111,92 @@ class Timeline:
         return self.busy_cycles(core) / total
 
     def utilizations(self) -> Dict[str, float]:
-        return {core: self.utilization(core) for core in self.core_names()}
+        utils = {core: self.utilization(core) for core in self.core_names()}
+        stats = get_session().stats
+        for core, value in utils.items():
+            stats.set_gauge(f"timeline.utilization.{core}", value)
+        return utils
 
     # -- power trace ------------------------------------------------------
+    def _segment_power_mw(self, segment: Segment, voltage: float, f_hz: float,
+                          reconfigurable: bool) -> float:
+        from repro.power import core_power_w
+
+        if segment.kind in (CPU, SWITCH):
+            mode, active = "cpu", True
+        elif segment.kind == BNN:
+            mode, active = "bnn", True
+        else:
+            mode, active = "cpu", False
+        return core_power_w(mode, voltage, f_hz,
+                            reconfigurable=reconfigurable,
+                            active=active) * 1e3
+
     def power_trace(self, voltage: float, f_hz: float,
                     reconfigurable: bool = True,
-                    resolution: int = 64) -> Dict[str, List[Tuple[float, float]]]:
-        """Per-core (time_us, power_mw) staircase traces (Fig 16 style).
+                    resolution: Optional[int] = None,
+                    ) -> Dict[str, List[Tuple[float, float]]]:
+        """Per-core (time_us, power_mw) traces (Fig 16 style).
 
-        Each segment contributes its mode's power at the given voltage and
-        clock; idle periods contribute leakage only.
+        By default each segment contributes a two-point staircase step at
+        its mode's power (idle periods contribute leakage only).  With
+        ``resolution`` set, each core's trace is instead resampled onto
+        ``resolution`` evenly spaced time points across the full makespan
+        — the fixed-rate form an oscilloscope capture (or a plotting
+        frontend) wants.
         """
-        from repro.power import core_power_w
+        if resolution is not None and resolution < 2:
+            raise ConfigurationError("power_trace resolution must be >= 2")
 
         traces: Dict[str, List[Tuple[float, float]]] = {}
         for core in self.core_names():
             points: List[Tuple[float, float]] = []
             for segment in self.core_segments(core):
-                if segment.kind in (CPU, SWITCH):
-                    mode, active = "cpu", True
-                elif segment.kind == BNN:
-                    mode, active = "bnn", True
-                else:
-                    mode, active = "cpu", False
-                power_mw = core_power_w(mode, voltage, f_hz,
-                                        reconfigurable=reconfigurable,
-                                        active=active) * 1e3
+                power_mw = self._segment_power_mw(segment, voltage, f_hz,
+                                                  reconfigurable)
                 start_us = segment.start / f_hz * 1e6
                 end_us = segment.end / f_hz * 1e6
                 points.append((start_us, power_mw))
                 points.append((end_us, power_mw))
             traces[core] = points
-        _ = resolution
-        return traces
+        if resolution is None:
+            return traces
+        return {core: self._resample(core, voltage, f_hz,
+                                     reconfigurable, resolution)
+                for core in traces}
+
+    def _resample(self, core: str, voltage: float, f_hz: float,
+                  reconfigurable: bool,
+                  resolution: int) -> List[Tuple[float, float]]:
+        """Sample one core's step function at uniform time points."""
+        from repro.power import core_power_w
+
+        end_us = self.end / f_hz * 1e6
+        #: power when no segment covers the sample (gap == idle leakage)
+        gap_mw = core_power_w("cpu", voltage, f_hz,
+                              reconfigurable=reconfigurable,
+                              active=False) * 1e3
+        segments = self.core_segments(core)
+        points: List[Tuple[float, float]] = []
+        cursor = 0
+        for index in range(resolution):
+            t_us = end_us * index / (resolution - 1)
+            t_cycles = t_us * f_hz / 1e6
+            while cursor < len(segments) and segments[cursor].end < t_cycles:
+                cursor += 1
+            covering = None
+            for segment in segments[cursor:]:
+                if segment.start > t_cycles:
+                    break
+                if segment.start <= t_cycles <= segment.end:
+                    covering = segment
+                    break
+            if covering is None:
+                points.append((t_us, gap_mw))
+            else:
+                points.append((t_us, self._segment_power_mw(
+                    covering, voltage, f_hz, reconfigurable)))
+        return points
 
     def validate_no_overlap(self) -> None:
         """Sanity check: a core never does two things at once."""

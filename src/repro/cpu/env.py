@@ -60,6 +60,11 @@ class CoreEnv:
         return [e for e in self.events if e.name == name]
 
 
+#: the scalar ExecStats fields mirrored into the shared StatsRegistry
+SCALAR_STATS = ("cycles", "instructions", "stalls", "flushes",
+                "mem_reads", "mem_writes")
+
+
 @dataclass
 class ExecStats:
     """Execution statistics common to both simulators."""
@@ -72,6 +77,23 @@ class ExecStats:
     mem_writes: int = 0
     instr_counts: Counter = field(default_factory=Counter)
     stage_busy: Counter = field(default_factory=Counter)
+
+    def scalars(self) -> dict:
+        """The plain counter fields as a dict (registry/JSON export)."""
+        return {name: getattr(self, name) for name in SCALAR_STATS}
+
+    def delta(self, before: dict) -> dict:
+        """Scalar growth since a :meth:`scalars` snapshot."""
+        return {name: getattr(self, name) - before.get(name, 0)
+                for name in SCALAR_STATS}
+
+    def as_dict(self) -> dict:
+        """Full structured export (JSON-ready)."""
+        exported = self.scalars()
+        exported["ipc"] = self.ipc
+        exported["instr_counts"] = dict(self.instr_counts)
+        exported["stage_busy"] = dict(self.stage_busy)
+        return exported
 
     @property
     def ipc(self) -> float:

@@ -16,6 +16,7 @@ from repro.cpu.state import RegisterFile
 from repro.errors import SimulationError
 from repro.isa.instructions import DecodedInstr, decode
 from repro.isa.program import Program
+from repro.sim import get_session
 
 DEFAULT_MAX_STEPS = 50_000_000
 
@@ -95,13 +96,26 @@ class FunctionalCPU:
         return stop
 
     def run(self, max_steps: int = DEFAULT_MAX_STEPS) -> RunResult:
-        """Run until halt / mode switch / step limit."""
+        """Run until halt / mode switch / step limit.
+
+        Mirrors the run's :class:`ExecStats` growth into the session
+        :class:`~repro.sim.StatsRegistry` under ``cpu.functional.*``.
+        """
+        before = self.stats.scalars()
+        stop = None
         for _ in range(max_steps):
             stop = self.step()
             if stop is not None:
-                return RunResult(stats=self.stats, stop_reason=stop, pc=self.pc,
-                                 env=self.env)
-        return RunResult(stats=self.stats, stop_reason="max_cycles", pc=self.pc,
+                break
+        reason = stop if stop is not None else "max_cycles"
+        delta = self.stats.delta(before)
+        registry = get_session().stats
+        scope = registry.scope("cpu.functional")
+        scope.incr("runs")
+        scope.incr_many(delta)
+        registry.emit("cpu.run", simulator="functional", stop_reason=reason,
+                      **delta)
+        return RunResult(stats=self.stats, stop_reason=reason, pc=self.pc,
                          env=self.env)
 
 

@@ -27,6 +27,7 @@ from repro.cpu.trace import PipelineTrace
 from repro.errors import SimulationError
 from repro.isa.instructions import DecodedInstr, decode
 from repro.isa.program import Program
+from repro.sim import get_session
 
 DEFAULT_MAX_CYCLES = 100_000_000
 
@@ -289,11 +290,24 @@ class PipelinedCPU:
 
     # ------------------------------------------------------------------
     def run(self, max_cycles: int = DEFAULT_MAX_CYCLES) -> RunResult:
-        """Run until halt / mode switch / cycle limit."""
+        """Run until halt / mode switch / cycle limit.
+
+        Completed runs mirror their :class:`ExecStats` growth into the
+        session :class:`~repro.sim.StatsRegistry` under ``cpu.pipeline.*``
+        and emit a ``cpu.run`` probe event.
+        """
+        before = self.stats.scalars()
         while self._stop_reason is None and self.stats.cycles < max_cycles:
             self._cycle()
         reason = self._stop_reason or "max_cycles"
         pc = self._resume_pc if self._stop_reason else self.pc
+        delta = self.stats.delta(before)
+        registry = get_session().stats
+        scope = registry.scope("cpu.pipeline")
+        scope.incr("runs")
+        scope.incr_many(delta)
+        registry.emit("cpu.run", simulator="pipeline", stop_reason=reason,
+                      **delta)
         return RunResult(stats=self.stats, stop_reason=reason, pc=pc, env=self.env)
 
 

@@ -23,6 +23,7 @@ from repro.bnn import AcceleratorConfig, BNNAccelerator, BNNModel
 from repro.core import NCPUSoC, SchedulerConfig, compare_end_to_end, items_for_fraction
 from repro.cpu import FlatMemory, PipelinedCPU
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 from repro.isa import assemble
 from repro.workloads import mibench
 
@@ -49,6 +50,7 @@ def _mibench_ipc(forwarding: bool) -> float:
     return sum(ipcs) / len(ipcs)
 
 
+@experiment("ablations")
 def run() -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="Ablations",

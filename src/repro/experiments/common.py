@@ -33,6 +33,16 @@ class Metric:
         dev = "-" if deviation is None else f"{deviation * 100:+.1f}%"
         return (self.name, paper, f"{self.measured:.4g}", dev)
 
+    def to_dict(self) -> Dict:
+        """JSON-ready representation with the derived deviation."""
+        return {
+            "name": self.name,
+            "paper": self.paper,
+            "measured": self.measured,
+            "unit": self.unit,
+            "deviation": self.deviation,
+        }
+
 
 @dataclass
 class ExperimentResult:
@@ -67,6 +77,17 @@ class ExperimentResult:
         if self.notes:
             lines.append(f"note: {self.notes}")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready representation (series carry only their names —
+        they may hold timelines/arrays that do not serialize)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "metrics": [metric.to_dict() for metric in self.metrics],
+            "series": sorted(self.series),
+            "notes": self.notes,
+        }
 
     def to_markdown(self) -> str:
         lines = [f"### {self.experiment_id} — {self.title}", ""]

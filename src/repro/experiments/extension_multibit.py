@@ -28,10 +28,12 @@ from repro.bnn.multibit import (
 )
 from repro.experiments.common import ExperimentResult
 from repro.experiments.models import mnist_model
+from repro.experiments.registry import experiment
 
 BIT_WIDTHS = (8, 4)
 
 
+@experiment("extension")
 def run() -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="Extension",

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.bnn import BNNAccelerator
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 from repro.mem import DEFAULT_L2_BYTES, NCPUMemory
 from repro.power import bnn_profile, cpu_profile, frequency_model, ncpu_area
 
@@ -20,6 +21,7 @@ PAPER_TWO_CORE_BNN_MW = 446.0
 PAPER_SRAM_KB = 128.0
 
 
+@experiment("fig07")
 def run() -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="Fig 7",

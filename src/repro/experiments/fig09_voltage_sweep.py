@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 from repro.power import (
     bnn_mep_voltage,
     bnn_profile,
@@ -35,6 +36,7 @@ PAPER = {
 }
 
 
+@experiment("fig09")
 def run() -> ExperimentResult:
     freq = frequency_model()
     bnn = bnn_profile()

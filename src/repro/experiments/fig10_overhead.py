@@ -7,6 +7,7 @@ including SRAM, and 4.1 % / 5.2 % Fmax degradation in BNN / CPU mode.
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 from repro.power import (
     FMAX_DEGRADATION,
     bnn_area,
@@ -22,6 +23,7 @@ PAPER_STAGE_POINTS = {"NeuroPC": 0.5, "NeuroIF": 0.8, "NeuroID": 2.0,
                       "NeuroEX": 7.5, "NeuroMEM": 2.3}
 
 
+@experiment("fig10")
 def run() -> ExperimentResult:
     bnn = bnn_area(100)
     ncpu = ncpu_area(100)

@@ -18,6 +18,7 @@ from repro.power import (
     instruction_power_overhead,
     program_power_overhead,
 )
+from repro.experiments.registry import experiment
 from repro.workloads import mibench
 
 PAPER_BNN_OVERHEAD = 0.058
@@ -25,6 +26,7 @@ PAPER_AVG_INSTRUCTION_OVERHEAD = 0.147
 PAPER_PROGRAM_OVERHEADS = [0.152, 0.147, 0.151, 0.147, 0.137, 0.148]
 
 
+@experiment("fig11")
 def run() -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="Fig 11",

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 from repro.power import (
     area_saving,
     bnn_area,
@@ -43,6 +44,7 @@ def _crossover_voltage() -> float:
     return 0.5 * (lo + hi)
 
 
+@experiment("fig12")
 def run() -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="Fig 12",

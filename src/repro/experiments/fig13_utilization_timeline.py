@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.core import SchedulerConfig, compare_end_to_end, items_for_fraction
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 
 PAPER_IMPROVEMENT_40 = 0.285
 PAPER_IMPROVEMENT_70 = 0.412
@@ -23,6 +24,7 @@ CASES = {
 }
 
 
+@experiment("fig13")
 def run() -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="Fig 13",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.core import SchedulerConfig, compare_end_to_end, items_for_fraction
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 
 CPU_FRACTION = 0.70
 BATCHES = (2, 6, 10, 20, 50, 100)
@@ -21,6 +22,7 @@ PAPER_IMPROVEMENT_BATCH2 = 0.42
 PAPER_IMPROVEMENT_BATCH100 = 0.373
 
 
+@experiment("fig14")
 def run() -> ExperimentResult:
     config = SchedulerConfig(
         offload_cycles=round(OFFLOAD_FRACTION * ITEM_CYCLES),

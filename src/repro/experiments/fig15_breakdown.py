@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult
 from repro.experiments.models import image_use_case, motion_use_case
+from repro.experiments.registry import experiment
 
 PAPER_IMAGE = {"resize": 0.30, "grayscale": 0.32, "normalize": 0.12,
                "bnn": 0.24}
@@ -22,6 +23,7 @@ def _shares(stage_cycles: dict) -> dict:
     return {stage: cycles / total for stage, cycles in stage_cycles.items()}
 
 
+@experiment("fig15")
 def run() -> ExperimentResult:
     image = image_use_case()
     motion = motion_use_case()

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.core import SchedulerConfig, compare_end_to_end, items_for_fraction
 from repro.experiments.common import ExperimentResult
 from repro.experiments.models import PAPER_IMAGE_CPU_FRACTION
+from repro.experiments.registry import experiment
 
 VOLTAGE = 1.0
 CLOCK_HZ = 50e6
@@ -24,6 +25,7 @@ PAPER_IMPROVEMENT = 0.43
 PAPER_BASELINE_SPAN_US = 90.0
 
 
+@experiment("fig16")
 def run() -> ExperimentResult:
     items = items_for_fraction(PAPER_IMAGE_CPU_FRACTION, BATCH,
                                item_cycles=ITEM_CYCLES)

@@ -19,6 +19,7 @@ from repro.experiments.models import (
     image_use_case,
     motion_use_case,
 )
+from repro.experiments.registry import experiment
 from repro.power import bnn_profile, cpu_profile, frequency_model
 
 BATCH = 2
@@ -75,6 +76,7 @@ def energy_saving_from_speedup(improvement: float, cpu_fraction: float) -> float
     return 1.0 - ncpu_power / baseline_power
 
 
+@experiment("fig17")
 def run() -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="Fig 17",

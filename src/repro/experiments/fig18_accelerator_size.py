@@ -11,12 +11,14 @@ from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult
 from repro.experiments.models import mnist_model
+from repro.experiments.registry import experiment
 from repro.power import FIG18_SAVINGS, area_saving
 
 PAPER_ACCURACY = {50: 0.886, 100: 0.948, 200: 0.96, 400: 0.972}
 WIDTHS = (50, 100, 200, 400)
 
 
+@experiment("fig18")
 def run(widths=WIDTHS) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="Fig 18",

@@ -10,12 +10,14 @@ neuron datapath with conventional decode instead of learning ALU ops.
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 from repro.nalu import compare_all, run_all_tasks
 
 PAPER_RATIOS = {"add": 17.0, "sub": 15.0, "and": 35.0, "xor": 32.0,
                 "mul": 13.0, "or": 14.0}
 
 
+@experiment("fig19")
 def run(steps: int = 1500) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="Fig 19",

@@ -1,8 +1,11 @@
 """Cached artifacts shared by the experiments: trained BNNs and measured
 use-case workloads.
 
-Everything here is deterministic (fixed seeds) and cached per process, so
-the experiment modules can be re-run cheaply.
+Everything here is deterministic (fixed seeds).  Trained models are
+memoized through the session's on-disk :class:`~repro.sim.ArtifactCache`
+(keyed on the training parameters plus a fingerprint of the training/
+dataset code), so re-runs — including fresh processes — skip retraining;
+the measured use-case workloads stay process-cached.
 """
 
 from __future__ import annotations
@@ -23,8 +26,24 @@ from repro.bnn import (
 from repro.core import Item
 from repro.cpu import FlatMemory, run_pipelined
 from repro.isa import assemble
+from repro.sim import config_hash, get_session, source_fingerprint
 from repro.workloads import image_pipeline as ip
 from repro.workloads import motion_features as mf
+
+#: artifact-cache namespace for trained models
+MODEL_NAMESPACE = "models"
+
+
+def _model_key(kind: str, **params) -> str:
+    """Cache key for a trained model: parameters + training-code identity."""
+    import repro.bnn.datasets as datasets_module
+    import repro.bnn.training as training_module
+
+    fingerprints = [source_fingerprint(training_module),
+                    source_fingerprint(datasets_module)]
+    if kind == "motion":  # thresholds derive from the feature kernels
+        fingerprints.append(source_fingerprint(mf))
+    return config_hash(kind, params, fingerprints)
 
 #: paper-reported CPU-work fractions of the two use cases (Fig 15)
 PAPER_IMAGE_CPU_FRACTION = 0.76
@@ -37,10 +56,7 @@ class TrainedBNN:
     test_accuracy: float
 
 
-@lru_cache(maxsize=None)
-def mnist_model(width: int = 100, epochs: int = 18,
-                n_samples: int = 5000) -> TrainedBNN:
-    """The image-classification BNN at a given array width (Fig 18 sweeps)."""
+def _train_mnist_model(width: int, epochs: int, n_samples: int) -> TrainedBNN:
     dataset = synthetic_mnist(n_samples=n_samples, seed=0)
     train, test = dataset.split(0.8)
     trainer = BNNTrainer([256, width, width, width, 10], learning_rate=0.01,
@@ -53,6 +69,21 @@ def mnist_model(width: int = 100, epochs: int = 18,
                                                    test.labels))
 
 
+def mnist_model(width: int = 100, epochs: int = 18,
+                n_samples: int = 5000) -> TrainedBNN:
+    """The image-classification BNN at a given array width (Fig 18 sweeps).
+
+    Memoized through the session artifact cache: the first call trains,
+    every later call — in this process or any other sharing the cache
+    directory — loads the stored artifact.
+    """
+    key = _model_key("mnist", width=width, epochs=epochs,
+                     n_samples=n_samples)
+    return get_session().cache.fetch(
+        MODEL_NAMESPACE, key,
+        lambda: _train_mnist_model(width, epochs, n_samples))
+
+
 @dataclass
 class MotionArtifacts:
     model: BNNModel
@@ -60,10 +91,16 @@ class MotionArtifacts:
     thresholds: np.ndarray
 
 
-@lru_cache(maxsize=None)
 def motion_artifacts(epochs: int = 18, n_samples: int = 3000) -> MotionArtifacts:
     """The motion-detection BNN plus the binarization thresholds the CPU
-    feature-extraction kernel uses."""
+    feature-extraction kernel uses (artifact-cached like the MNIST model)."""
+    key = _model_key("motion", epochs=epochs, n_samples=n_samples)
+    return get_session().cache.fetch(
+        MODEL_NAMESPACE, key,
+        lambda: _train_motion_artifacts(epochs, n_samples))
+
+
+def _train_motion_artifacts(epochs: int, n_samples: int) -> MotionArtifacts:
     raw = synthetic_motion(n_samples=n_samples, seed=0)
     dataset = raw.to_feature_dataset(mf.float_features)
     train, test = dataset.split(0.8)

@@ -1,69 +1,76 @@
-"""Run every table/figure reproduction and render EXPERIMENTS-style output.
+"""Run table/figure reproductions: registry-driven, cache-aware, parallel.
 
 Usage::
 
-    python -m repro.experiments.runner            # all experiments
-    python -m repro.experiments.runner fig13 t1   # substring filtering
+    python -m repro.experiments.runner                 # all experiments
+    python -m repro.experiments.runner fig13 t1        # substring filtering
+    python -m repro.experiments.runner --json          # machine-readable
+    python -m repro.experiments.runner -j 4 --markdown # parallel + markdown
+
+Experiments self-register through :mod:`repro.experiments.registry`;
+completed :class:`ExperimentResult`\\ s are memoized in the session's
+artifact cache (keyed on the experiment module's source fingerprint, so
+edits invalidate automatically) and re-runs come back instantly.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
-from typing import Callable, Dict, List
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional
 
-from repro.experiments import (
-    ablations,
-    extension_multibit,
-    fig07_specs,
-    fig09_voltage_sweep,
-    fig10_overhead,
-    fig11_power_overhead,
-    fig12_area_energy,
-    fig13_utilization_timeline,
-    fig14_batch_sweep,
-    fig15_breakdown,
-    fig16_power_trace,
-    fig17_end_to_end,
-    fig18_accelerator_size,
-    fig19_nalu,
-    table1_motion,
-    table2_mcu,
-    table3_accel,
-    table4_utilization,
-)
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import all_experiments, get_spec
+from repro.sim import SimConfig, SimSession, get_session, set_session
 
-EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
-    "table1": table1_motion.run,
-    "table2": table2_mcu.run,
-    "table3": table3_accel.run,
-    "table4": table4_utilization.run,
-    "fig07": fig07_specs.run,
-    "fig09": fig09_voltage_sweep.run,
-    "fig10": fig10_overhead.run,
-    "fig11": fig11_power_overhead.run,
-    "fig12": fig12_area_energy.run,
-    "fig13": fig13_utilization_timeline.run,
-    "fig14": fig14_batch_sweep.run,
-    "fig15": fig15_breakdown.run,
-    "fig16": fig16_power_trace.run,
-    "fig17": fig17_end_to_end.run,
-    "fig18": fig18_accelerator_size.run,
-    "fig19": fig19_nalu.run,
-    "ablations": ablations.run,
-    "extension": extension_multibit.run,
-}
+#: artifact-cache namespace for completed experiment results
+RESULT_NAMESPACE = "results"
 
 
-def run_selected(patterns: List[str] | None = None) -> List[ExperimentResult]:
-    """Run experiments whose key contains any of the given substrings."""
-    selected = []
-    for key, runner in EXPERIMENTS.items():
-        if not patterns or any(pattern in key for pattern in patterns):
-            selected.append(runner())
-    return selected
+def experiments() -> Dict[str, Callable[[], ExperimentResult]]:
+    """Name -> runner mapping (compatibility with the old module dict)."""
+    return {name: spec.func for name, spec in all_experiments().items()}
 
 
+def select(patterns: Optional[List[str]] = None) -> List[str]:
+    """Experiment names whose key contains any of the given substrings."""
+    return [name for name in all_experiments()
+            if not patterns or any(pattern in name for pattern in patterns)]
+
+
+def run_experiment(name: str, use_cache: bool = True) -> ExperimentResult:
+    """Run one experiment, consulting the session result cache."""
+    spec = get_spec(name)
+    session = get_session()
+    if not (use_cache and spec.cacheable and session.cache.enabled):
+        return spec.func()
+    return session.cache.fetch(RESULT_NAMESPACE, spec.cache_key(), spec.func)
+
+
+def _run_in_worker(name: str, use_cache: bool) -> ExperimentResult:
+    return run_experiment(name, use_cache=use_cache)
+
+
+def run_selected(patterns: Optional[List[str]] = None, *,
+                 use_cache: bool = True,
+                 jobs: int = 1) -> List[ExperimentResult]:
+    """Run experiments whose key contains any of the given substrings.
+
+    With ``jobs > 1`` the experiments fan out over a process pool (each
+    worker shares the on-disk artifact cache; writes are atomic).
+    """
+    names = select(patterns)
+    if jobs > 1 and len(names) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_run_in_worker, name, use_cache)
+                       for name in names]
+            return [future.result() for future in futures]
+    return [run_experiment(name, use_cache=use_cache) for name in names]
+
+
+# -- reporters ----------------------------------------------------------
 def render_markdown(results: List[ExperimentResult]) -> str:
     lines = ["# EXPERIMENTS — paper vs measured", ""]
     lines += [
@@ -76,10 +83,53 @@ def render_markdown(results: List[ExperimentResult]) -> str:
     return "\n".join(lines)
 
 
-def main(argv: List[str]) -> int:
-    patterns = argv or None
-    for result in run_selected(patterns):
-        print(result.to_table())
+def render_json(results: List[ExperimentResult],
+                indent: Optional[int] = 2) -> str:
+    return json.dumps([result.to_dict() for result in results], indent=indent)
+
+
+def render_text(results: List[ExperimentResult]) -> str:
+    return "\n\n".join(result.to_table() for result in results)
+
+
+# -- CLI ----------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="reproduce the paper's tables and figures",
+    )
+    parser.add_argument("patterns", nargs="*",
+                        help="substring filters, e.g. fig13 table2")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="run experiments in N parallel processes")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON results")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit EXPERIMENTS.md-style markdown")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not update the artifact cache")
+    parser.add_argument("--cache-dir",
+                        help="artifact cache root (default ~/.cache/repro, "
+                             "or $REPRO_CACHE_DIR)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.cache_dir:
+        set_session(SimSession(SimConfig(cache_dir=args.cache_dir)))
+    if not select(args.patterns or None):
+        print(f"no experiments match {' '.join(args.patterns)!r}; known: "
+              f"{', '.join(all_experiments())}", file=sys.stderr)
+        return 1
+    results = run_selected(args.patterns or None,
+                           use_cache=not args.no_cache, jobs=args.jobs)
+    if args.json:
+        print(render_json(results))
+    elif args.markdown:
+        print(render_markdown(results))
+    else:
+        print(render_text(results))
         print()
     return 0
 

@@ -17,6 +17,7 @@ from repro.bnn import BNNAccelerator, naive_inference_cycles
 from repro.core.transition import PIPELINE_SWITCH_CYCLES
 from repro.experiments.common import ExperimentResult
 from repro.experiments.models import motion_use_case
+from repro.experiments.registry import experiment
 from repro.power import bnn_profile, cpu_profile, frequency_model
 
 REAL_TIME_DEADLINE_MS = 5.0
@@ -28,6 +29,7 @@ PAPER_ACC_LATENCY_MS = 0.54
 PAPER_ACC_ENERGY_UJ = 0.58
 
 
+@experiment("table1")
 def run() -> ExperimentResult:
     use_case = motion_use_case()
     f_hz = frequency_model().f_hz(OPERATING_VOLTAGE)

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import experiment
 from repro.power import frequency_model, score_dhrystone
 from repro.workloads.dhrystone import measure_cycles_per_iteration
 
@@ -45,6 +46,7 @@ COMPETITORS: List[MCURow] = [
 ]
 
 
+@experiment("table2")
 def run() -> ExperimentResult:
     cycles_per_iteration = measure_cycles_per_iteration(iterations=30)
     at_1v = score_dhrystone(cycles_per_iteration, voltage=1.0)

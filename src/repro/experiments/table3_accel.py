@@ -14,6 +14,7 @@ from typing import List
 from repro.bnn import BNNAccelerator
 from repro.experiments.common import ExperimentResult
 from repro.experiments.models import mnist_model
+from repro.experiments.registry import experiment
 from repro.power import bnn_profile, bnn_tops_per_watt
 
 PAPER_ACCURACY = 0.948
@@ -46,6 +47,7 @@ COMPETITORS: List[AcceleratorRow] = [
 ]
 
 
+@experiment("table3")
 def run() -> ExperimentResult:
     trained = mnist_model(width=100)
     accelerator = BNNAccelerator()

@@ -16,6 +16,7 @@ from repro.core import (
 )
 from repro.experiments.common import ExperimentResult
 from repro.experiments.models import PAPER_IMAGE_CPU_FRACTION, image_use_case
+from repro.experiments.registry import experiment
 
 PAPER_BASELINE_CPU_UTIL = 0.802
 PAPER_BASELINE_BNN_UTIL = 0.394
@@ -24,6 +25,7 @@ PAPER_NCPU_UTIL = 0.993
 BATCH = 2
 
 
+@experiment("table4")
 def run() -> ExperimentResult:
     config = SchedulerConfig()
     items = items_for_fraction(PAPER_IMAGE_CPU_FRACTION, BATCH)

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from repro.errors import ConfigurationError
+from repro.sim import get_session
 
 #: default DMA bandwidth: one 32-bit word every other cycle (16-bit bus)
 DEFAULT_WORDS_PER_CYCLE = 0.5
@@ -56,6 +57,13 @@ class DMAEngine:
             dst.store(dst_addr + 4 * index, word, 4)
         cycles = self.transfer_cycles(n_words)
         self.transfers.append(TransferRecord(description, n_words, cycles))
+        registry = get_session().stats
+        scope = registry.scope("dma")
+        scope.incr("transfers")
+        scope.incr("words", n_words)
+        scope.incr("cycles", cycles)
+        registry.emit("dma.transfer", description=description,
+                      words=n_words, cycles=cycles)
         return cycles
 
     @property

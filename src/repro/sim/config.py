@@ -1,0 +1,110 @@
+"""Deterministic simulation configuration and content hashing.
+
+The cache layer keys every artifact on a :func:`config_hash` of the inputs
+that produced it.  The hash is canonical: dict ordering, tuple-vs-list and
+numpy scalar types do not change it, so the same logical configuration maps
+to the same on-disk artifact across processes and platforms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping, Tuple
+
+#: environment variable overriding the artifact-cache root directory
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: environment variable disabling the on-disk cache entirely (set to "1")
+NO_CACHE_ENV_VAR = "REPRO_NO_CACHE"
+
+#: default artifact-cache root (expanded lazily)
+DEFAULT_CACHE_DIR = "~/.cache/repro"
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to a JSON-encodable canonical form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {f.name: _canonical(getattr(value, f.name))
+                  for f in dataclasses.fields(value)}
+        return {"__dataclass__": type(value).__name__, **fields}
+    if isinstance(value, Mapping):
+        return {str(key): _canonical(value[key])
+                for key in sorted(value, key=str)}
+    if isinstance(value, (set, frozenset)):
+        return [_canonical(item) for item in sorted(value, key=repr)]
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return _canonical(value.item())
+    return repr(value)
+
+
+def config_hash(*parts: Any) -> str:
+    """A stable hex digest of any JSON-canonicalizable configuration."""
+    payload = json.dumps([_canonical(part) for part in parts],
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def source_fingerprint(obj: Any) -> str:
+    """Hash of an object's (module/function/class) source code.
+
+    Used to invalidate cached artifacts when the code that produced them
+    changes; falls back to the qualified name when source is unavailable
+    (frozen/compiled distributions).
+    """
+    try:
+        source = inspect.getsource(obj)
+    except (OSError, TypeError):
+        source = getattr(obj, "__qualname__", None) or getattr(
+            obj, "__name__", repr(obj))
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:20]
+
+
+@dataclasses.dataclass(frozen=True)
+class SimConfig:
+    """Configuration of one simulation session.
+
+    ``seed`` and ``params`` identify the simulated configuration and feed
+    the deterministic :attr:`hash`; ``cache_dir``/``cache_enabled`` only
+    say where artifacts are stored and are deliberately excluded from it.
+    """
+
+    cache_dir: str = DEFAULT_CACHE_DIR
+    cache_enabled: bool = True
+    seed: int = 0
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None) -> "SimConfig":
+        """Build a config from ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``."""
+        env = os.environ if environ is None else environ
+        disabled = env.get(NO_CACHE_ENV_VAR, "").lower() not in ("", "0", "false")
+        return cls(cache_dir=env.get(CACHE_ENV_VAR, DEFAULT_CACHE_DIR),
+                   cache_enabled=not disabled)
+
+    def with_params(self, **params: Any) -> "SimConfig":
+        """A copy with extra named parameters folded into the hash."""
+        merged = dict(self.params)
+        merged.update(params)
+        return dataclasses.replace(
+            self, params=tuple(sorted(merged.items())))
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return dict(self.params).get(name, default)
+
+    @property
+    def resolved_cache_dir(self) -> Path:
+        return Path(self.cache_dir).expanduser()
+
+    @property
+    def hash(self) -> str:
+        """Deterministic identity of the simulated configuration."""
+        return config_hash({"seed": self.seed, "params": self.params})

@@ -1,0 +1,79 @@
+"""The simulation session: config + stats registry + artifact cache.
+
+A process has one *current* session (:func:`get_session`); simulators look
+it up lazily at publish time, so constructing CPUs/accelerators/timelines
+stays decoupled from session management.  Tests and sweep drivers install
+their own session with :func:`set_session` or the :func:`use_session`
+context manager.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Optional
+
+from repro.sim.cache import ArtifactCache
+from repro.sim.config import SimConfig
+from repro.sim.instrument import StatsRegistry
+
+
+class SimSession:
+    """One simulation context: shared stats, shared artifact cache."""
+
+    def __init__(self, config: Optional[SimConfig] = None,
+                 stats: Optional[StatsRegistry] = None,
+                 cache: Optional[ArtifactCache] = None):
+        self.config = config if config is not None else SimConfig.from_env()
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.cache = cache if cache is not None else ArtifactCache(
+            root=self.config.resolved_cache_dir,
+            enabled=self.config.cache_enabled,
+        )
+
+    @property
+    def config_hash(self) -> str:
+        return self.config.hash
+
+    def stats_json(self, indent: Optional[int] = 2) -> str:
+        return self.stats.to_json(indent=indent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SimSession(hash={self.config_hash}, "
+                f"cache={self.cache.root}, enabled={self.cache.enabled})")
+
+
+_current: Optional[SimSession] = None
+
+
+def get_session() -> SimSession:
+    """The process-wide current session (created on first use)."""
+    global _current
+    if _current is None:
+        _current = SimSession()
+    return _current
+
+
+def set_session(session: Optional[SimSession]) -> Optional[SimSession]:
+    """Install ``session`` as current; returns the previous one."""
+    global _current
+    previous = _current
+    _current = session
+    return previous
+
+
+def reset_session() -> None:
+    """Drop the current session (a fresh default is created on next use)."""
+    set_session(None)
+
+
+@contextmanager
+def use_session(session: Optional[SimSession] = None, **config_kwargs: Any):
+    """Temporarily install a session (built from ``config_kwargs`` if not
+    given); restores the previous session on exit."""
+    if session is None:
+        session = SimSession(SimConfig(**config_kwargs))
+    previous = set_session(session)
+    try:
+        yield session
+    finally:
+        set_session(previous)

@@ -10,7 +10,7 @@ experiment, which needs each program's retired-instruction mix).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 import numpy as np
 

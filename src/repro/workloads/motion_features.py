@@ -19,7 +19,6 @@ i.e. [-256, 256) quantized.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 

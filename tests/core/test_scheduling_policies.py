@@ -44,10 +44,13 @@ class TestPolicies:
 
     @settings(max_examples=80, deadline=None)
     @given(items=items_strategy)
-    def test_lpt_never_worse_than_round_robin(self, items):
+    def test_lpt_within_7_6_of_round_robin(self, items):
+        # LPT does not dominate round-robin outright (e.g. totals
+        # [2,3,2,3,2] on 2 cores: LPT=7, RR=6), but Graham's bound
+        # LPT <= (4/3 - 1/(3m)) * OPT and OPT <= RR give 7/6 for m=2
         rr = simulate_ncpu(items, config=ZERO, policy="round_robin")
         lpt = simulate_ncpu(items, config=ZERO, policy="lpt")
-        assert lpt.end <= rr.end
+        assert lpt.end <= (7 / 6) * rr.end + 1
 
     @settings(max_examples=40, deadline=None)
     @given(items=items_strategy,

@@ -1,0 +1,88 @@
+"""Timeline per-core memoization and resolution-aware power traces."""
+
+import pytest
+
+from repro.core.events import Timeline
+from repro.errors import ConfigurationError
+from repro.power import core_power_w
+
+
+def make_timeline():
+    timeline = Timeline()
+    timeline.add("ncpu", "cpu", 0, 100)
+    timeline.add("ncpu", "bnn", 100, 200)
+    timeline.add("host", "cpu", 0, 150)
+    return timeline
+
+
+class TestCoreSegmentsMemoization:
+    def test_repeated_queries_share_cached_list(self):
+        timeline = make_timeline()
+        assert timeline.core_segments("ncpu") is timeline.core_segments("ncpu")
+
+    def test_add_invalidates(self):
+        timeline = make_timeline()
+        before = timeline.core_segments("ncpu")
+        timeline.add("ncpu", "idle", 200, 250)
+        after = timeline.core_segments("ncpu")
+        assert after is not before
+        assert len(after) == 3
+
+    def test_direct_extend_invalidates(self):
+        # NCPUSoC.merged_timeline() extends .segments without calling add()
+        timeline = make_timeline()
+        other = Timeline()
+        other.add("dma", "dma", 0, 40)
+        assert timeline.core_names() == ["ncpu", "host"]
+        timeline.segments.extend(other.segments)
+        assert "dma" in timeline.core_names()
+        assert timeline.busy_cycles("dma", kinds=("dma",)) == 40
+
+    def test_sorted_by_start(self):
+        timeline = Timeline()
+        timeline.add("c", "cpu", 50, 60)
+        timeline.add("c", "cpu", 0, 10)
+        assert [s.start for s in timeline.core_segments("c")] == [0, 50]
+
+
+class TestPowerTraceResolution:
+    F_HZ = 100e6
+
+    def test_default_staircase_two_points_per_segment(self):
+        timeline = make_timeline()
+        trace = timeline.power_trace(1.0, self.F_HZ)
+        assert len(trace["ncpu"]) == 4  # 2 segments x 2 points
+
+    def test_resolution_resamples_uniformly(self):
+        timeline = make_timeline()
+        trace = timeline.power_trace(1.0, self.F_HZ, resolution=21)
+        points = trace["ncpu"]
+        assert len(points) == 21
+        times = [t for t, _ in points]
+        end_us = timeline.end / self.F_HZ * 1e6
+        assert times[0] == 0.0
+        assert times[-1] == pytest.approx(end_us)
+        steps = [b - a for a, b in zip(times, times[1:])]
+        assert all(step == pytest.approx(steps[0]) for step in steps)
+
+    def test_resampled_powers_follow_modes(self):
+        timeline = make_timeline()
+        points = timeline.power_trace(1.0, self.F_HZ, resolution=11)["ncpu"]
+        cpu_mw = core_power_w("cpu", 1.0, self.F_HZ) * 1e3
+        bnn_mw = core_power_w("bnn", 1.0, self.F_HZ) * 1e3
+        # first half of the makespan runs CPU mode, second half BNN mode
+        assert points[1][1] == pytest.approx(cpu_mw)
+        assert points[9][1] == pytest.approx(bnn_mw)
+
+    def test_gaps_sample_idle_leakage(self):
+        timeline = Timeline()
+        timeline.add("c", "cpu", 0, 10)
+        timeline.add("c", "cpu", 90, 100)
+        idle_mw = core_power_w("cpu", 1.0, self.F_HZ, active=False) * 1e3
+        points = timeline.power_trace(1.0, self.F_HZ, resolution=101)["c"]
+        mid = points[50]
+        assert mid[1] == pytest.approx(idle_mw)
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_timeline().power_trace(1.0, self.F_HZ, resolution=1)

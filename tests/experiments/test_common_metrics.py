@@ -1,0 +1,65 @@
+"""Unit coverage for repro.experiments.common (Metric / ExperimentResult)."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, Metric
+
+
+class TestMetricDeviation:
+    def test_no_paper_reference(self):
+        metric = Metric(name="m", measured=5.0, paper=None)
+        assert metric.deviation is None
+        assert metric.row() == ("m", "-", "5", "-")
+
+    def test_zero_paper_reference(self):
+        assert Metric(name="m", measured=5.0, paper=0.0).deviation is None
+
+    def test_relative_deviation(self):
+        metric = Metric(name="m", measured=110.0, paper=100.0)
+        assert metric.deviation == pytest.approx(0.10)
+        assert metric.row()[3] == "+10.0%"
+
+    def test_negative_paper_uses_magnitude(self):
+        assert Metric(name="m", measured=-90.0, paper=-100.0).deviation == \
+            pytest.approx(0.10)
+
+    def test_to_dict_carries_derived_deviation(self):
+        payload = Metric(name="m", measured=98.0, paper=100.0,
+                         unit="MHz").to_dict()
+        assert payload == {"name": "m", "paper": 100.0, "measured": 98.0,
+                           "unit": "MHz",
+                           "deviation": pytest.approx(-0.02)}
+
+
+class TestExperimentResult:
+    def make(self):
+        result = ExperimentResult("T1", "demo")
+        result.add("freq", measured=955.0, paper=960.0, unit="MHz")
+        result.add("raw", measured=3.0)
+        return result
+
+    def test_metric_lookup(self):
+        result = self.make()
+        assert result.metric("freq").paper == 960.0
+        with pytest.raises(KeyError, match="no metric named 'missing'"):
+            result.metric("missing")
+
+    def test_to_markdown_unit_rendering(self):
+        lines = self.make().to_markdown().splitlines()
+        assert "| freq | 960 MHz | 955 MHz | -0.5% |" in lines
+        # unitless paper column renders a bare dash, no stray unit
+        assert "| raw | - | 3 | - |" in lines
+
+    def test_to_table_alignment_and_notes(self):
+        result = self.make()
+        result.notes = "synthetic"
+        table = result.to_table()
+        assert table.startswith("T1: demo")
+        assert "note: synthetic" in table
+
+    def test_to_dict_series_names_only(self):
+        result = self.make()
+        result.series["trace"] = [object()]  # not JSON-serializable
+        payload = result.to_dict()
+        assert payload["series"] == ["trace"]
+        assert payload["metrics"][0]["name"] == "freq"

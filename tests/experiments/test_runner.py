@@ -1,0 +1,185 @@
+"""Registry, cache-aware runner, reporters, and the model-cache guarantee."""
+
+import json
+
+import pytest
+
+from repro.experiments import registry, runner
+from repro.experiments.common import ExperimentResult
+from repro.sim import SimConfig, SimSession, set_session
+
+ALL_NAMES = [
+    "table1", "table2", "table3", "table4",
+    "fig07", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "fig17", "fig18", "fig19",
+    "ablations", "extension",
+]
+
+
+@pytest.fixture()
+def session(tmp_path):
+    mine = SimSession(SimConfig(cache_dir=str(tmp_path)))
+    previous = set_session(mine)
+    yield mine
+    set_session(previous)
+
+
+class TestRegistry:
+    def test_all_experiments_complete(self):
+        assert list(registry.all_experiments()) == ALL_NAMES
+
+    def test_experiments_compat_mapping(self):
+        mapping = runner.experiments()
+        assert set(mapping) == set(ALL_NAMES)
+        assert all(callable(func) for func in mapping.values())
+
+    def test_get_spec_unknown_name(self):
+        with pytest.raises(KeyError, match="no experiment named"):
+            registry.get_spec("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        @registry.experiment("_dup_test")
+        def first():
+            return ExperimentResult("x", "first")
+
+        try:
+            with pytest.raises(ValueError, match="registered twice"):
+                @registry.experiment("_dup_test")
+                def second():
+                    return ExperimentResult("x", "second")
+        finally:
+            registry.unregister("_dup_test")
+
+    def test_cache_key_tracks_version(self):
+        spec = registry.get_spec("fig07")
+        bumped = registry.ExperimentSpec(
+            name=spec.name, func=spec.func, version=spec.version + 1)
+        assert spec.cache_key() != bumped.cache_key()
+
+
+class TestSelect:
+    def test_no_patterns_selects_everything(self):
+        assert runner.select(None) == ALL_NAMES
+
+    def test_substring_filtering(self):
+        assert runner.select(["fig1"]) == [
+            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "fig16", "fig17", "fig18", "fig19"]
+        assert runner.select(["table2", "fig07"]) == ["table2", "fig07"]
+        assert runner.select(["nonexistent"]) == []
+
+
+class TestResultCache:
+    @pytest.fixture()
+    def counted(self, session):
+        calls = []
+
+        @registry.experiment("_cached_test")
+        def fake():
+            calls.append(1)
+            return ExperimentResult("_cached_test", "synthetic")
+
+        yield calls
+        registry.unregister("_cached_test")
+
+    def test_second_run_hits_cache(self, session, counted):
+        runner.run_experiment("_cached_test")
+        session.cache.clear_memory()  # force the disk path
+        result = runner.run_experiment("_cached_test")
+        assert len(counted) == 1
+        assert result.experiment_id == "_cached_test"
+
+    def test_no_cache_reruns(self, session, counted):
+        runner.run_experiment("_cached_test", use_cache=False)
+        runner.run_experiment("_cached_test", use_cache=False)
+        assert len(counted) == 2
+
+    def test_disabled_session_cache_reruns(self, counted, tmp_path):
+        disabled = SimSession(SimConfig(cache_dir=str(tmp_path),
+                                        cache_enabled=False))
+        previous = set_session(disabled)
+        try:
+            runner.run_experiment("_cached_test")
+            runner.run_experiment("_cached_test")
+        finally:
+            set_session(previous)
+        assert len(counted) == 2
+
+
+class TestRunSelected:
+    def test_sequential(self, session):
+        results = runner.run_selected(["fig07"])
+        assert [r.experiment_id for r in results] == ["Fig 7"]
+
+    def test_parallel_matches_sequential(self, session):
+        sequential = runner.run_selected(["fig07", "table1"])
+        parallel = runner.run_selected(["fig07", "table1"], jobs=2)
+        assert [r.experiment_id for r in parallel] == \
+            [r.experiment_id for r in sequential]
+        for left, right in zip(sequential, parallel):
+            assert left.to_dict() == right.to_dict()
+
+
+class TestReporters:
+    def test_render_json_fields(self, session):
+        results = runner.run_selected(["fig07"])
+        payload = json.loads(runner.render_json(results))
+        assert len(payload) == 1
+        entry = payload[0]
+        assert entry["experiment_id"] == "Fig 7"
+        assert entry["title"]
+        for metric in entry["metrics"]:
+            assert set(metric) == {"name", "paper", "measured", "unit",
+                                   "deviation"}
+        named = {m["name"]: m for m in entry["metrics"]}
+        assert named["nominal frequency"]["paper"] == 960.0
+        assert named["nominal frequency"]["measured"] == \
+            pytest.approx(960.0)
+        assert named["nominal frequency"]["deviation"] == \
+            pytest.approx(0.0, abs=1e-6)
+
+    def test_render_markdown_and_text(self, session):
+        results = runner.run_selected(["fig07"])
+        markdown = runner.render_markdown(results)
+        assert "| metric | paper | measured | deviation |" in markdown
+        assert "Fig 7" in runner.render_text(results)
+
+    def test_cli_no_match_is_an_error(self, session, capsys):
+        assert runner.main(["zzz",
+                            "--cache-dir", str(session.cache.root)]) == 1
+        assert "no experiments match" in capsys.readouterr().err
+
+    def test_cli_json_mode(self, session, capsys):
+        assert runner.main(["fig07", "--json",
+                            "--cache-dir", str(session.cache.root)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["experiment_id"] == "Fig 7"
+
+
+class TestModelArtifactCache:
+    def test_trainer_invoked_once_across_sessions(self, tmp_path, monkeypatch):
+        """Two fresh sessions sharing one cache dir -> one training run."""
+        from repro.bnn.training import BNNTrainer
+        from repro.experiments.models import mnist_model
+
+        calls = []
+        original = BNNTrainer.train
+
+        def counting_train(self, *args, **kwargs):
+            calls.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(BNNTrainer, "train", counting_train)
+
+        accuracies = []
+        for _ in range(2):  # separate sessions: no shared memory cache
+            session = SimSession(SimConfig(cache_dir=str(tmp_path)))
+            previous = set_session(session)
+            try:
+                trained = mnist_model(width=12, epochs=1, n_samples=80)
+                accuracies.append(trained.test_accuracy)
+            finally:
+                set_session(previous)
+
+        assert len(calls) == 1
+        assert accuracies[0] == accuracies[1]

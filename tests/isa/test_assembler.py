@@ -5,7 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import AssemblerError
-from repro.isa import assemble, decode, disassemble_word, encode
+from repro.isa import assemble, disassemble_word, encode
 from repro.isa.assembler import parse_int, parse_register
 
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.bnn import BNNModel, binarize_sign
-from repro.errors import ConfigurationError, MemoryError_
+from repro.errors import ConfigurationError
 from repro.mem import (
     CoreMode,
     DMAEngine,

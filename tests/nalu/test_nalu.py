@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.nalu import (
-    GE_DIGITAL,
     NALUNetwork,
     PAPER_AREA_RATIOS,
     compare_all,

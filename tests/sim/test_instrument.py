@@ -1,0 +1,109 @@
+"""Tests for the shared StatsRegistry / StatsScope instrumentation."""
+
+import json
+
+from repro.sim import StatsRegistry
+
+
+class TestCounters:
+    def test_incr_accumulates(self):
+        registry = StatsRegistry()
+        assert registry.incr("a") == 1
+        assert registry.incr("a", 4) == 5
+        assert registry.get("a") == 5
+
+    def test_get_default(self):
+        assert StatsRegistry().get("missing", 17) == 17
+
+    def test_counters_prefix_filter_sorted(self):
+        registry = StatsRegistry()
+        registry.incr("cpu.cycles", 10)
+        registry.incr("cpu.stalls", 2)
+        registry.incr("bnn.cycles", 5)
+        assert registry.counters("cpu.") == {"cpu.cycles": 10,
+                                             "cpu.stalls": 2}
+        assert list(registry.counters()) == ["bnn.cycles", "cpu.cycles",
+                                             "cpu.stalls"]
+
+
+class TestGauges:
+    def test_set_and_read(self):
+        registry = StatsRegistry()
+        registry.set_gauge("util.cpu", 0.5)
+        registry.set_gauge("util.cpu", 0.75)  # last write wins
+        assert registry.gauges() == {"util.cpu": 0.75}
+        assert registry.get("util.cpu") == 0.75  # falls through to gauges
+
+
+class TestProbes:
+    def test_subscribe_receives_named_event(self):
+        registry = StatsRegistry()
+        seen = []
+        registry.subscribe("cpu.run", lambda e, p: seen.append((e, dict(p))))
+        registry.emit("cpu.run", cycles=9)
+        registry.emit("bnn.batch", cycles=1)  # different event: not seen
+        assert seen == [("cpu.run", {"cycles": 9})]
+
+    def test_wildcard_receives_everything(self):
+        registry = StatsRegistry()
+        events = []
+        registry.subscribe("*", lambda e, p: events.append(e))
+        registry.emit("one")
+        registry.emit("two", payload={"k": 1})
+        assert events == ["one", "two"]
+
+    def test_unsubscribe(self):
+        registry = StatsRegistry()
+        seen = []
+        probe = registry.subscribe("x", lambda e, p: seen.append(e))
+        registry.unsubscribe("x", probe)
+        registry.unsubscribe("x", probe)  # idempotent
+        registry.emit("x")
+        assert seen == []
+
+    def test_payload_and_fields_merge(self):
+        registry = StatsRegistry()
+        seen = {}
+        registry.subscribe("e", lambda e, p: seen.update(p))
+        registry.emit("e", payload={"a": 1, "b": 2}, b=3)
+        assert seen == {"a": 1, "b": 3}
+
+
+class TestExport:
+    def test_as_dict_and_json(self):
+        registry = StatsRegistry()
+        registry.incr("c", 2)
+        registry.set_gauge("g", "high")
+        payload = json.loads(registry.to_json())
+        assert payload == {"counters": {"c": 2}, "gauges": {"g": "high"}}
+        assert registry.as_dict()["counters"] == {"c": 2}
+
+    def test_reset(self):
+        registry = StatsRegistry()
+        registry.incr("c")
+        registry.set_gauge("g", 1)
+        registry.reset()
+        assert registry.as_dict() == {"counters": {}, "gauges": {}}
+
+
+class TestScope:
+    def test_prefixes_names(self):
+        registry = StatsRegistry()
+        scope = registry.scope("cpu.pipeline")
+        scope.incr("cycles", 12)
+        scope.set_gauge("ipc", 0.8)
+        assert registry.get("cpu.pipeline.cycles") == 12
+        assert registry.gauges() == {"cpu.pipeline.ipc": 0.8}
+        assert scope.get("cycles") == 12
+
+    def test_scoped_emit(self):
+        registry = StatsRegistry()
+        seen = []
+        registry.subscribe("dma.transfer", lambda e, p: seen.append(e))
+        registry.scope("dma").emit("transfer", words=4)
+        assert seen == ["dma.transfer"]
+
+    def test_incr_many_skips_zero(self):
+        registry = StatsRegistry()
+        registry.scope("cpu").incr_many({"cycles": 10, "stalls": 0})
+        assert registry.counters() == {"cpu.cycles": 10}
