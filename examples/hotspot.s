@@ -1,0 +1,23 @@
+# Trace/profile demo: a hot inner loop with a load-use hazard and a
+# taken branch, so `--profile` shows retired, <stall:load_use>, and
+# <flush:control> rows and the Perfetto lanes show the bubbles.
+#
+#   python -m repro run examples/hotspot.s --trace trace.json --profile
+#
+    addi a0, x0, 0          # sum
+    addi a1, x0, 256        # data pointer
+    addi a5, x0, 16         # store 16 words first
+fill:
+    sw   a5, 0(a1)
+    addi a1, a1, 4
+    addi a5, a5, -1
+    bne  a5, x0, fill
+    addi a1, x0, 256        # rewind
+    addi a5, x0, 16
+sum:
+    lw   a2, 0(a1)          # load-use hazard: a2 consumed next cycle
+    add  a0, a0, a2
+    addi a1, a1, 4
+    addi a5, a5, -1
+    bne  a5, x0, sum        # taken 15 times -> control flushes
+    halt

@@ -104,6 +104,10 @@ class BNNAccelerator:
         """Per-layer compute time: one broadcast input per cycle."""
         return [layer.fan_in + LAYER_OVERHEAD_CYCLES for layer in model.layers]
 
+    def layer_macs(self, model: BNNModel) -> List[int]:
+        """Per-layer MAC counts (one XNOR-popcount step == one MAC)."""
+        return [layer.fan_in * layer.fan_out for layer in model.layers]
+
     def latency_cycles(self, model: BNNModel) -> int:
         """Cycles from input available to classification committed."""
         return sum(self.layer_cycles(model))
@@ -155,7 +159,9 @@ class BNNAccelerator:
             scope.incr("weight_stream_cycles", stream)
         registry.emit("bnn.batch", n_inputs=n_inputs, latency_cycles=latency,
                       total_cycles=total, interval_cycles=interval,
-                      weight_stream_cycles=stream)
+                      weight_stream_cycles=stream,
+                      layer_cycles=self.layer_cycles(model),
+                      layer_macs=self.layer_macs(model))
         return timing
 
     # -- functional execution --------------------------------------------
@@ -176,7 +182,9 @@ class BNNAccelerator:
         scope.incr("cycles", result.cycles)
         scope.incr("macs", result.macs)
         registry.emit("bnn.infer", prediction=result.prediction,
-                      cycles=result.cycles, macs=result.macs)
+                      cycles=result.cycles, macs=result.macs,
+                      layer_cycles=result.layer_cycles,
+                      layer_macs=self.layer_macs(model))
         return result
 
     def infer_batch(self, model: BNNModel, x_signs: Sequence[np.ndarray],

@@ -49,26 +49,75 @@ def cmd_dis(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sim import get_session
+
     program = assemble(_read_text(args.file), base=args.base)
     cpu_class = FunctionalCPU if args.functional else PipelinedCPU
+
+    tracer = None
+    if args.trace or args.trace_jsonl or args.profile:
+        from repro.trace import install_tracer
+
+        # unbounded + unsampled so the profiler's attribution is exact
+        tracer = install_tracer(get_session(), capacity=None)
+
     cpu = cpu_class(program)
-    if args.functional:
-        result = cpu.run(max_steps=args.max_cycles)
-    else:
-        result = cpu.run(max_cycles=args.max_cycles)
+    try:
+        if args.functional:
+            result = cpu.run(max_steps=args.max_cycles)
+        else:
+            result = cpu.run(max_cycles=args.max_cycles)
+    finally:
+        if tracer is not None:
+            from repro.trace import uninstall_tracer
+
+            # detach so repeated in-process calls don't stack bridges;
+            # the captured events stay readable for the exports below
+            uninstall_tracer(get_session())
+    exit_code = 0 if result.stop_reason in ("halt", "trans_bnn") else 1
+
+    # with --stats-json, stdout carries exactly one parseable JSON document;
+    # the human-readable summary moves to stderr
+    out = sys.stderr if args.stats_json else sys.stdout
     stats = result.stats
-    print(f"stop: {result.stop_reason} at pc={result.pc:#x}")
+    print(f"stop: {result.stop_reason} at pc={result.pc:#x}", file=out)
     print(f"cycles={stats.cycles} instructions={stats.instructions} "
-          f"ipc={stats.ipc:.3f} stalls={stats.stalls} flushes={stats.flushes}")
+          f"ipc={stats.ipc:.3f} stalls={stats.stalls} flushes={stats.flushes}",
+          file=out)
     if args.regs:
         for index in range(0, 32, 4):
             row = "  ".join(f"x{i:<2}={cpu.regs.read(i):>10}"
                             for i in range(index, index + 4))
-            print(row)
+            print(row, file=out)
+
+    if tracer is not None:
+        from repro.trace import (
+            build_report,
+            render_report,
+            write_chrome_trace,
+            write_jsonl,
+        )
+
+        if args.trace:
+            payload = write_chrome_trace(tracer, args.trace)
+            print(f"trace: {payload['otherData']['n_events']} events -> "
+                  f"{args.trace}", file=out)
+        if args.trace_jsonl:
+            count = write_jsonl(tracer, args.trace_jsonl)
+            print(f"trace: {count} events -> {args.trace_jsonl}", file=out)
+        if args.profile:
+            print(render_report(build_report(tracer)), file=out)
+
     if args.stats_json:
-        from repro.sim import get_session
-        print(get_session().stats.to_json())
-    return 0 if result.stop_reason in ("halt", "trans_bnn") else 1
+        # printed before the non-zero exit path, stop reason included, so
+        # scripted callers always get one parseable document on stdout
+        payload = {"stop_reason": result.stop_reason, "pc": result.pc,
+                   "exit_code": exit_code}
+        payload.update(get_session().stats.as_dict())
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    return exit_code
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -89,7 +138,8 @@ def cmd_experiments(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     results = run_selected(args.patterns or None,
-                           use_cache=not args.no_cache, jobs=args.jobs)
+                           use_cache=not args.no_cache, jobs=args.jobs,
+                           trace_dir=args.trace_dir)
     if args.json:
         print(render_json(results))
         return 0
@@ -171,7 +221,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--regs", action="store_true",
                      help="dump the register file after the run")
     run.add_argument("--stats-json", action="store_true",
-                     help="dump the shared stats registry as JSON")
+                     help="print one JSON document (stop reason + stats "
+                          "registry) on stdout; summary moves to stderr")
+    run.add_argument("--trace", metavar="PATH",
+                     help="write a Chrome/Perfetto trace-event JSON "
+                          "(load in ui.perfetto.dev)")
+    run.add_argument("--trace-jsonl", metavar="PATH",
+                     help="write the raw event stream as JSONL")
+    run.add_argument("--profile", action="store_true",
+                     help="print hot-spot / stall-attribution / layer "
+                          "profile (pipelined runs)")
     run.add_argument("--max-cycles", type=int, default=10_000_000)
     run.set_defaults(func=cmd_run)
 
@@ -192,6 +251,9 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--cache-dir",
                      help="artifact cache root (default ~/.cache/repro, "
                           "or $REPRO_CACHE_DIR)")
+    exp.add_argument("--trace-dir", metavar="DIR",
+                     help="trace each executed experiment into "
+                          "DIR/<name>.trace.json (Perfetto format)")
     exp.set_defaults(func=cmd_experiments)
 
     info = sub.add_parser("info", help="print the modelled chip specs")

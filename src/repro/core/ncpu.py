@@ -39,6 +39,7 @@ from repro.cpu.memory import DataMemory
 from repro.errors import ConfigurationError, SimulationError
 from repro.isa import Program
 from repro.mem.memory_map import CoreMode, NCPUMemory
+from repro.sim import get_session
 
 
 class NCPUCore:
@@ -120,12 +121,17 @@ class NCPUCore:
         )
         self._advance(cost, events.SWITCH, "trans_bnn")
         self.memory.set_mode(CoreMode.BNN)
+        get_session().stats.emit("soc.mode_switch", core=self.name, to="bnn",
+                                 cycle=self.clock, cost=cost)
 
     def switch_to_cpu(self) -> None:
         if self.mode is CoreMode.CPU:
             return
-        self._advance(self.policy.to_cpu_cycles(), events.SWITCH, "trans_cpu")
+        cost = self.policy.to_cpu_cycles()
+        self._advance(cost, events.SWITCH, "trans_cpu")
         self.memory.set_mode(CoreMode.CPU)
+        get_session().stats.emit("soc.mode_switch", core=self.name, to="cpu",
+                                 cycle=self.clock, cost=cost)
 
     def switch_to_bnn(self) -> None:
         """Explicit switch (normally driven by the trans_bnn instruction)."""

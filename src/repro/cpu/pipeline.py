@@ -95,6 +95,9 @@ class PipelinedCPU:
         self._stop_reason: Optional[str] = None
         self._resume_pc = 0
         self._decode_cache = {}
+        #: session tracer, resolved once per run(); None keeps the
+        #: untraced per-cycle cost to a single attribute load + None check
+        self._tracer = None
 
     # ------------------------------------------------------------------
     # helpers
@@ -176,6 +179,18 @@ class PipelinedCPU:
                 "WB": self.mem_wb.pc if self.mem_wb else None,
             })
 
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.cpu_cycle(
+                self.stats.cycles,
+                IF=self.pc if self._fetch_enabled else None,
+                ID=self.if_id.pc if self.if_id else None,
+                EX=self.id_ex.pc if self.id_ex else None,
+                MEM=self.ex_mem.pc if self.ex_mem else None,
+                WB=self.mem_wb.pc if self.mem_wb else None,
+                wb_name=self.mem_wb.instr.name if self.mem_wb else None,
+            )
+
         # ---- WB -------------------------------------------------------
         wb = self.mem_wb
         if wb is not None:
@@ -248,6 +263,11 @@ class PipelinedCPU:
             # Squash the two younger slots (IF/ID and this cycle's fetch)
             # and steer the PC to the branch target: a 2-cycle penalty.
             self.stats.flushes += 2
+            if tracer is not None:
+                tracer.instant("cpu.flush", track="cpu.pipeline",
+                               ts=self.stats.cycles, cat="cpu",
+                               cause="control", pc=ex.pc if ex else None,
+                               target=redirect, squashed=2)
             self.if_id = None
             self.id_ex = None
             self.pc = redirect
@@ -257,6 +277,12 @@ class PipelinedCPU:
         # ---- ID -------------------------------------------------------
         if self._raw_hazard(new_ex_mem, new_mem_wb):
             self.stats.stalls += 1
+            if tracer is not None:
+                tracer.instant("cpu.stall", track="cpu.pipeline",
+                               ts=self.stats.cycles, cat="cpu",
+                               cause=("load_use" if self.forwarding
+                                      else "raw_interlock"),
+                               pc=self.if_id.pc if self.if_id else None)
             self.id_ex = None  # bubble into EX; IF/ID and PC hold
             return
 
@@ -297,12 +323,15 @@ class PipelinedCPU:
         and emit a ``cpu.run`` probe event.
         """
         before = self.stats.scalars()
+        session = get_session()
+        tracer = session.tracer
+        self._tracer = tracer if tracer is not None and tracer.active else None
         while self._stop_reason is None and self.stats.cycles < max_cycles:
             self._cycle()
         reason = self._stop_reason or "max_cycles"
         pc = self._resume_pc if self._stop_reason else self.pc
         delta = self.stats.delta(before)
-        registry = get_session().stats
+        registry = session.stats
         scope = registry.scope("cpu.pipeline")
         scope.incr("runs")
         scope.incr_many(delta)

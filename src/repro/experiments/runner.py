@@ -18,7 +18,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments.common import ExperimentResult
@@ -27,6 +29,15 @@ from repro.sim import SimConfig, SimSession, get_session, set_session
 
 #: artifact-cache namespace for completed experiment results
 RESULT_NAMESPACE = "results"
+
+#: attribute attached to each returned result carrying per-run metadata
+#: (wall time, cache hit/miss, trace path) — never cached with the result
+RUN_META_ATTR = "run_meta"
+
+
+def run_meta(result: ExperimentResult) -> Optional[Dict]:
+    """The per-run metadata attached by :func:`run_experiment` (or None)."""
+    return getattr(result, RUN_META_ATTR, None)
 
 
 def experiments() -> Dict[str, Callable[[], ExperimentResult]]:
@@ -40,34 +51,80 @@ def select(patterns: Optional[List[str]] = None) -> List[str]:
             if not patterns or any(pattern in name for pattern in patterns)]
 
 
-def run_experiment(name: str, use_cache: bool = True) -> ExperimentResult:
-    """Run one experiment, consulting the session result cache."""
+def run_experiment(name: str, use_cache: bool = True,
+                   trace_dir: Optional[str] = None) -> ExperimentResult:
+    """Run one experiment, consulting the session result cache.
+
+    With ``trace_dir`` set, an actually-executed (cache-missed) experiment
+    runs under an installed tracer and its events land in
+    ``<trace_dir>/<name>.trace.json``; cache hits skip tracing.  Every
+    returned result carries :func:`run_meta` — wall time, cache hit/miss,
+    and the trace path (never stored with the cached artifact).
+    """
     spec = get_spec(name)
     session = get_session()
-    if not (use_cache and spec.cacheable and session.cache.enabled):
-        return spec.func()
-    return session.cache.fetch(RESULT_NAMESPACE, spec.cache_key(), spec.func)
+    start = time.perf_counter()
+    traced_path: Optional[str] = None
+
+    def build() -> ExperimentResult:
+        nonlocal traced_path
+        if trace_dir is None:
+            return spec.func()
+        from repro.trace import tracing, write_chrome_trace
+
+        path = Path(trace_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        with tracing(session) as tracer:
+            with tracer.span(f"experiment.{name}", track="runner",
+                             clock=lambda: (time.perf_counter() - start)
+                             * 1e6):
+                built = spec.func()
+        target = path / f"{name}.trace.json"
+        write_chrome_trace(tracer, target)
+        traced_path = str(target)
+        return built
+
+    caching = use_cache and spec.cacheable and session.cache.enabled
+    if caching:
+        hits_before = session.cache.hits
+        result = session.cache.fetch(RESULT_NAMESPACE, spec.cache_key(),
+                                     build)
+        cache_hit = session.cache.hits > hits_before
+    else:
+        result = build()
+        cache_hit = False
+    setattr(result, RUN_META_ATTR, {
+        "name": name,
+        "wall_time_s": round(time.perf_counter() - start, 6),
+        "cache_hit": cache_hit,
+        "trace_path": traced_path,
+    })
+    return result
 
 
-def _run_in_worker(name: str, use_cache: bool) -> ExperimentResult:
-    return run_experiment(name, use_cache=use_cache)
+def _run_in_worker(name: str, use_cache: bool,
+                   trace_dir: Optional[str] = None) -> ExperimentResult:
+    return run_experiment(name, use_cache=use_cache, trace_dir=trace_dir)
 
 
 def run_selected(patterns: Optional[List[str]] = None, *,
                  use_cache: bool = True,
-                 jobs: int = 1) -> List[ExperimentResult]:
+                 jobs: int = 1,
+                 trace_dir: Optional[str] = None) -> List[ExperimentResult]:
     """Run experiments whose key contains any of the given substrings.
 
     With ``jobs > 1`` the experiments fan out over a process pool (each
-    worker shares the on-disk artifact cache; writes are atomic).
+    worker shares the on-disk artifact cache; writes are atomic, and each
+    worker traces into its own ``<trace_dir>/<name>.trace.json``).
     """
     names = select(patterns)
     if jobs > 1 and len(names) > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(_run_in_worker, name, use_cache)
+            futures = [pool.submit(_run_in_worker, name, use_cache, trace_dir)
                        for name in names]
             return [future.result() for future in futures]
-    return [run_experiment(name, use_cache=use_cache) for name in names]
+    return [run_experiment(name, use_cache=use_cache, trace_dir=trace_dir)
+            for name in names]
 
 
 # -- reporters ----------------------------------------------------------
@@ -80,12 +137,30 @@ def render_markdown(results: List[ExperimentResult]) -> str:
     ]
     for result in results:
         lines.append(result.to_markdown())
+    metas = [run_meta(result) for result in results]
+    if any(metas):
+        lines += ["## Run summary", "",
+                  "| experiment | wall time | cache | trace |",
+                  "|---|---|---|---|"]
+        for result, meta in zip(results, metas):
+            if meta is None:
+                continue
+            cache = "hit" if meta["cache_hit"] else "miss"
+            trace = meta["trace_path"] or "-"
+            lines.append(f"| {meta['name']} | {meta['wall_time_s']:.3f} s "
+                         f"| {cache} | {trace} |")
+        lines.append("")
     return "\n".join(lines)
 
 
 def render_json(results: List[ExperimentResult],
                 indent: Optional[int] = 2) -> str:
-    return json.dumps([result.to_dict() for result in results], indent=indent)
+    entries = []
+    for result in results:
+        entry = result.to_dict()
+        entry["run"] = run_meta(result)
+        entries.append(entry)
+    return json.dumps(entries, indent=indent)
 
 
 def render_text(results: List[ExperimentResult]) -> str:
@@ -111,6 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir",
                         help="artifact cache root (default ~/.cache/repro, "
                              "or $REPRO_CACHE_DIR)")
+    parser.add_argument("--trace-dir", metavar="DIR",
+                        help="trace each executed experiment into "
+                             "DIR/<name>.trace.json (Perfetto format)")
     return parser
 
 
@@ -123,7 +201,8 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{', '.join(all_experiments())}", file=sys.stderr)
         return 1
     results = run_selected(args.patterns or None,
-                           use_cache=not args.no_cache, jobs=args.jobs)
+                           use_cache=not args.no_cache, jobs=args.jobs,
+                           trace_dir=args.trace_dir)
     if args.json:
         print(render_json(results))
     elif args.markdown:

@@ -63,7 +63,8 @@ class DMAEngine:
         scope.incr("words", n_words)
         scope.incr("cycles", cycles)
         registry.emit("dma.transfer", description=description,
-                      words=n_words, cycles=cycles)
+                      words=n_words, cycles=cycles,
+                      setup_cycles=TRANSFER_SETUP_CYCLES if n_words else 0)
         return cycles
 
     @property

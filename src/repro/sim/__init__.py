@@ -19,7 +19,13 @@ from repro.sim.config import (
     config_hash,
     source_fingerprint,
 )
-from repro.sim.instrument import StatsRegistry, StatsScope
+from repro.sim.instrument import (
+    ALL_EVENTS,
+    PROBE_ERROR_COUNTER,
+    STRICT_PROBES_ENV_VAR,
+    StatsRegistry,
+    StatsScope,
+)
 from repro.sim.session import (
     SimSession,
     get_session,
@@ -29,8 +35,11 @@ from repro.sim.session import (
 )
 
 __all__ = [
+    "ALL_EVENTS",
     "ArtifactCache",
     "CACHE_ENV_VAR",
+    "PROBE_ERROR_COUNTER",
+    "STRICT_PROBES_ENV_VAR",
     "DEFAULT_CACHE_DIR",
     "NO_CACHE_ENV_VAR",
     "SimConfig",

@@ -18,6 +18,7 @@ value.  Probes subscribe to named events (``"*"`` for all) and receive
 from __future__ import annotations
 
 import json
+import os
 from collections import defaultdict
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
@@ -25,6 +26,12 @@ ProbeFn = Callable[[str, Mapping[str, Any]], None]
 
 #: subscription key receiving every event
 ALL_EVENTS = "*"
+
+#: counter tracking probe callbacks that raised during :meth:`emit`
+PROBE_ERROR_COUNTER = "stats.probe_errors"
+
+#: set to ``1`` to re-raise probe exceptions instead of counting them
+STRICT_PROBES_ENV_VAR = "REPRO_STRICT_PROBES"
 
 
 class StatsRegistry:
@@ -72,15 +79,51 @@ class StatsRegistry:
 
     def emit(self, event: str, payload: Optional[Mapping[str, Any]] = None,
              **fields: Any) -> None:
-        """Deliver a structured event to its subscribers (cheap when none)."""
+        """Deliver a structured event to its subscribers (cheap when none).
+
+        A raising probe must never abort the simulation: exceptions are
+        swallowed and counted under ``stats.probe_errors``, unless
+        ``REPRO_STRICT_PROBES=1`` is set (debugging), in which case they
+        propagate.
+        """
         if not self._probes:
             return
         merged = dict(payload or {})
         merged.update(fields)
         for probe in self._probes.get(event, []):
-            probe(event, merged)
+            self._dispatch(probe, event, merged)
         for probe in self._probes.get(ALL_EVENTS, []):
-            probe(event, merged)
+            self._dispatch(probe, event, merged)
+
+    def _dispatch(self, probe: ProbeFn, event: str,
+                  payload: Mapping[str, Any]) -> None:
+        try:
+            probe(event, payload)
+        except Exception:
+            if os.environ.get(STRICT_PROBES_ENV_VAR) == "1":
+                raise
+            self.incr(PROBE_ERROR_COUNTER)
+
+    # -- snapshots (delta-based assertions) ------------------------------
+    def snapshot(self, prefix: str = "") -> Dict[str, float]:
+        """Freeze the current counter values under ``prefix``.
+
+        Pair with :meth:`diff` so tests and the profiler can assert on
+        *growth* instead of absolute process-wide totals (which bleed
+        across tests sharing one session).
+        """
+        return self.counters(prefix)
+
+    def diff(self, before: Mapping[str, float],
+             prefix: str = "") -> Dict[str, float]:
+        """Counter growth since a :meth:`snapshot` (zero deltas omitted)."""
+        current = self.counters(prefix)
+        deltas: Dict[str, float] = {}
+        for name in sorted(set(current) | set(before)):
+            delta = current.get(name, 0) - before.get(name, 0)
+            if delta:
+                deltas[name] = delta
+        return deltas
 
     # -- export ---------------------------------------------------------
     def as_dict(self) -> Dict[str, Dict[str, Any]]:

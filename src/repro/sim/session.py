@@ -29,6 +29,9 @@ class SimSession:
             root=self.config.resolved_cache_dir,
             enabled=self.config.cache_enabled,
         )
+        #: the session's active :class:`repro.trace.Tracer` (None when
+        #: tracing is off; installed by :func:`repro.trace.install_tracer`)
+        self.tracer = None
 
     @property
     def config_hash(self) -> str:

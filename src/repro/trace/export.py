@@ -1,0 +1,233 @@
+"""Trace exporters: Chrome/Perfetto trace-event JSON and plain JSONL.
+
+:func:`chrome_trace` renders a tracer's events into the Chrome trace-event
+format (the ``{"traceEvents": [...]}`` object form) that loads directly in
+``ui.perfetto.dev`` or ``chrome://tracing``.  One timeline *track* maps to
+one named thread; the pipeline's per-cycle occupancy records are expanded
+into five per-stage lanes with consecutive same-PC cycles merged into one
+span, so an instruction parked in a stage reads as a single block.
+
+Timestamps are simulated cycles rendered as microseconds (1 cycle == 1 us
+by default), which keeps Perfetto's time axis readable; ``otherData``
+records the convention.
+
+:func:`validate_chrome_trace` is the exporter's schema check — used by the
+golden-file test and the CI smoke step, with no external schema library.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.trace.tracer import CYCLE_EVENT, TraceEvent, events_of
+
+#: pipeline stage order for the expanded per-stage lanes
+PIPELINE_STAGES = ("IF", "ID", "EX", "MEM", "WB")
+
+#: Chrome trace-event phases the exporter produces
+ALLOWED_PHASES = frozenset({"X", "i", "I", "C", "M", "B", "E"})
+
+#: process id used for every simulated engine
+TRACE_PID = 1
+
+#: tool tag recorded in ``otherData``
+GENERATOR = "repro.trace"
+
+
+def _merge_stage_runs(cycle_events: List[TraceEvent],
+                      stage: str) -> List[Dict[str, Any]]:
+    """Run-length merge one stage's occupancy into (pc, start, dur) spans."""
+    spans: List[Dict[str, Any]] = []
+    current_pc: Optional[int] = None
+    start = 0.0
+    end = 0.0
+    for event in cycle_events:
+        pc = event.args.get(stage)
+        contiguous = event.ts == end
+        if pc is not None and pc == current_pc and contiguous:
+            end = event.ts + event.dur
+            continue
+        if current_pc is not None:
+            spans.append({"pc": current_pc, "start": start,
+                          "dur": end - start})
+        current_pc = pc
+        start = event.ts
+        end = event.ts + event.dur
+    if current_pc is not None:
+        spans.append({"pc": current_pc, "start": start, "dur": end - start})
+    return spans
+
+
+def chrome_trace(source, expand_cycles: bool = True,
+                 cycles_per_us: float = 1.0) -> Dict[str, Any]:
+    """Render events (or a Tracer) as a Chrome trace-event JSON object."""
+    if cycles_per_us <= 0:
+        raise ValueError("cycles_per_us must be positive")
+    events = list(events_of(source))
+    scale = 1.0 / cycles_per_us
+
+    tids: Dict[str, int] = {}
+
+    def tid_for(track: str) -> int:
+        if track not in tids:
+            tids[track] = len(tids) + 1
+        return tids[track]
+
+    body: List[Dict[str, Any]] = []
+    cycle_groups: Dict[str, List[TraceEvent]] = defaultdict(list)
+    for event in events:
+        if expand_cycles and event.name == CYCLE_EVENT:
+            cycle_groups[event.track].append(event)
+            continue
+        entry: Dict[str, Any] = {
+            "name": event.name,
+            "cat": event.cat or "sim",
+            "ph": event.ph,
+            "ts": event.ts * scale,
+            "pid": TRACE_PID,
+            "tid": tid_for(event.track),
+        }
+        if event.ph == "X":
+            entry["dur"] = event.dur * scale
+        if event.ph == "i":
+            entry["s"] = "t"  # thread-scoped instant
+        if event.args:
+            entry["args"] = event.args
+        body.append(entry)
+
+    for track, group in sorted(cycle_groups.items()):
+        group.sort(key=lambda e: e.ts)
+        for stage in PIPELINE_STAGES:
+            lane = f"{track}/{stage}"
+            for span in _merge_stage_runs(group, stage):
+                body.append({
+                    "name": f"{span['pc']:#x}",
+                    "cat": "cpu",
+                    "ph": "X",
+                    "ts": span["start"] * scale,
+                    "dur": span["dur"] * scale,
+                    "pid": TRACE_PID,
+                    "tid": tid_for(lane),
+                })
+
+    metadata: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": TRACE_PID, "tid": 0,
+        "args": {"name": "repro-sim"},
+    }]
+    for track, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        metadata.append({"name": "thread_name", "ph": "M", "pid": TRACE_PID,
+                         "tid": tid, "args": {"name": track}})
+        metadata.append({"name": "thread_sort_index", "ph": "M",
+                         "pid": TRACE_PID, "tid": tid,
+                         "args": {"sort_index": tid}})
+
+    return {
+        "traceEvents": metadata + body,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": GENERATOR,
+            "time_unit": f"cycles ({cycles_per_us:g} cycle(s) == 1 us)",
+            "n_events": len(body),
+            "tracks": [t for t, _ in sorted(tids.items(),
+                                            key=lambda kv: kv[1])],
+        },
+    }
+
+
+def write_chrome_trace(source, path, expand_cycles: bool = True,
+                       cycles_per_us: float = 1.0) -> Dict[str, Any]:
+    """Write the Chrome trace JSON to ``path``; returns the payload."""
+    payload = chrome_trace(source, expand_cycles=expand_cycles,
+                           cycles_per_us=cycles_per_us)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def write_jsonl(source, path) -> int:
+    """Write one JSON object per event line; returns the event count."""
+    count = 0
+    with open(path, "w") as handle:
+        for event in events_of(source):
+            handle.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path) -> List[TraceEvent]:
+    """Load a JSONL event log back into :class:`TraceEvent` records."""
+    events: List[TraceEvent] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            raw = json.loads(line)
+            events.append(TraceEvent(
+                name=raw["name"], ph=raw["ph"], ts=raw["ts"],
+                track=raw["track"], dur=raw.get("dur", 0.0),
+                cat=raw.get("cat", ""), args=raw.get("args", {})))
+    return events
+
+
+# -- schema validation ---------------------------------------------------
+def validate_chrome_trace(payload: Any) -> Dict[str, Any]:
+    """Check a Chrome trace-event payload against the exporter's schema.
+
+    Raises :class:`ValueError` with the first problem found; returns a
+    summary dict (event count, track names) on success.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("trace payload must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    tracks: Dict[int, str] = {}
+    n_body = 0
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: not an object")
+        for key, kind in (("name", str), ("ph", str)):
+            if not isinstance(event.get(key), kind):
+                raise ValueError(f"{where}: missing/invalid {key!r}")
+        if event["ph"] not in ALLOWED_PHASES:
+            raise ValueError(f"{where}: unknown phase {event['ph']!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                raise ValueError(f"{where}: missing/invalid {key!r}")
+        if event["ph"] == "M":
+            args = event.get("args")
+            if not isinstance(args, dict):
+                raise ValueError(f"{where}: metadata event without args")
+            if event["name"] == "thread_name":
+                tracks[event["tid"]] = args.get("name", "")
+            continue
+        n_body += 1
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"{where}: missing/negative ts")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where}: X event needs dur >= 0")
+    return {
+        "events": n_body,
+        "tracks": [tracks[tid] for tid in sorted(tracks)],
+    }
+
+
+def validate_chrome_trace_file(path) -> Dict[str, Any]:
+    """Load ``path`` and validate it; returns the summary dict."""
+    with open(path) as handle:
+        return validate_chrome_trace(json.load(handle))
+
+
+def iter_chrome_events(payload: Dict[str, Any]) -> Iterable[Dict[str, Any]]:
+    """Non-metadata events of a validated payload (test helper)."""
+    for event in payload.get("traceEvents", []):
+        if event.get("ph") != "M":
+            yield event

@@ -1,0 +1,253 @@
+"""Fold a trace event stream into profiles: where did the cycles go?
+
+Three analyses, matching the paper's headline claims:
+
+* :func:`cpu_profile` — per-PC hot-spot table plus stall/flush-cycle
+  attribution by hazard cause.  Every simulated cycle is attributed exactly
+  once (retired instruction, stall bubble, flush bubble, or fill/drain), so
+  the table's total equals ``ExecStats.cycles`` for a fully captured run.
+* :func:`bnn_profile` — per-layer cycle/MAC breakdown of accelerator runs
+  (the XNOR-engine style component breakdown).
+* :func:`utilization_report` — per-core busy fraction from the timeline
+  spans, with the gap against the paper's ~99 % utilization claim.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.trace.tracer import (
+    BNN_TRACK,
+    CPU_TRACK,
+    CYCLE_EVENT,
+    FLUSH_EVENT,
+    STALL_EVENT,
+    events_of,
+)
+
+#: the paper's core-utilization claim (section VII / Table 4)
+PAPER_UTILIZATION = 0.99
+
+#: timeline segment kinds counted as useful work (mirrors core.events)
+ACTIVE_KINDS = ("cpu", "bnn", "switch")
+#: all timeline segment kinds (anything else is not a timeline span)
+TIMELINE_KINDS = ("cpu", "bnn", "switch", "idle", "dma")
+
+
+@dataclass
+class HotSpot:
+    """Cycles attributed to one PC (or one bubble category)."""
+
+    pc: Optional[int]
+    label: str
+    cycles: int
+
+    def row(self, total: int) -> tuple:
+        where = f"{self.pc:#06x}" if self.pc is not None else "-"
+        share = self.cycles / total * 100 if total else 0.0
+        return (where, self.label, str(self.cycles), f"{share:5.1f}%")
+
+
+@dataclass
+class CpuProfile:
+    """Exact cycle attribution for one pipelined-CPU track."""
+
+    track: str = CPU_TRACK
+    total_cycles: int = 0
+    retired_cycles: int = 0  # cycles with an instruction in WB
+    instructions: Dict[int, int] = field(default_factory=dict)  # pc -> cycles
+    mnemonics: Dict[int, str] = field(default_factory=dict)
+    stall_cycles: Dict[str, int] = field(default_factory=dict)  # cause -> n
+    flush_cycles: int = 0
+    fill_drain_cycles: int = 0
+    dropped: int = 0  # ring-buffer evictions (attribution then inexact)
+
+    @property
+    def attributed_cycles(self) -> int:
+        """Sum of every table row — equals ``total_cycles`` exactly."""
+        return (self.retired_cycles + sum(self.stall_cycles.values())
+                + self.flush_cycles + self.fill_drain_cycles)
+
+    def hotspots(self, limit: Optional[int] = None) -> List[HotSpot]:
+        spots = [HotSpot(pc=pc, label=self.mnemonics.get(pc, "?"),
+                         cycles=cycles)
+                 for pc, cycles in self.instructions.items()]
+        spots.sort(key=lambda s: (-s.cycles, s.pc))
+        if limit is not None:
+            spots = spots[:limit]
+        return spots
+
+    def bubble_rows(self) -> List[HotSpot]:
+        rows = [HotSpot(pc=None, label=f"<stall:{cause}>", cycles=n)
+                for cause, n in sorted(self.stall_cycles.items())]
+        if self.flush_cycles:
+            rows.append(HotSpot(pc=None, label="<flush:control>",
+                                cycles=self.flush_cycles))
+        if self.fill_drain_cycles:
+            rows.append(HotSpot(pc=None, label="<fill/drain>",
+                                cycles=self.fill_drain_cycles))
+        return rows
+
+    def render(self, limit: int = 20) -> str:
+        """The hot-spot table (top ``limit`` PCs + bubble attribution)."""
+        spots = self.hotspots(limit)
+        shown = sum(s.cycles for s in spots)
+        other = self.retired_cycles - shown
+        rows = [("pc", "instr", "cycles", "share")]
+        rows += [s.row(self.total_cycles) for s in spots]
+        if other > 0:
+            rows.append(HotSpot(None, "<other pcs>", other)
+                        .row(self.total_cycles))
+        rows += [s.row(self.total_cycles) for s in self.bubble_rows()]
+        rows.append(("", "total", str(self.attributed_cycles), "100.0%"))
+        widths = [max(len(r[i]) for r in rows) for i in range(4)]
+        lines = [f"hot spots — {self.track} "
+                 f"({self.total_cycles} cycles attributed)"]
+        if self.dropped:
+            lines.append(f"warning: {self.dropped} events evicted from the "
+                         "ring buffer; attribution is partial")
+        for row in rows:
+            lines.append("  ".join(cell.ljust(width)
+                                   for cell, width in zip(row, widths))
+                         .rstrip())
+        return "\n".join(lines)
+
+
+def cpu_profile(source, track: str = CPU_TRACK,
+                dropped: int = 0) -> CpuProfile:
+    """Fold per-cycle occupancy + stall/flush instants into a profile."""
+    profile = CpuProfile(track=track, dropped=dropped)
+    retired: Counter = Counter()
+    stalls: Counter = Counter()
+    flushes = 0
+    for event in events_of(source):
+        if event.track != track:
+            continue
+        if event.name == CYCLE_EVENT:
+            profile.total_cycles += int(event.dur) or 1
+            wb_pc = event.args.get("WB")
+            if wb_pc is not None:
+                retired[wb_pc] += 1
+                name = event.args.get("wb_name")
+                if name:
+                    profile.mnemonics[wb_pc] = name
+        elif event.name == STALL_EVENT:
+            stalls[event.args.get("cause", "unknown")] += 1
+        elif event.name == FLUSH_EVENT:
+            flushes += int(event.args.get("squashed", 2))
+    profile.instructions = dict(retired)
+    profile.retired_cycles = sum(retired.values())
+    # Every cycle without a WB instruction is a bubble.  Bubbles are
+    # attributed to their cause: one per stall instant, ``squashed`` per
+    # flush, and the remainder is pipeline fill/drain.  Clamping keeps the
+    # attribution exact even when a flush squashes an existing bubble.
+    bubbles = profile.total_cycles - profile.retired_cycles
+    remaining = bubbles
+    for cause, count in stalls.items():
+        attributed = min(count, remaining)
+        if attributed:
+            profile.stall_cycles[cause] = attributed
+        remaining -= attributed
+    profile.flush_cycles = min(flushes, remaining)
+    remaining -= profile.flush_cycles
+    profile.fill_drain_cycles = remaining
+    return profile
+
+
+@dataclass
+class LayerStat:
+    """One BNN layer's share of an accelerator run."""
+
+    layer: int
+    cycles: float = 0.0
+    macs: float = 0.0
+    spans: int = 0
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.macs / self.cycles if self.cycles else 0.0
+
+
+def bnn_profile(source, track: str = BNN_TRACK) -> List[LayerStat]:
+    """Per-layer cycle/MAC totals from the accelerator's layer spans."""
+    layers: Dict[int, LayerStat] = {}
+    for event in events_of(source):
+        if event.track != track or event.ph != "X":
+            continue
+        index = event.args.get("layer")
+        if index is None:
+            continue
+        stat = layers.setdefault(index, LayerStat(layer=index))
+        stat.cycles += event.dur
+        stat.macs += event.args.get("macs", 0)
+        stat.spans += 1
+    return [layers[index] for index in sorted(layers)]
+
+
+def render_bnn_profile(stats: List[LayerStat]) -> str:
+    if not stats:
+        return "bnn layers — no accelerator spans captured"
+    rows = [("layer", "cycles", "macs", "macs/cycle")]
+    for stat in stats:
+        rows.append((str(stat.layer), f"{stat.cycles:.0f}",
+                     f"{stat.macs:.0f}", f"{stat.macs_per_cycle:.2f}"))
+    total_cycles = sum(s.cycles for s in stats)
+    total_macs = sum(s.macs for s in stats)
+    rows.append(("total", f"{total_cycles:.0f}", f"{total_macs:.0f}",
+                 f"{total_macs / total_cycles:.2f}" if total_cycles else "-"))
+    widths = [max(len(r[i]) for r in rows) for i in range(4)]
+    lines = ["bnn layers — cycle/MAC breakdown"]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class CoreUtilization:
+    """Busy fraction of one core track over the trace makespan."""
+
+    core: str
+    busy_cycles: float
+    span_cycles: float
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_cycles / self.span_cycles if self.span_cycles else 0.0
+
+    @property
+    def gap_vs_paper(self) -> float:
+        """How far below the paper's ~99 % utilization claim this core is."""
+        return PAPER_UTILIZATION - self.utilization
+
+
+def utilization_report(source) -> Dict[str, CoreUtilization]:
+    """Per-core utilization from the bridged timeline spans."""
+    busy: Dict[str, float] = defaultdict(float)
+    ends: Dict[str, float] = defaultdict(float)
+    for event in events_of(source):
+        if (event.ph != "X" or event.cat not in TIMELINE_KINDS
+                or event.args.get("src") != "timeline"):
+            continue
+        track = event.track
+        ends[track] = max(ends[track], event.ts + event.dur)
+        if event.cat in ACTIVE_KINDS:
+            busy[track] += event.dur
+    makespan = max(ends.values(), default=0.0)
+    return {core: CoreUtilization(core=core, busy_cycles=busy.get(core, 0.0),
+                                  span_cycles=makespan)
+            for core in sorted(ends)}
+
+
+def render_utilization(report: Dict[str, CoreUtilization]) -> str:
+    if not report:
+        return "utilization — no timeline spans captured"
+    lines = [f"utilization — vs the paper's ~{PAPER_UTILIZATION:.0%} claim"]
+    for core, stat in report.items():
+        lines.append(f"  {core:<12} {stat.utilization:7.1%}  "
+                     f"(gap {stat.gap_vs_paper:+.1%}, "
+                     f"busy {stat.busy_cycles:.0f} / "
+                     f"{stat.span_cycles:.0f} cycles)")
+    return "\n".join(lines)

@@ -1,0 +1,319 @@
+"""The cycle-stamped tracer: spans, instants, counters, and the probe bridge.
+
+A :class:`Tracer` collects structured :class:`TraceEvent` records with
+simulated-cycle timestamps into a bounded ring buffer.  Simulators emit
+into it two ways:
+
+* **direct call sites** for high-rate data — the pipelined CPU records one
+  occupancy event per cycle plus stall/flush instants with their hazard
+  cause (it looks the tracer up once per run, so the disabled path costs a
+  single attribute load per cycle);
+* the **probe bridge** — a ``"*"`` subscriber on the session
+  :class:`~repro.sim.StatsRegistry` that converts the registry's existing
+  probe events (``timeline.segment``, ``dma.transfer``, ``bnn.batch``,
+  ``soc.mode_switch``, ...) into spans and instants, so every simulator
+  that already publishes probe events is traced without new code.
+
+Install with :func:`install_tracer` / :func:`uninstall_tracer` or the
+:func:`tracing` context manager; the active tracer lives on the current
+:class:`~repro.sim.SimSession` as ``session.tracer``.  Nothing subscribes
+to the registry until a tracer is installed, so the untraced fast path
+(``StatsRegistry.emit`` returning on "no probes") is preserved.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+from repro.sim import get_session
+
+#: event name of the pipeline's per-cycle occupancy record
+CYCLE_EVENT = "cpu.cycle"
+#: instant event emitted once per stall bubble, with its hazard cause
+STALL_EVENT = "cpu.stall"
+#: instant event emitted once per control-flow squash (two bubbles)
+FLUSH_EVENT = "cpu.flush"
+
+#: default track (Perfetto lane) of the pipelined CPU
+CPU_TRACK = "cpu.pipeline"
+#: default track of the BNN accelerator
+BNN_TRACK = "bnn"
+#: default track of the DMA engine
+DMA_TRACK = "dma"
+
+#: default ring-buffer capacity (events); None = unbounded
+DEFAULT_CAPACITY = 1 << 20
+
+
+@dataclass
+class TraceEvent:
+    """One cycle-stamped trace record (Chrome trace-event flavoured).
+
+    ``ph`` follows the Chrome trace-event phase codes: ``"X"`` complete
+    (span with duration), ``"i"`` instant, ``"C"`` counter.  ``ts`` and
+    ``dur`` are in simulated cycles; ``track`` names the Perfetto lane.
+    """
+
+    name: str
+    ph: str
+    ts: float
+    track: str
+    dur: float = 0.0
+    cat: str = ""
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSONL-ready flat representation."""
+        out: Dict[str, Any] = {"name": self.name, "ph": self.ph,
+                               "ts": self.ts, "track": self.track}
+        if self.ph == "X":
+            out["dur"] = self.dur
+        if self.cat:
+            out["cat"] = self.cat
+        if self.args:
+            out["args"] = self.args
+        return out
+
+
+class _Span:
+    """Handle yielded by :meth:`Tracer.span`; lets the body attach args."""
+
+    __slots__ = ("args",)
+
+    def __init__(self, args: Dict[str, Any]):
+        self.args = args
+
+    def set(self, **fields: Any) -> None:
+        self.args.update(fields)
+
+
+class Tracer:
+    """Bounded, optionally sampling collector of :class:`TraceEvent`\\ s."""
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY,
+                 sample_every: int = 1, enabled: bool = True,
+                 clock: Optional[Callable[[], float]] = None):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self.enabled = enabled
+        self.clock = clock
+        self.dropped = 0  # events evicted from the ring buffer
+        self.sampled_out = 0  # cycle records skipped by sampling
+        self._events: deque = deque(maxlen=capacity)
+        self._cursors: Dict[str, float] = {}
+        self._cycle_seen = 0
+
+    # -- state ----------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return self.enabled
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._cursors.clear()
+        self.dropped = 0
+        self.sampled_out = 0
+        self._cycle_seen = 0
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def _append(self, event: TraceEvent) -> None:
+        if self.capacity is not None and len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    # -- emission -------------------------------------------------------
+    def complete(self, name: str, track: str, start: float, dur: float,
+                 cat: str = "", **args: Any) -> None:
+        """A span: ``name`` occupied ``track`` for cycles [start, start+dur)."""
+        if not self.enabled:
+            return
+        self._append(TraceEvent(name=name, ph="X", ts=start, dur=dur,
+                                track=track, cat=cat, args=args))
+
+    def instant(self, name: str, track: str, ts: Optional[float] = None,
+                cat: str = "", **args: Any) -> None:
+        """A zero-duration marker at cycle ``ts`` (tracer clock if None)."""
+        if not self.enabled:
+            return
+        if ts is None:
+            ts = self.clock() if self.clock is not None else self.cursor(track)
+        self._append(TraceEvent(name=name, ph="i", ts=ts, track=track,
+                                cat=cat, args=args))
+
+    def counter(self, name: str, track: str, ts: float, value: float,
+                cat: str = "") -> None:
+        """A counter sample (renders as a value track in Perfetto)."""
+        if not self.enabled:
+            return
+        self._append(TraceEvent(name=name, ph="C", ts=ts, track=track,
+                                cat=cat, args={"value": value}))
+
+    @contextmanager
+    def span(self, name: str, track: str = "main", cat: str = "",
+             clock: Optional[Callable[[], float]] = None, **args: Any):
+        """Context manager recording a span around the body.
+
+        ``clock`` (or the tracer's default clock) supplies the begin/end
+        timestamps; without one, the track cursor is used and advanced by
+        zero — pass explicit timing via :meth:`complete` instead.
+        """
+        if not self.enabled:
+            yield None
+            return
+        clock = clock if clock is not None else self.clock
+        handle = _Span(dict(args))
+        start = clock() if clock is not None else self.cursor(track)
+        try:
+            yield handle
+        finally:
+            end = clock() if clock is not None else start
+            self.complete(name, track=track, start=start,
+                          dur=max(end - start, 0.0), cat=cat, **handle.args)
+
+    # -- per-track cursors (engines without a global clock) --------------
+    def cursor(self, track: str) -> float:
+        """Monotonic per-track position for engines with no global clock."""
+        return self._cursors.get(track, 0.0)
+
+    def lay(self, name: str, track: str, dur: float, cat: str = "",
+            **args: Any) -> float:
+        """Lay a span at the track cursor and advance it; returns the start."""
+        start = self.cursor(track)
+        if self.enabled:
+            self.complete(name, track=track, start=start, dur=dur,
+                          cat=cat, **args)
+        self._cursors[track] = start + dur
+        return start
+
+    # -- pipeline fast path ----------------------------------------------
+    def cpu_cycle(self, cycle: int, track: str = CPU_TRACK,
+                  **stages: Optional[int]) -> None:
+        """One per-cycle stage-occupancy record (subject to sampling).
+
+        ``stages`` maps stage names (``IF``..``WB``) to the occupying PC
+        (None = bubble) plus optional extras such as ``wb_name``.
+        """
+        if not self.enabled:
+            return
+        self._cycle_seen += 1
+        if self.sample_every > 1 and (self._cycle_seen - 1) % self.sample_every:
+            self.sampled_out += 1
+            return
+        self._append(TraceEvent(name=CYCLE_EVENT, ph="X", ts=cycle - 1,
+                                dur=1, track=track, cat="cpu", args=stages))
+
+
+class ProbeBridge:
+    """Converts :class:`~repro.sim.StatsRegistry` probe events to traces."""
+
+    def __init__(self, tracer: Tracer):
+        self.tracer = tracer
+
+    def __call__(self, event: str, payload: Mapping[str, Any]) -> None:
+        tracer = self.tracer
+        if not tracer.enabled:
+            return
+        if event == "timeline.segment":
+            start = payload["start"]
+            tracer.complete(payload.get("label") or payload["kind"],
+                            track=payload["core"], start=start,
+                            dur=payload["end"] - start, cat=payload["kind"],
+                            src="timeline")
+        elif event == "dma.transfer":
+            tracer.lay(payload.get("description", "transfer"),
+                       track=DMA_TRACK, dur=payload["cycles"], cat="dma",
+                       words=payload.get("words", 0),
+                       setup_cycles=payload.get("setup_cycles", 0))
+        elif event in ("bnn.batch", "bnn.infer"):
+            self._bnn_spans(event, payload)
+        elif event == "soc.mode_switch":
+            tracer.instant(event, track=payload.get("core", "soc"),
+                           ts=payload.get("cycle"), cat="switch",
+                           to=payload.get("to"), cost=payload.get("cost", 0))
+        elif event == "cpu.run":
+            track = ("cpu.functional"
+                     if payload.get("simulator") == "functional"
+                     else CPU_TRACK)
+            tracer.instant(event, track=track, ts=payload.get("cycles"),
+                           cat="cpu", **dict(payload))
+
+    def _bnn_spans(self, event: str, payload: Mapping[str, Any]) -> None:
+        """Per-layer spans for one accelerator batch/inference."""
+        tracer = self.tracer
+        layer_cycles = payload.get("layer_cycles") or []
+        layer_macs = payload.get("layer_macs") or [0] * len(layer_cycles)
+        n_inputs = payload.get("n_inputs", 1)
+        for index, cycles in enumerate(layer_cycles):
+            macs = layer_macs[index] if index < len(layer_macs) else 0
+            tracer.lay(f"layer{index}", track=BNN_TRACK, dur=cycles,
+                       cat="bnn", layer=index, macs=macs * n_inputs)
+        total = payload.get("total_cycles", payload.get("cycles", 0))
+        pipelined = total - sum(layer_cycles)
+        if pipelined > 0:
+            tracer.lay(f"steady-state x{n_inputs}", track=BNN_TRACK,
+                       dur=pipelined, cat="bnn")
+        tracer.instant(event, track=BNN_TRACK,
+                       ts=tracer.cursor(BNN_TRACK), cat="bnn",
+                       **{k: v for k, v in payload.items()
+                          if not isinstance(v, (list, tuple))})
+
+
+# -- session wiring -----------------------------------------------------
+def install_tracer(session=None, **tracer_kwargs: Any) -> Tracer:
+    """Create a tracer, attach it to the session, subscribe the bridge."""
+    session = session if session is not None else get_session()
+    uninstall_tracer(session)
+    tracer = Tracer(**tracer_kwargs)
+    bridge = ProbeBridge(tracer)
+    session.stats.subscribe("*", bridge)
+    tracer._bridge = bridge
+    session.tracer = tracer
+    return tracer
+
+
+def uninstall_tracer(session=None) -> Optional[Tracer]:
+    """Detach the session's tracer (and its bridge); returns it."""
+    session = session if session is not None else get_session()
+    tracer = getattr(session, "tracer", None)
+    if tracer is None:
+        return None
+    bridge = getattr(tracer, "_bridge", None)
+    if bridge is not None:
+        session.stats.unsubscribe("*", bridge)
+    session.tracer = None
+    return tracer
+
+
+@contextmanager
+def tracing(session=None, **tracer_kwargs: Any):
+    """``with tracing() as tracer:`` — install for the block, then detach."""
+    session = session if session is not None else get_session()
+    tracer = install_tracer(session, **tracer_kwargs)
+    try:
+        yield tracer
+    finally:
+        uninstall_tracer(session)
+
+
+def events_of(source) -> Iterable[TraceEvent]:
+    """Accept a Tracer or a plain event iterable (exporter/profiler input)."""
+    if isinstance(source, Tracer):
+        return source.events
+    return source

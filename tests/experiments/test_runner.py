@@ -106,6 +106,66 @@ class TestResultCache:
         assert len(counted) == 2
 
 
+class TestRunMeta:
+    @pytest.fixture()
+    def fake(self, session):
+        @registry.experiment("_meta_test")
+        def build():
+            return ExperimentResult("_meta_test", "synthetic")
+
+        yield
+        registry.unregister("_meta_test")
+
+    def test_meta_reports_miss_then_hit(self, session, fake):
+        first = runner.run_meta(runner.run_experiment("_meta_test"))
+        second = runner.run_meta(runner.run_experiment("_meta_test"))
+        assert first["cache_hit"] is False
+        assert second["cache_hit"] is True
+        assert first["name"] == second["name"] == "_meta_test"
+        assert first["wall_time_s"] >= 0
+        assert first["trace_path"] is None
+
+    def test_trace_dir_writes_valid_trace(self, session, fake, tmp_path):
+        from repro.trace import validate_chrome_trace_file
+
+        result = runner.run_experiment("_meta_test", use_cache=False,
+                                       trace_dir=str(tmp_path / "traces"))
+        meta = runner.run_meta(result)
+        assert meta["trace_path"].endswith("_meta_test.trace.json")
+        summary = validate_chrome_trace_file(meta["trace_path"])
+        assert "runner" in summary["tracks"]
+        # tracing is per-run state; the session must come back clean
+        assert session.tracer is None
+
+    def test_cache_hit_skips_tracing(self, session, fake, tmp_path):
+        runner.run_experiment("_meta_test")  # warm the cache
+        meta = runner.run_meta(runner.run_experiment(
+            "_meta_test", trace_dir=str(tmp_path)))
+        assert meta["cache_hit"] is True
+        assert meta["trace_path"] is None
+
+    def test_meta_in_render_json(self, session, fake):
+        results = [runner.run_experiment("_meta_test")]
+        payload = json.loads(runner.render_json(results))
+        assert payload[0]["run"]["cache_hit"] is False
+        assert payload[0]["run"]["name"] == "_meta_test"
+
+    def test_meta_in_render_markdown(self, session, fake):
+        results = [runner.run_experiment("_meta_test")]
+        markdown = runner.render_markdown(results)
+        assert "## Run summary" in markdown
+        assert "| experiment | wall time | cache | trace |" in markdown
+        assert "| _meta_test |" in markdown
+
+    def test_cached_artifact_never_stores_meta(self, session, fake):
+        runner.run_experiment("_meta_test")
+        session.cache.clear_memory()
+        spec = registry.get_spec("_meta_test")
+        raw = session.cache.fetch(runner.RESULT_NAMESPACE, spec.cache_key(),
+                                  lambda: None)
+        assert runner.run_meta(raw) is None
+
+
 class TestRunSelected:
     def test_sequential(self, session):
         results = runner.run_selected(["fig07"])

@@ -2,7 +2,13 @@
 
 import json
 
-from repro.sim import StatsRegistry
+import pytest
+
+from repro.sim import (
+    PROBE_ERROR_COUNTER,
+    STRICT_PROBES_ENV_VAR,
+    StatsRegistry,
+)
 
 
 class TestCounters:
@@ -67,6 +73,70 @@ class TestProbes:
         registry.subscribe("e", lambda e, p: seen.update(p))
         registry.emit("e", payload={"a": 1, "b": 2}, b=3)
         assert seen == {"a": 1, "b": 3}
+
+    def test_named_probes_run_before_wildcard(self):
+        registry = StatsRegistry()
+        order = []
+        registry.subscribe("*", lambda e, p: order.append("wild"))
+        registry.subscribe("e", lambda e, p: order.append("named"))
+        registry.emit("e")
+        assert order == ["named", "wild"]
+
+
+class TestProbeErrorGuard:
+    def raising_registry(self):
+        registry = StatsRegistry()
+
+        def bad(event, payload):
+            raise RuntimeError("probe bug")
+
+        registry.subscribe("e", bad)
+        return registry
+
+    def test_raising_probe_does_not_abort_emit(self):
+        registry = self.raising_registry()
+        survived = []
+        registry.subscribe("*", lambda e, p: survived.append(e))
+        registry.emit("e")  # must not raise
+        assert survived == ["e"]
+        assert registry.get(PROBE_ERROR_COUNTER) == 1
+        registry.emit("e")
+        assert registry.get(PROBE_ERROR_COUNTER) == 2
+
+    def test_strict_mode_reraises(self, monkeypatch):
+        monkeypatch.setenv(STRICT_PROBES_ENV_VAR, "1")
+        registry = self.raising_registry()
+        with pytest.raises(RuntimeError, match="probe bug"):
+            registry.emit("e")
+        assert registry.get(PROBE_ERROR_COUNTER) == 0
+
+    def test_strict_mode_requires_exactly_one(self, monkeypatch):
+        monkeypatch.setenv(STRICT_PROBES_ENV_VAR, "0")
+        registry = self.raising_registry()
+        registry.emit("e")  # "0" is not strict
+        assert registry.get(PROBE_ERROR_COUNTER) == 1
+
+
+class TestSnapshotDiff:
+    def test_diff_reports_growth_only(self):
+        registry = StatsRegistry()
+        registry.incr("cpu.cycles", 10)
+        registry.incr("cpu.stalls", 1)
+        before = registry.snapshot("cpu.")
+        registry.incr("cpu.cycles", 5)
+        registry.incr("bnn.cycles", 3)  # outside the prefix
+        assert registry.diff(before, "cpu.") == {"cpu.cycles": 5}
+
+    def test_diff_includes_new_counters(self):
+        registry = StatsRegistry()
+        before = registry.snapshot()
+        registry.incr("fresh", 2)
+        assert registry.diff(before) == {"fresh": 2}
+
+    def test_empty_diff_when_unchanged(self):
+        registry = StatsRegistry()
+        registry.incr("a")
+        assert registry.diff(registry.snapshot()) == {}
 
 
 class TestExport:

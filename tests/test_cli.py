@@ -73,6 +73,56 @@ class TestRun:
         assert main(["run", str(path), "--max-cycles", "100"]) == 1
 
 
+class TestRunStatsJson:
+    def test_stdout_is_one_json_document(self, source_file, capsys):
+        import json
+
+        assert main(["run", source_file, "--stats-json", "--regs"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # whole stream must parse
+        assert payload["stop_reason"] == "halt"
+        assert payload["exit_code"] == 0
+        assert "counters" in payload and "gauges" in payload
+        assert "stop: halt" in captured.err  # summary moved to stderr
+
+    def test_stop_reason_present_on_failure(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "loop.s"
+        path.write_text("loop: j loop")
+        code = main(["run", str(path), "--stats-json",
+                     "--max-cycles", "50"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stop_reason"] == "max_cycles"
+        assert payload["exit_code"] == 1
+
+
+class TestRunTrace:
+    def test_trace_and_profile(self, source_file, tmp_path, capsys):
+        from repro.trace import validate_chrome_trace_file
+
+        trace = tmp_path / "run.trace.json"
+        jsonl = tmp_path / "run.jsonl"
+        assert main(["run", source_file, "--trace", str(trace),
+                     "--trace-jsonl", str(jsonl), "--profile"]) == 0
+        out = capsys.readouterr().out
+        summary = validate_chrome_trace_file(trace)
+        assert "cpu.pipeline" in summary["tracks"]
+        assert jsonl.read_text().strip()
+        assert "hot spots" in out
+        assert "cycles attributed" in out
+
+    def test_trace_does_not_leak_into_session(self, source_file, tmp_path):
+        from repro.sim import get_session
+
+        trace = tmp_path / "t.json"
+        assert main(["run", source_file, "--trace", str(trace)]) == 0
+        session = get_session()
+        assert session.tracer is None
+        assert not session.stats._probes.get("*")
+
+
 class TestInfoAndExperiments:
     def test_info(self, capsys):
         assert main(["info"]) == 0

@@ -1,0 +1,121 @@
+"""Exporter tests: Chrome trace schema (golden file), validation, JSONL."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.trace import (
+    TraceEvent,
+    Tracer,
+    chrome_trace,
+    iter_chrome_events,
+    read_jsonl,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+GOLDEN = Path(__file__).parent / "golden_trace.json"
+
+
+def golden_tracer() -> Tracer:
+    """A small deterministic event stream exercising every event kind."""
+    tracer = Tracer()
+    # pipeline occupancy: two instructions walking IF->ID, with a bubble
+    tracer.cpu_cycle(1, IF=0x0, ID=None, EX=None, MEM=None, WB=None)
+    tracer.cpu_cycle(2, IF=0x4, ID=0x0, EX=None, MEM=None, WB=None)
+    tracer.cpu_cycle(3, IF=0x4, ID=None, EX=0x0, MEM=None, WB=None)
+    tracer.cpu_cycle(4, IF=0x8, ID=0x4, EX=None, MEM=0x0, WB=None)
+    tracer.cpu_cycle(5, IF=0xC, ID=0x8, EX=0x4, MEM=None, WB=0x0,
+                     wb_name="addi")
+    tracer.instant("cpu.stall", track="cpu.pipeline", ts=3, cat="cpu",
+                   cause="load_use", pc=0x4)
+    # accelerator layers + a timeline segment + a counter
+    tracer.lay("layer0", track="bnn", dur=20, cat="bnn", layer=0, macs=128)
+    tracer.lay("layer1", track="bnn", dur=12, cat="bnn", layer=1, macs=32)
+    tracer.complete("infer x4", track="ncpu0", start=40, dur=100,
+                    cat="bnn", src="timeline")
+    tracer.counter("l2.occupancy", track="mem", ts=50, value=0.75)
+    return tracer
+
+
+class TestGoldenSchema:
+    def test_matches_golden_file(self):
+        payload = chrome_trace(golden_tracer())
+        expected = json.loads(GOLDEN.read_text())
+        assert payload == expected
+
+    def test_golden_file_validates(self):
+        summary = validate_chrome_trace_file(GOLDEN)
+        assert summary["events"] > 0
+        assert "bnn" in summary["tracks"]
+        assert "cpu.pipeline/WB" in summary["tracks"]
+
+
+class TestChromeTrace:
+    def test_stage_lanes_merge_consecutive_cycles(self):
+        payload = chrome_trace(golden_tracer())
+        if_lane = [e for e in iter_chrome_events(payload)
+                   if e["name"] == "0x4" and e["dur"] == 2]
+        assert if_lane, "0x4 should occupy IF for two merged cycles"
+
+    def test_no_expansion_keeps_cycle_events(self):
+        payload = chrome_trace(golden_tracer(), expand_cycles=False)
+        names = [e["name"] for e in iter_chrome_events(payload)]
+        assert names.count("cpu.cycle") == 5
+
+    def test_time_scaling(self):
+        payload = chrome_trace(golden_tracer(), cycles_per_us=10.0)
+        spans = [e for e in iter_chrome_events(payload)
+                 if e["name"] == "infer x4"]
+        assert spans[0]["ts"] == pytest.approx(4.0)
+        assert spans[0]["dur"] == pytest.approx(10.0)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            chrome_trace([], cycles_per_us=0)
+
+    def test_write_and_validate_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(golden_tracer(), path)
+        summary = validate_chrome_trace_file(path)
+        assert summary["tracks"][0] == "cpu.pipeline"
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_chrome_trace([1, 2])
+
+    def test_rejects_missing_trace_events(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"other": 1})
+
+    def test_rejects_bad_phase(self):
+        with pytest.raises(ValueError, match="unknown phase"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "Z", "pid": 1, "tid": 1, "ts": 0}]})
+
+    def test_rejects_missing_ts(self):
+        with pytest.raises(ValueError, match="ts"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "i", "pid": 1, "tid": 1}]})
+
+    def test_rejects_x_without_dur(self):
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace({"traceEvents": [
+                {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0}]})
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tracer = golden_tracer()
+        count = write_jsonl(tracer, path)
+        assert count == len(tracer.events)
+        loaded = read_jsonl(path)
+        assert [e.name for e in loaded] == [e.name for e in tracer.events]
+        assert loaded[0].ts == tracer.events[0].ts
+        assert isinstance(loaded[0], TraceEvent)

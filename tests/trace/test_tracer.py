@@ -1,0 +1,190 @@
+"""Tracer core: ring buffer, sampling, spans, cursors, session wiring,
+and the probe bridge that converts registry events into trace records."""
+
+import pytest
+
+from repro.core.events import Timeline
+from repro.sim import use_session
+from repro.trace import (
+    BNN_TRACK,
+    CYCLE_EVENT,
+    DMA_TRACK,
+    Tracer,
+    install_tracer,
+    tracing,
+    uninstall_tracer,
+)
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_and_counts_drops(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            tracer.instant(f"e{index}", track="t", ts=index)
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [e.name for e in tracer.events] == ["e2", "e3", "e4"]
+
+    def test_unbounded_capacity(self):
+        tracer = Tracer(capacity=None)
+        for index in range(100):
+            tracer.instant("e", track="t", ts=index)
+        assert len(tracer) == 100
+        assert tracer.dropped == 0
+
+    def test_clear_resets_everything(self):
+        tracer = Tracer(capacity=2)
+        tracer.instant("a", track="t", ts=0)
+        tracer.lay("b", track="t", dur=5)
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.cursor("t") == 0
+
+
+class TestSampling:
+    def test_cycle_records_sampled(self):
+        tracer = Tracer(sample_every=3)
+        for cycle in range(1, 10):
+            tracer.cpu_cycle(cycle, WB=cycle)
+        kept = [e for e in tracer.events if e.name == CYCLE_EVENT]
+        assert len(kept) == 3  # cycles 1, 4, 7
+        assert tracer.sampled_out == 6
+
+    def test_other_events_never_sampled(self):
+        tracer = Tracer(sample_every=10)
+        for index in range(5):
+            tracer.instant("e", track="t", ts=index)
+        assert len(tracer) == 5
+
+    def test_invalid_sample_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_every=0)
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.instant("a", track="t", ts=0)
+        tracer.complete("b", track="t", start=0, dur=1)
+        tracer.cpu_cycle(1, WB=0)
+        with tracer.span("c", track="t") as span:
+            assert span is None
+        assert len(tracer) == 0
+        assert not tracer.active
+        tracer.enable()
+        assert tracer.active
+
+
+class TestSpans:
+    def test_span_uses_clock_and_set(self):
+        ticks = iter([10.0, 25.0])
+        tracer = Tracer(clock=lambda: next(ticks))
+        with tracer.span("bnn.layer", track="bnn", core=0) as span:
+            span.set(batch=4)
+        (event,) = tracer.events
+        assert event.name == "bnn.layer"
+        assert event.ph == "X"
+        assert event.ts == 10.0
+        assert event.dur == 15.0
+        assert event.args == {"core": 0, "batch": 4}
+
+    def test_span_records_even_when_body_raises(self):
+        ticks = iter([1.0, 2.0])
+        tracer = Tracer(clock=lambda: next(ticks))
+        with pytest.raises(RuntimeError):
+            with tracer.span("s", track="t"):
+                raise RuntimeError("boom")
+        assert len(tracer) == 1
+
+    def test_lay_advances_cursor(self):
+        tracer = Tracer()
+        assert tracer.lay("a", track="dma", dur=10) == 0
+        assert tracer.lay("b", track="dma", dur=5) == 10
+        assert tracer.cursor("dma") == 15
+        assert tracer.cursor("other") == 0
+
+
+class TestSessionWiring:
+    def test_install_and_uninstall(self):
+        with use_session() as session:
+            tracer = install_tracer(session)
+            assert session.tracer is tracer
+            assert uninstall_tracer(session) is tracer
+            assert session.tracer is None
+            assert uninstall_tracer(session) is None
+
+    def test_tracing_context_manager_detaches(self):
+        with use_session() as session:
+            with tracing(session) as tracer:
+                assert session.tracer is tracer
+            assert session.tracer is None
+
+    def test_reinstall_replaces_previous_bridge(self):
+        with use_session() as session:
+            install_tracer(session)
+            second = install_tracer(session)
+            Timeline().add("core0", "cpu", 0, 10)
+            spans = [e for e in second.events if e.track == "core0"]
+            assert len(spans) == 1  # only one bridge is subscribed
+
+
+class TestProbeBridge:
+    def test_timeline_segment_becomes_span(self):
+        with use_session() as session:
+            with tracing(session) as tracer:
+                Timeline().add("ncpu0", "bnn", 100, 250, "infer x4")
+            (event,) = [e for e in tracer.events if e.track == "ncpu0"]
+            assert event.name == "infer x4"
+            assert event.ts == 100
+            assert event.dur == 150
+            assert event.cat == "bnn"
+            assert event.args["src"] == "timeline"
+
+    def test_dma_transfer_laid_on_dma_track(self):
+        from repro.cpu.memory import FlatMemory
+        from repro.mem.dma import DMAEngine
+
+        with use_session() as session:
+            with tracing(session) as tracer:
+                src, dst = FlatMemory(1024), FlatMemory(1024)
+                dma = DMAEngine()
+                dma.copy(src, 0, dst, 0, 16, description="weights")
+                dma.copy(src, 0, dst, 0, 8)
+            spans = [e for e in tracer.events
+                     if e.track == DMA_TRACK and e.ph == "X"]
+            assert [e.name for e in spans] == ["weights", "copy"]
+            assert spans[1].ts == spans[0].ts + spans[0].dur
+
+    def test_bnn_batch_expands_per_layer_spans(self):
+        import numpy as np
+
+        from repro.bnn.accelerator import BNNAccelerator
+        from repro.bnn.model import BNNModel
+
+        rng = np.random.default_rng(7)
+        model = BNNModel.random([16, 8, 4], rng=rng)
+        with use_session() as session:
+            with tracing(session) as tracer:
+                BNNAccelerator().batch_timing(model, 4)
+            layers = [e for e in tracer.events
+                      if e.track == BNN_TRACK and "layer" in e.args]
+            assert [e.args["layer"] for e in layers] == [0, 1]
+            assert layers[0].args["macs"] == 16 * 8 * 4  # fan_in*fan_out*n
+            assert layers[1].ts == layers[0].ts + layers[0].dur
+
+    def test_mode_switch_instant(self):
+        from repro.core.ncpu import NCPUCore
+
+        with use_session() as session:
+            with tracing(session) as tracer:
+                core = NCPUCore(name="ncpu0")
+                core.switch_to_bnn()
+                core.switch_to_cpu()
+            instants = [e for e in tracer.events
+                        if e.name == "soc.mode_switch"]
+            assert [e.args["to"] for e in instants] == ["bnn", "cpu"]
+            assert all(e.track == "ncpu0" for e in instants)
+
+    def test_no_subscription_without_tracer(self):
+        with use_session() as session:
+            assert not session.stats._probes

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Validate Chrome/Perfetto trace files produced by the repro toolkit.
+
+Usage::
+
+    python tools/validate_trace.py trace.json [more.trace.json ...]
+
+Exit code 0 when every file passes the exporter schema check, 1
+otherwise.  CI runs this against the traces produced by the smoke job.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.trace import validate_chrome_trace_file  # noqa: E402
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    failures = 0
+    for name in argv:
+        try:
+            summary = validate_chrome_trace_file(name)
+        except (OSError, ValueError) as exc:
+            print(f"{name}: INVALID — {exc}")
+            failures += 1
+        else:
+            tracks = ", ".join(summary["tracks"])
+            print(f"{name}: ok — {summary['events']} events on "
+                  f"[{tracks}]")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
