@@ -6,7 +6,12 @@ Usage::
     python -m repro dis prog.hex [--base 0x0]
     python -m repro run prog.s [--functional] [--regs] [--max-cycles N]
     python -m repro experiments [PATTERN ...]
-    python -m repro info
+    python -m repro bench [PATTERN ...] [--quick]
+    python -m repro info [--json]
+
+Progress chatter goes through the ``repro`` logger to stderr (``-v`` /
+``--quiet`` / ``REPRO_LOG=level``); machine-readable documents
+(``--json``, ``--stats-json``, ``--metrics-out``) own stdout.
 """
 
 from __future__ import annotations
@@ -18,6 +23,9 @@ from typing import List, Optional
 from repro.cpu import FunctionalCPU, PipelinedCPU
 from repro.errors import ReproError
 from repro.isa import assemble, disassemble
+from repro.logutil import configure_logging, get_logger
+
+logger = get_logger("cli")
 
 
 def _read_text(path: str) -> str:
@@ -63,6 +71,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         # unbounded + unsampled so the profiler's attribution is exact
         tracer = install_tracer(get_session(), capacity=None)
 
+    recorder = None
+    if args.metrics_out or args.metrics_json:
+        from repro.metrics import MetricsRecorder
+
+        # snapshot-diff based: nothing touches the simulator hot path
+        recorder = MetricsRecorder(get_session())
+        recorder.__enter__()
+
     cpu = cpu_class(program)
     try:
         if args.functional:
@@ -70,6 +86,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         else:
             result = cpu.run(max_cycles=args.max_cycles)
     finally:
+        if recorder is not None:
+            recorder.__exit__(None, None, None)
         if tracer is not None:
             from repro.trace import uninstall_tracer
 
@@ -102,13 +120,26 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         if args.trace:
             payload = write_chrome_trace(tracer, args.trace)
-            print(f"trace: {payload['otherData']['n_events']} events -> "
-                  f"{args.trace}", file=out)
+            logger.info("trace: %d events -> %s",
+                        payload["otherData"]["n_events"], args.trace)
         if args.trace_jsonl:
             count = write_jsonl(tracer, args.trace_jsonl)
-            print(f"trace: {count} events -> {args.trace_jsonl}", file=out)
+            logger.info("trace: %d events -> %s", count, args.trace_jsonl)
         if args.profile:
             print(render_report(build_report(tracer)), file=out)
+
+    if recorder is not None:
+        from repro.metrics import write_json, write_openmetrics
+
+        collection = recorder.collection
+        if args.metrics_out:
+            write_openmetrics(collection, args.metrics_out)
+            logger.info("metrics: %d series -> %s", len(collection),
+                        args.metrics_out)
+        if args.metrics_json:
+            write_json(collection, args.metrics_json)
+            logger.info("metrics: %d series -> %s", len(collection),
+                        args.metrics_json)
 
     if args.stats_json:
         # printed before the non-zero exit path, stop reason included, so
@@ -134,12 +165,17 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     if args.cache_dir:
         set_session(SimSession(SimConfig(cache_dir=args.cache_dir)))
     if args.patterns and not select(args.patterns):
-        print(f"no experiments match {' '.join(args.patterns)!r}",
-              file=sys.stderr)
+        logger.error("no experiments match %r", " ".join(args.patterns))
         return 1
     results = run_selected(args.patterns or None,
                            use_cache=not args.no_cache, jobs=args.jobs,
                            trace_dir=args.trace_dir)
+    if args.metrics_dir:
+        from repro.experiments.runner import write_experiment_metrics
+
+        written = write_experiment_metrics(results, args.metrics_dir)
+        logger.info("metrics: %d documents -> %s", len(written),
+                    args.metrics_dir)
     if args.json:
         print(render_json(results))
         return 0
@@ -162,7 +198,59 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def chip_specs() -> dict:
+    """The modelled chip specifications as a flat, JSON-ready mapping."""
+    from repro.bnn import BNNAccelerator
+    from repro.power import (
+        area_saving,
+        bnn_profile,
+        bnn_tops_per_watt,
+        cpu_profile,
+        frequency_model,
+        heterogeneous_area,
+        ncpu_area,
+    )
+
+    freq = frequency_model()
+    accelerator = BNNAccelerator()
+    return {
+        "technology_nm": 65,
+        "frequency_mhz_at_1v": freq.f_mhz(1.0),
+        "frequency_mhz_at_0v4": freq.f_mhz(0.4),
+        "bnn_power_mw_at_1v": bnn_profile().total_power_w(1.0) * 1e3,
+        "bnn_power_mw_at_0v4": bnn_profile().total_power_w(0.4) * 1e3,
+        "cpu_power_mw_at_1v": cpu_profile().total_power_w(1.0) * 1e3,
+        "cpu_power_mw_at_0v4": cpu_profile().total_power_w(0.4) * 1e3,
+        "bnn_tops_per_watt_at_1v": bnn_tops_per_watt(1.0),
+        "bnn_tops_per_watt_at_0v4": bnn_tops_per_watt(0.4),
+        "ncpu_core_area_mm2": ncpu_area(100).total_mm2,
+        "cpu_plus_bnn_area_mm2": heterogeneous_area(100).total_mm2,
+        "area_saving_fraction": area_saving(100),
+        "accelerator_physical_layers":
+            accelerator.config.n_physical_layers,
+        "accelerator_neurons_per_layer":
+            accelerator.config.neurons_per_layer,
+        "accelerator_peak_macs_per_cycle":
+            accelerator.peak_ops_per_cycle(),
+    }
+
+
 def cmd_info(args: argparse.Namespace) -> int:
+    import json
+
+    if args.json:
+        # shares the run-manifest serializer so specs and metrics carry
+        # the same identity block
+        from repro.metrics import RunManifest
+
+        document = {
+            "schema": "repro-info/1",
+            "manifest": RunManifest.collect().as_dict(),
+            "specs": chip_specs(),
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+
     from repro.bnn import BNNAccelerator
     from repro.power import (
         area_saving,
@@ -195,11 +283,59 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.metrics import (
+        all_benchmarks,
+        run_benchmarks,
+        write_bench_file,
+    )
+    from repro.metrics.bench import select as select_benchmarks
+
+    if args.list:
+        for name, spec in sorted(all_benchmarks().items()):
+            print(f"{name}: {spec.help} [{spec.unit}]")
+        return 0
+    if args.patterns and not select_benchmarks(args.patterns):
+        logger.error("no benchmarks match %r", " ".join(args.patterns))
+        return 1
+    doc = run_benchmarks(args.patterns or None, repeats=args.repeats,
+                         warmup=args.warmup, quick=args.quick,
+                         with_experiments=not args.no_experiments)
+    if not args.no_write:
+        path = write_bench_file(doc, args.out_dir)
+        logger.info("bench: trajectory -> %s", path)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    rows = [("benchmark", "median", "min", "iqr", "throughput")]
+    for name, result in sorted(doc["benchmarks"].items()):
+        wall = result["wall_s"]
+        rows.append((name, f"{wall['median']:.4f}s", f"{wall['min']:.4f}s",
+                     f"{wall['iqr']:.4f}s",
+                     f"{result['throughput']['median']:.0f} "
+                     f"{result['throughput']['unit']}"))
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    for row in rows:
+        print("  ".join(cell.ljust(width)
+                        for cell, width in zip(row, widths)).rstrip())
+    if doc["experiments"]:
+        print(f"(+ {len(doc['experiments'])} paper-anchor experiment "
+              f"metrics recorded)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="NCPU (MICRO 2020) reproduction toolkit",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more status chatter on stderr (-v info, "
+                             "-vv debug); REPRO_LOG=level sets the default")
+    parser.add_argument("--quiet", action="store_true",
+                        help="only errors on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     asm = sub.add_parser("asm", help="assemble a RISC-V source file")
@@ -231,6 +367,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--profile", action="store_true",
                      help="print hot-spot / stall-attribution / layer "
                           "profile (pipelined runs)")
+    run.add_argument("--metrics-out", metavar="PATH",
+                     help="write OpenMetrics text exposition of the run "
+                          "(stats-registry deltas + wall time, manifest-"
+                          "labelled)")
+    run.add_argument("--metrics-json", metavar="PATH",
+                     help="write the same metrics as a stable-ordered "
+                          "JSON document")
     run.add_argument("--max-cycles", type=int, default=10_000_000)
     run.set_defaults(func=cmd_run)
 
@@ -254,9 +397,40 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--trace-dir", metavar="DIR",
                      help="trace each executed experiment into "
                           "DIR/<name>.trace.json (Perfetto format)")
+    exp.add_argument("--metrics-dir", metavar="DIR",
+                     help="write per-experiment metrics JSON plus an "
+                          "aggregate OpenMetrics file into DIR")
     exp.set_defaults(func=cmd_experiments)
 
+    benchp = sub.add_parser("bench",
+                            help="run the registered micro-benchmarks and "
+                                 "write a BENCH_<timestamp>.json")
+    benchp.add_argument("patterns", nargs="*",
+                        help="substring filters, e.g. cpu dma")
+    benchp.add_argument("--list", action="store_true",
+                        help="list the registered benchmarks and exit")
+    benchp.add_argument("--quick", action="store_true",
+                        help="smoke mode: small workloads, <=2 repeats, "
+                             "no warmup")
+    benchp.add_argument("--repeats", type=int, default=5,
+                        help="timed repeats per benchmark (default 5)")
+    benchp.add_argument("--warmup", type=int, default=1,
+                        help="untimed warmup runs per benchmark (default 1)")
+    benchp.add_argument("--out-dir", default=".",
+                        help="directory for the BENCH trajectory file "
+                             "(default: repo root / cwd)")
+    benchp.add_argument("--no-write", action="store_true",
+                        help="measure only; do not write a BENCH file")
+    benchp.add_argument("--no-experiments", action="store_true",
+                        help="skip the paper-anchor experiment metrics")
+    benchp.add_argument("--json", action="store_true",
+                        help="print the BENCH document on stdout")
+    benchp.set_defaults(func=cmd_bench)
+
     info = sub.add_parser("info", help="print the modelled chip specs")
+    info.add_argument("--json", action="store_true",
+                      help="emit the specs as machine-readable JSON "
+                           "(with the run manifest)")
     info.set_defaults(func=cmd_info)
     return parser
 
@@ -264,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(verbosity=args.verbose, quiet=args.quiet)
     try:
         return args.func(args)
     except ReproError as exc:

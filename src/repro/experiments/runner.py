@@ -17,15 +17,19 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments.common import ExperimentResult
 from repro.experiments.registry import all_experiments, get_spec
+from repro.logutil import configure_logging, get_logger
 from repro.sim import SimConfig, SimSession, get_session, set_session
+
+logger = get_logger("experiments")
 
 #: artifact-cache namespace for completed experiment results
 RESULT_NAMESPACE = "results"
@@ -65,6 +69,10 @@ def run_experiment(name: str, use_cache: bool = True,
     session = get_session()
     start = time.perf_counter()
     traced_path: Optional[str] = None
+    # heartbeat instants: visible to any installed tracer/probe, so long
+    # parallel runs are inspectable while they execute
+    session.stats.emit("experiment.started", name=name, worker=os.getpid())
+    logger.info("experiment %s: started (worker %d)", name, os.getpid())
 
     def build() -> ExperimentResult:
         nonlocal traced_path
@@ -93,12 +101,18 @@ def run_experiment(name: str, use_cache: bool = True,
     else:
         result = build()
         cache_hit = False
+    wall_time = round(time.perf_counter() - start, 6)
     setattr(result, RUN_META_ATTR, {
         "name": name,
-        "wall_time_s": round(time.perf_counter() - start, 6),
+        "wall_time_s": wall_time,
         "cache_hit": cache_hit,
         "trace_path": traced_path,
     })
+    session.stats.emit("experiment.finished", name=name,
+                       worker=os.getpid(), wall_time_s=wall_time,
+                       cache_hit=cache_hit)
+    logger.info("experiment %s: finished in %.3fs (%s)", name, wall_time,
+                "cache hit" if cache_hit else "cache miss")
     return result
 
 
@@ -120,15 +134,76 @@ def run_selected(patterns: Optional[List[str]] = None, *,
     names = select(patterns)
     if jobs > 1 and len(names) > 1:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(_run_in_worker, name, use_cache, trace_dir)
-                       for name in names]
+            futures = {pool.submit(_run_in_worker, name, use_cache,
+                                   trace_dir): name for name in names}
+            done = 0
+            for future in as_completed(futures):
+                done += 1
+                logger.info("experiments: %d/%d finished (%s)", done,
+                            len(futures), futures[future])
+            # results keep submission order regardless of completion order
             return [future.result() for future in futures]
     return [run_experiment(name, use_cache=use_cache, trace_dir=trace_dir)
             for name in names]
 
 
+# -- metrics export ------------------------------------------------------
+def write_experiment_metrics(results: List[ExperimentResult],
+                             directory) -> List[Path]:
+    """Write per-experiment metrics JSON + one aggregate OpenMetrics file.
+
+    ``<dir>/<name>.metrics.json`` carries the run manifest, the per-run
+    metadata, and the paper-vs-measured rows; ``<dir>/experiments.om``
+    exposes wall time, cache hits, and every measured value as
+    manifest-labelled OpenMetrics series for cross-run scraping.
+    """
+    from repro.metrics import (
+        MetricsCollection,
+        RunManifest,
+        write_openmetrics,
+    )
+
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    manifest = RunManifest.collect()
+    collection = MetricsCollection(manifest)
+    written: List[Path] = []
+    for result in results:
+        meta = run_meta(result) or {}
+        name = meta.get("name", result.experiment_id)
+        document = {
+            "schema": "repro-experiment-metrics/1",
+            "manifest": manifest.as_dict(),
+            "run": meta,
+            "result": result.to_dict(),
+        }
+        path = target / f"{name}.metrics.json"
+        path.write_text(json.dumps(document, indent=2, sort_keys=True)
+                        + "\n")
+        written.append(path)
+        labels = {"experiment": name}
+        if "wall_time_s" in meta:
+            collection.gauge("repro_experiment_wall_seconds",
+                             meta["wall_time_s"], labels=labels,
+                             unit="seconds",
+                             help="per-experiment runner wall time")
+            collection.gauge("repro_experiment_cache_hit",
+                             1.0 if meta.get("cache_hit") else 0.0,
+                             labels=labels,
+                             help="1 when the result came from the "
+                                  "artifact cache")
+        for metric in result.metrics:
+            collection.gauge(
+                "repro_experiment_metric", metric.measured,
+                labels={**labels, "metric": metric.name},
+                help="measured experiment metric value")
+    written.append(write_openmetrics(collection, target / "experiments.om"))
+    return written
+
+
 # -- reporters ----------------------------------------------------------
-def render_markdown(results: List[ExperimentResult]) -> str:
+def render_markdown(results: List[ExperimentResult],
+                    include_run_summary: bool = True) -> str:
     lines = ["# EXPERIMENTS — paper vs measured", ""]
     lines += [
         "Regenerate with `python -m repro.experiments.runner` (text) or see",
@@ -138,7 +213,7 @@ def render_markdown(results: List[ExperimentResult]) -> str:
     for result in results:
         lines.append(result.to_markdown())
     metas = [run_meta(result) for result in results]
-    if any(metas):
+    if include_run_summary and any(metas):
         lines += ["## Run summary", "",
                   "| experiment | wall time | cache | trace |",
                   "|---|---|---|---|"]
@@ -175,6 +250,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("patterns", nargs="*",
                         help="substring filters, e.g. fig13 table2")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="progress chatter on stderr (-v info, "
+                             "-vv debug)")
     parser.add_argument("-j", "--jobs", type=int, default=1,
                         help="run experiments in N parallel processes")
     parser.add_argument("--json", action="store_true",
@@ -194,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(verbosity=args.verbose)
     if args.cache_dir:
         set_session(SimSession(SimConfig(cache_dir=args.cache_dir)))
     if not select(args.patterns or None):

@@ -1,0 +1,74 @@
+"""Logging-based status emitter for the CLI tools.
+
+All progress chatter ("trace written", "3/18 experiments done") goes
+through the ``repro`` logger to **stderr**, so machine-readable documents
+on stdout (``--json``, ``--stats-json``, OpenMetrics) are never
+interleaved with status lines.
+
+Level resolution, first match wins:
+
+1. ``--quiet`` -> ERROR
+2. ``-v`` -> INFO, ``-vv`` -> DEBUG
+3. ``REPRO_LOG=<level>`` (debug/info/warning/error, case-insensitive)
+4. default WARNING
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import IO, Optional
+
+#: environment variable selecting the default log level
+LOG_ENV_VAR = "REPRO_LOG"
+
+#: the root logger every repro module hangs off
+LOGGER_NAME = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "warn": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+#: marker attribute identifying handlers installed by :func:`configure_logging`
+_HANDLER_MARK = "_repro_handler"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``repro`` logger (or a ``repro.<name>`` child)."""
+    return logging.getLogger(f"{LOGGER_NAME}.{name}" if name else LOGGER_NAME)
+
+
+def resolve_level(verbosity: int = 0, quiet: bool = False,
+                  environ: Optional[dict] = None) -> int:
+    """Map ``--quiet`` / ``-v`` counts / ``REPRO_LOG`` to a logging level."""
+    if quiet:
+        return logging.ERROR
+    if verbosity >= 2:
+        return logging.DEBUG
+    if verbosity == 1:
+        return logging.INFO
+    env = os.environ if environ is None else environ
+    name = env.get(LOG_ENV_VAR, "").strip().lower()
+    return _LEVELS.get(name, logging.WARNING)
+
+
+def configure_logging(verbosity: int = 0, quiet: bool = False,
+                      stream: Optional[IO] = None) -> logging.Logger:
+    """Install (or re-level) the stderr status handler; idempotent."""
+    logger = get_logger()
+    logger.setLevel(resolve_level(verbosity, quiet))
+    target = stream if stream is not None else sys.stderr
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(target)
+    handler.setFormatter(logging.Formatter("repro: %(message)s"))
+    setattr(handler, _HANDLER_MARK, True)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,324 @@
+"""Registered micro-benchmarks + the BENCH trajectory file writer.
+
+Each benchmark measures one simulator hot path (pipeline cycles/sec on
+Dhrystone and the hotspot kernel, BNN inferences/sec, DMA words/sec,
+experiment-runner wall time with a warm vs cold :class:`ArtifactCache`)
+with warmup + N repeats and reports median/min/IQR wall time plus a
+derived throughput.  ``repro bench`` writes the results — together with
+the run manifest and the deterministic paper-anchor experiment metrics —
+as a root-level ``BENCH_<timestamp>.json`` that
+``tools/check_regression.py`` gates against ``benchmarks/baseline.json``.
+
+Benchmarks run inside their own :func:`~repro.sim.use_session`, so they
+never pollute the caller's stats registry or artifact cache.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.logutil import get_logger
+from repro.metrics.model import RunManifest, summarize
+
+#: schema tag written into every BENCH file
+BENCH_SCHEMA = "repro-bench/1"
+
+#: file-name prefix of trajectory files (``BENCH_<UTC timestamp>.json``)
+BENCH_PREFIX = "BENCH_"
+
+#: default measurement plan (``--quick`` drops to 1 repeat / 0 warmup)
+DEFAULT_REPEATS = 5
+DEFAULT_WARMUP = 1
+
+#: deterministic paper-anchor experiments folded into every BENCH file
+ANCHOR_EXPERIMENTS = ("fig09", "table4")
+#: heavier anchors only measured on full (non-quick) runs
+FULL_ANCHOR_EXPERIMENTS = ("fig17",)
+
+logger = get_logger("bench")
+
+#: the hotspot kernel (examples/hotspot.s) with a parametric outer loop so
+#: one measured call simulates enough cycles to time reliably
+def hotspot_asm(passes: int = 20) -> str:
+    return f"""
+    addi a6, x0, {passes}       # outer-loop passes
+outer:
+    addi a0, x0, 0          # sum
+    addi a1, x0, 256        # data pointer
+    addi a5, x0, 16         # store 16 words first
+fill:
+    sw   a5, 0(a1)
+    addi a1, a1, 4
+    addi a5, a5, -1
+    bne  a5, x0, fill
+    addi a1, x0, 256        # rewind
+    addi a5, x0, 16
+sum:
+    lw   a2, 0(a1)          # load-use hazard: a2 consumed next cycle
+    add  a0, a0, a2
+    addi a1, a1, 4
+    addi a5, a5, -1
+    bne  a5, x0, sum        # taken 15 times -> control flushes
+    addi a6, a6, -1
+    bne  a6, x0, outer
+    halt
+"""
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered micro-benchmark.
+
+    ``func(quick)`` performs a single measured repetition and returns the
+    work counters it completed (simulated cycles, inferences, words, ...);
+    the harness times the call and derives ``work[work_key] / wall`` as
+    the benchmark's throughput.
+    """
+
+    name: str
+    func: Callable[[bool], Mapping[str, float]]
+    work_key: str
+    unit: str
+    help: str = ""
+
+
+_REGISTRY: Dict[str, BenchSpec] = {}
+
+
+def bench(name: str, *, work_key: str, unit: str, help: str = ""):
+    """Register the decorated function as the benchmark ``name``."""
+
+    def decorator(func: Callable[[bool], Mapping[str, float]]):
+        if name in _REGISTRY:
+            raise ValueError(f"benchmark {name!r} registered twice")
+        _REGISTRY[name] = BenchSpec(name=name, func=func, work_key=work_key,
+                                    unit=unit, help=help)
+        return func
+
+    return decorator
+
+
+def all_benchmarks() -> Dict[str, BenchSpec]:
+    return dict(_REGISTRY)
+
+
+def select(patterns: Optional[List[str]] = None) -> List[str]:
+    """Benchmark names containing any of the given substrings."""
+    return [name for name in sorted(_REGISTRY)
+            if not patterns or any(p in name for p in patterns)]
+
+
+# -- the registered benchmarks ------------------------------------------
+def _assemble(source: str):
+    from repro.isa import assemble
+
+    return assemble(source)
+
+
+@bench("cpu.pipeline.dhrystone", work_key="cycles", unit="cycles/s",
+       help="pipelined-CPU simulation speed on the Dhrystone kernel")
+def _bench_dhrystone(quick: bool) -> Dict[str, float]:
+    from repro.cpu import PipelinedCPU
+    from repro.workloads.dhrystone import dhrystone_asm
+
+    program = _assemble(dhrystone_asm(iterations=5 if quick else 40))
+    result = PipelinedCPU(program).run()
+    return {"cycles": result.stats.cycles,
+            "instructions": result.stats.instructions}
+
+
+@bench("cpu.pipeline.hotspot", work_key="cycles", unit="cycles/s",
+       help="pipelined-CPU simulation speed on the hazard-heavy hotspot "
+            "kernel (examples/hotspot.s)")
+def _bench_hotspot(quick: bool) -> Dict[str, float]:
+    from repro.cpu import PipelinedCPU
+
+    program = _assemble(hotspot_asm(passes=5 if quick else 50))
+    result = PipelinedCPU(program).run()
+    return {"cycles": result.stats.cycles,
+            "instructions": result.stats.instructions}
+
+
+@bench("bnn.accelerator.infer", work_key="inferences", unit="inferences/s",
+       help="BNN accelerator functional+timing inference throughput")
+def _bench_bnn_infer(quick: bool) -> Dict[str, float]:
+    import numpy as np
+
+    from repro.bnn import BNNAccelerator, BNNModel
+
+    rng = np.random.default_rng(0)
+    model = BNNModel.random([100, 100, 100, 10], rng)
+    accelerator = BNNAccelerator()
+    n = 20 if quick else 200
+    inputs = np.sign(rng.standard_normal((n, 100))).astype(np.int8)
+    inputs[inputs == 0] = 1
+    cycles = 0
+    for row in inputs:
+        cycles += accelerator.infer(model, row).cycles
+    return {"inferences": n, "simulated_cycles": cycles}
+
+
+@bench("dma.transfer", work_key="words", unit="words/s",
+       help="DMA engine functional copy throughput (L2 <-> SRAM model)")
+def _bench_dma(quick: bool) -> Dict[str, float]:
+    from repro.cpu import FlatMemory
+    from repro.mem import DMAEngine
+
+    words = 2_000 if quick else 20_000
+    src = FlatMemory(size=words * 4 + 64)
+    dst = FlatMemory(size=words * 4 + 64)
+    for index in range(0, words * 4, 4):
+        src.store(index, index & 0xFFFF, 4)
+    engine = DMAEngine()
+    cycles = engine.copy(src, 0, dst, 0, words, description="bench")
+    return {"words": words, "simulated_cycles": cycles}
+
+
+def _run_cheap_experiment(cache_dir: str, use_cache: bool) -> None:
+    from repro.experiments.runner import run_experiment
+    from repro.sim import use_session
+
+    with use_session(cache_dir=cache_dir):
+        run_experiment("fig07", use_cache=use_cache)
+
+
+@bench("runner.experiment.cold", work_key="experiments", unit="experiments/s",
+       help="experiment-runner wall time with a cold (empty) ArtifactCache")
+def _bench_runner_cold(quick: bool) -> Dict[str, float]:
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cold-")
+    try:
+        _run_cheap_experiment(cache_dir, use_cache=True)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return {"experiments": 1}
+
+
+_WARM_CACHE_DIR: Optional[str] = None
+
+
+@bench("runner.experiment.warm", work_key="experiments", unit="experiments/s",
+       help="experiment-runner wall time with a warm (hit) ArtifactCache")
+def _bench_runner_warm(quick: bool) -> Dict[str, float]:
+    global _WARM_CACHE_DIR
+    if _WARM_CACHE_DIR is None:
+        _WARM_CACHE_DIR = tempfile.mkdtemp(prefix="repro-bench-warm-")
+        _run_cheap_experiment(_WARM_CACHE_DIR, use_cache=True)  # prime
+    _run_cheap_experiment(_WARM_CACHE_DIR, use_cache=True)
+    return {"experiments": 1}
+
+
+# -- harness -------------------------------------------------------------
+def run_benchmark(spec: BenchSpec, repeats: int = DEFAULT_REPEATS,
+                  warmup: int = DEFAULT_WARMUP,
+                  quick: bool = False) -> Dict[str, Any]:
+    """Measure one benchmark: warmup + N timed repeats, median/min/IQR."""
+    from repro.sim import use_session
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    times: List[float] = []
+    work: Mapping[str, float] = {}
+    with use_session(cache_enabled=False):
+        for _ in range(warmup):
+            spec.func(quick)
+        for _ in range(repeats):
+            start = time.perf_counter()
+            work = spec.func(quick)
+            times.append(time.perf_counter() - start)
+    wall = summarize(times)
+    work_units = float(work.get(spec.work_key, 0))
+    throughput = {
+        "unit": spec.unit,
+        "median": work_units / wall["median"] if wall["median"] else 0.0,
+        "best": work_units / wall["min"] if wall["min"] else 0.0,
+    }
+    return {
+        "name": spec.name,
+        "help": spec.help,
+        "repeats": repeats,
+        "warmup": warmup,
+        "quick": quick,
+        "work": {key: float(value) for key, value in sorted(work.items())},
+        "work_key": spec.work_key,
+        "wall_s": wall,
+        "throughput": throughput,
+    }
+
+
+def anchor_experiment_metrics(quick: bool = False) -> Dict[str, float]:
+    """Deterministic paper-anchor metrics (Fig 9, Table 4, Fig 17 ...).
+
+    These are simulation outputs, not wall times — identical on every
+    machine — so the regression gate can hold them to tight tolerances.
+    """
+    from repro.experiments.runner import run_experiment
+
+    names = list(ANCHOR_EXPERIMENTS)
+    if not quick:
+        names += list(FULL_ANCHOR_EXPERIMENTS)
+    metrics: Dict[str, float] = {}
+    for name in names:
+        result = run_experiment(name, use_cache=True)
+        for metric in result.metrics:
+            metrics[f"{name}:{metric.name}"] = float(metric.measured)
+    return metrics
+
+
+def run_benchmarks(patterns: Optional[List[str]] = None, *,
+                   repeats: int = DEFAULT_REPEATS,
+                   warmup: int = DEFAULT_WARMUP,
+                   quick: bool = False,
+                   with_experiments: bool = True) -> Dict[str, Any]:
+    """Run the selected benchmarks and build the BENCH document."""
+    if quick:
+        repeats, warmup = min(repeats, 2), 0
+    names = select(patterns)
+    results: Dict[str, Any] = {}
+    for index, name in enumerate(names):
+        logger.info("bench %d/%d %s ...", index + 1, len(names), name)
+        results[name] = run_benchmark(_REGISTRY[name], repeats=repeats,
+                                      warmup=warmup, quick=quick)
+        logger.info("bench %s: median %.4fs (%s %.0f %s)", name,
+                    results[name]["wall_s"]["median"], "median",
+                    results[name]["throughput"]["median"],
+                    results[name]["throughput"]["unit"])
+    experiments: Dict[str, float] = {}
+    if with_experiments:
+        logger.info("measuring paper-anchor experiment metrics ...")
+        experiments = anchor_experiment_metrics(quick=quick)
+    return {
+        "schema": BENCH_SCHEMA,
+        "manifest": RunManifest.collect().as_dict(),
+        "quick": quick,
+        "repeats": repeats,
+        "warmup": warmup,
+        "benchmarks": results,
+        "experiments": experiments,
+    }
+
+
+def bench_filename(created_unix: float) -> str:
+    stamp = time.strftime("%Y%m%d-%H%M%S", time.gmtime(created_unix))
+    return f"{BENCH_PREFIX}{stamp}.json"
+
+
+def write_bench_file(doc: Mapping[str, Any], out_dir=".") -> Path:
+    """Write the BENCH trajectory file (named from the manifest time)."""
+    import json
+
+    created = doc.get("manifest", {}).get("created_unix") or time.time()
+    target = Path(out_dir) / bench_filename(created)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def latest_bench_file(directory=".") -> Optional[Path]:
+    """Newest ``BENCH_*.json`` in ``directory`` (lexical == chronological)."""
+    candidates = sorted(Path(directory).glob(f"{BENCH_PREFIX}*.json"))
+    return candidates[-1] if candidates else None

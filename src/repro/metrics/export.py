@@ -1,0 +1,242 @@
+"""Exporters: OpenMetrics text exposition and a stable-ordered JSON doc.
+
+The OpenMetrics output follows the text exposition format (``# TYPE`` /
+``# HELP`` headers, ``_total``-suffixed counter samples, summaries with
+``quantile`` labels, terminal ``# EOF``) and every sample carries the run
+manifest labels, so scrapes from different PRs/configs never collide.
+:func:`validate_openmetrics` is the format checker the tests and CI run
+against the exporter's own output.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.metrics.model import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    MetricSeries,
+    MetricsCollection,
+    quantile,
+)
+
+#: schema tag of the JSON metrics document
+JSON_SCHEMA = "repro-metrics/1"
+
+#: summary quantiles exported for histogram series
+SUMMARY_QUANTILES = (0.25, 0.5, 0.75)
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: (?P<ts>\S+))?$")
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+def escape_label_value(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{name}="{escape_label_value(labels[name])}"'
+                    for name in sorted(labels))
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _merged_labels(series: MetricSeries,
+                   manifest_labels: Mapping[str, str]) -> Dict[str, str]:
+    merged = dict(manifest_labels)
+    merged.update(series.label_dict)
+    return merged
+
+
+def to_openmetrics(collection: MetricsCollection) -> str:
+    """Render a collection as OpenMetrics text exposition."""
+    manifest_labels = collection.manifest.labels()
+    lines: List[str] = []
+    seen_families: Dict[str, str] = {}
+    for series in collection.series():
+        om_type = "summary" if series.kind == HISTOGRAM else series.kind
+        if series.name not in seen_families:
+            seen_families[series.name] = om_type
+            if series.help:
+                lines.append(f"# HELP {series.name} "
+                             f"{series.help.replace(chr(10), ' ')}")
+            if series.unit:
+                lines.append(f"# UNIT {series.name} {series.unit}")
+            lines.append(f"# TYPE {series.name} {om_type}")
+        elif seen_families[series.name] != om_type:
+            raise ValueError(f"family {series.name} has mixed types")
+        labels = _render_labels(_merged_labels(series, manifest_labels))
+        if series.kind == COUNTER:
+            lines.append(f"{series.name}_total{labels} "
+                         f"{_format_value(series.value)}")
+        elif series.kind == GAUGE:
+            lines.append(f"{series.name}{labels} "
+                         f"{_format_value(series.value)}")
+        else:
+            summary = series.summary()
+            base = _merged_labels(series, manifest_labels)
+            for q in SUMMARY_QUANTILES:
+                q_labels = dict(base)
+                q_labels["quantile"] = _format_value(float(q))
+                lines.append(f"{series.name}{_render_labels(q_labels)} "
+                             f"{_format_value(quantile(series.observations, q))}")
+            lines.append(f"{series.name}_count{labels} "
+                         f"{_format_value(summary['count'])}")
+            lines.append(f"{series.name}_sum{labels} "
+                         f"{_format_value(summary['sum'])}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(collection: MetricsCollection, path) -> Path:
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(to_openmetrics(collection))
+    return target
+
+
+def to_json_document(collection: MetricsCollection) -> Dict[str, Any]:
+    """Stable-ordered JSON document (manifest + every series)."""
+    return {
+        "schema": JSON_SCHEMA,
+        "manifest": collection.manifest.as_dict(),
+        "metrics": [series.to_dict() for series in collection.series()],
+    }
+
+
+def to_json(collection: MetricsCollection,
+            indent: Optional[int] = 2) -> str:
+    return json.dumps(to_json_document(collection), indent=indent,
+                      sort_keys=True)
+
+
+def write_json(collection: MetricsCollection, path) -> Path:
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(to_json(collection) + "\n")
+    return target
+
+
+# -- format validation ---------------------------------------------------
+_ALLOWED_TYPES = ("counter", "gauge", "summary", "histogram", "info",
+                  "unknown")
+
+
+def parse_labels(body: str) -> Dict[str, str]:
+    """Parse the inside of a ``{...}`` label block (validates syntax)."""
+    labels: Dict[str, str] = {}
+    rest = body
+    while rest:
+        match = _LABEL_RE.match(rest)
+        if match is None:
+            raise ValueError(f"malformed label block near {rest!r}")
+        labels[match.group("name")] = match.group("value")
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            raise ValueError(f"malformed label separator near {rest!r}")
+    return labels
+
+
+def validate_openmetrics(text: str) -> Dict[str, Any]:
+    """Check OpenMetrics text structure; raises ``ValueError`` on problems.
+
+    Returns a summary: family count, sample count, and the parsed samples
+    as ``(family, sample_name, labels, value)`` tuples for assertions.
+    """
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines = lines[:-1]
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("missing terminal # EOF line")
+    families: Dict[str, str] = {}
+    samples: List[Tuple[str, str, Dict[str, str], float]] = []
+    for index, line in enumerate(lines[:-1]):
+        where = f"line {index + 1}"
+        if line == "# EOF":
+            raise ValueError(f"{where}: # EOF before end of document")
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in _ALLOWED_TYPES:
+                raise ValueError(f"{where}: malformed TYPE line {line!r}")
+            if not _NAME_RE.match(parts[2]):
+                raise ValueError(f"{where}: bad family name {parts[2]!r}")
+            if parts[2] in families:
+                raise ValueError(f"{where}: duplicate TYPE for {parts[2]}")
+            families[parts[2]] = parts[3]
+            continue
+        if line.startswith("# HELP ") or line.startswith("# UNIT "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not _NAME_RE.match(parts[2]):
+                raise ValueError(f"{where}: malformed metadata line {line!r}")
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"{where}: unknown comment directive {line!r}")
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"{where}: unparseable sample {line!r}")
+        name = match.group("name")
+        family = _family_of(name, families)
+        if family is None:
+            raise ValueError(f"{where}: sample {name!r} before its TYPE")
+        kind = families[family]
+        if kind == "counter" and not (name.endswith("_total")
+                                      or name.endswith("_created")):
+            raise ValueError(f"{where}: counter sample {name!r} must use "
+                             f"the _total suffix")
+        labels = parse_labels(match.group("labels") or "")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError(f"{where}: non-numeric value "
+                             f"{match.group('value')!r}") from None
+        if kind == "summary" and "quantile" in labels:
+            q = float(labels["quantile"])
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"{where}: quantile {q} outside [0, 1]")
+        samples.append((family, name, labels, value))
+    if not families:
+        raise ValueError("document declares no metric families")
+    return {
+        "families": len(families),
+        "samples": len(samples),
+        "parsed": samples,
+        "types": dict(families),
+    }
+
+
+def _family_of(sample_name: str,
+               families: Mapping[str, str]) -> Optional[str]:
+    """Longest declared family the sample name belongs to."""
+    if sample_name in families:
+        return sample_name
+    for suffix in ("_total", "_created", "_count", "_sum", "_bucket"):
+        if sample_name.endswith(suffix):
+            base = sample_name[:-len(suffix)]
+            if base in families:
+                return base
+    return None
+
+
+def validate_openmetrics_file(path) -> Dict[str, Any]:
+    return validate_openmetrics(Path(path).read_text())

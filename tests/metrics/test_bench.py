@@ -1,0 +1,98 @@
+"""Benchmark harness: registry, measurement plan, BENCH trajectory files."""
+
+import json
+
+import pytest
+
+from repro.metrics import (
+    all_benchmarks,
+    latest_bench_file,
+    run_benchmark,
+    run_benchmarks,
+    validate_bench_doc,
+    write_bench_file,
+)
+from repro.metrics.bench import BenchSpec, bench_filename, select
+
+#: every benchmark the issue requires must stay registered
+REQUIRED = ("cpu.pipeline.dhrystone", "cpu.pipeline.hotspot",
+            "bnn.accelerator.infer", "dma.transfer",
+            "runner.experiment.cold", "runner.experiment.warm")
+
+
+class TestRegistry:
+    def test_required_benchmarks_registered(self):
+        names = set(all_benchmarks())
+        for required in REQUIRED:
+            assert required in names
+
+    def test_select_filters_by_substring(self):
+        assert select(["dma"]) == ["dma.transfer"]
+        assert select(["nope-nothing"]) == []
+        assert select(None) == sorted(all_benchmarks())
+
+
+class TestHarness:
+    def test_run_benchmark_result_schema(self):
+        calls = []
+
+        def fake(quick):
+            calls.append(quick)
+            return {"cycles": 100}
+
+        spec = BenchSpec(name="fake", func=fake, work_key="cycles",
+                         unit="cycles/s")
+        result = run_benchmark(spec, repeats=3, warmup=2, quick=True)
+        assert calls == [True] * 5  # 2 warmup + 3 timed
+        assert result["repeats"] == 3 and result["warmup"] == 2
+        assert result["work"] == {"cycles": 100.0}
+        for stat in ("median", "min", "max", "iqr", "p25", "p75"):
+            assert stat in result["wall_s"]
+        assert result["throughput"]["unit"] == "cycles/s"
+        assert result["throughput"]["median"] > 0
+
+    def test_repeats_must_be_positive(self):
+        spec = BenchSpec(name="fake", func=lambda quick: {"n": 1},
+                         work_key="n", unit="n/s")
+        with pytest.raises(ValueError):
+            run_benchmark(spec, repeats=0)
+
+    def test_quick_dhrystone_measures_cycles(self):
+        spec = all_benchmarks()["cpu.pipeline.dhrystone"]
+        result = run_benchmark(spec, repeats=1, warmup=0, quick=True)
+        assert result["work"]["cycles"] > 100
+        assert result["throughput"]["median"] > 0
+
+    def test_dma_benchmark_moves_words(self):
+        spec = all_benchmarks()["dma.transfer"]
+        result = run_benchmark(spec, repeats=1, warmup=0, quick=True)
+        assert result["work"]["words"] == 2_000
+
+
+class TestBenchDocument:
+    def test_document_schema_roundtrips_through_gate(self, tmp_path):
+        doc = run_benchmarks(["dma"], repeats=1, warmup=0, quick=True,
+                             with_experiments=False)
+        summary = validate_bench_doc(doc)
+        assert summary["benchmarks"] == 1
+        path = write_bench_file(doc, tmp_path)
+        assert path.name.startswith("BENCH_") and path.suffix == ".json"
+        reread = json.loads(path.read_text())
+        assert validate_bench_doc(reread) == summary
+        assert reread["manifest"]["config_hash"]
+
+    def test_validate_rejects_broken_documents(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench_doc({"schema": "nope"})
+        with pytest.raises(ValueError, match="manifest"):
+            validate_bench_doc({"schema": "repro-bench/1"})
+
+    def test_latest_bench_file_picks_newest(self, tmp_path):
+        assert latest_bench_file(tmp_path) is None
+        (tmp_path / "BENCH_20250101-000000.json").write_text("{}")
+        (tmp_path / "BENCH_20260101-000000.json").write_text("{}")
+        newest = latest_bench_file(tmp_path)
+        assert newest.name == "BENCH_20260101-000000.json"
+
+    def test_bench_filename_is_utc_stamp(self):
+        assert bench_filename(0.0) == "BENCH_19700101-000000.json"

@@ -1,0 +1,145 @@
+"""OpenMetrics exposition + JSON document exporters and their validator."""
+
+import json
+
+import pytest
+
+from repro.cpu import PipelinedCPU
+from repro.isa import assemble
+from repro.metrics import (
+    MetricsCollection,
+    MetricsRecorder,
+    RunManifest,
+    to_json,
+    to_json_document,
+    to_openmetrics,
+    validate_openmetrics,
+    write_json,
+    write_openmetrics,
+)
+from repro.sim import use_session
+
+PROGRAM = """
+    addi a0, x0, 1
+    addi a1, x0, 2
+    add a2, a0, a1
+    halt
+"""
+
+
+def make_manifest() -> RunManifest:
+    return RunManifest(config_hash="abc", seed=0, version="1.0.0",
+                       git_sha="deadbeef", python="3.11", platform="linux")
+
+
+def sample_collection() -> MetricsCollection:
+    collection = MetricsCollection(make_manifest())
+    collection.counter("repro_cycles", 42, help="simulated cycles")
+    collection.gauge("repro_wall_seconds", 0.25, unit="seconds")
+    collection.histogram("repro_repeat_wall", [0.1, 0.2, 0.3],
+                         help="per-repeat wall time")
+    collection.gauge("repro_util", 0.5, labels={"core": "ncpu0"})
+    collection.gauge("repro_util", 0.75, labels={"core": "ncpu1"})
+    return collection
+
+
+class TestOpenMetrics:
+    def test_validator_accepts_exporter_output(self):
+        summary = validate_openmetrics(to_openmetrics(sample_collection()))
+        assert summary["families"] == 4
+        assert summary["types"]["repro_cycles"] == "counter"
+        assert summary["types"]["repro_repeat_wall"] == "summary"
+
+    def test_every_sample_carries_manifest_labels(self):
+        manifest_labels = make_manifest().labels()
+        summary = validate_openmetrics(to_openmetrics(sample_collection()))
+        assert summary["samples"] > 0
+        for _, _, labels, _ in summary["parsed"]:
+            for key, value in manifest_labels.items():
+                assert labels.get(key) == value
+
+    def test_counter_sample_uses_total_suffix(self):
+        text = to_openmetrics(sample_collection())
+        assert "repro_cycles_total{" in text
+        summary = validate_openmetrics(text)
+        names = [name for _, name, _, _ in summary["parsed"]]
+        assert "repro_cycles" not in names
+
+    def test_histogram_exports_quantiles_count_sum(self):
+        summary = validate_openmetrics(to_openmetrics(sample_collection()))
+        quantiles = [labels["quantile"] for _, name, labels, _
+                     in summary["parsed"]
+                     if name == "repro_repeat_wall"]
+        assert sorted(quantiles) == ["0.25", "0.5", "0.75"]
+        names = [name for _, name, _, _ in summary["parsed"]]
+        assert "repro_repeat_wall_count" in names
+        assert "repro_repeat_wall_sum" in names
+
+    def test_ends_with_eof(self):
+        assert to_openmetrics(sample_collection()).endswith("# EOF\n")
+
+    def test_real_run_validates(self, tmp_path):
+        program = assemble(PROGRAM)
+        with use_session() as session:
+            with MetricsRecorder(session) as recorder:
+                PipelinedCPU(program).run()
+        path = write_openmetrics(recorder.collection, tmp_path / "run.om")
+        summary = validate_openmetrics(path.read_text())
+        names = [name for _, name, _, _ in summary["parsed"]]
+        assert "repro_cpu_pipeline_cycles_total" in names
+
+
+class TestValidatorRejects:
+    def test_missing_eof(self):
+        with pytest.raises(ValueError, match="EOF"):
+            validate_openmetrics("# TYPE repro_a gauge\nrepro_a 1\n")
+
+    def test_sample_before_type(self):
+        with pytest.raises(ValueError, match="before its TYPE"):
+            validate_openmetrics("repro_a 1\n# TYPE repro_a gauge\n# EOF\n")
+
+    def test_counter_without_total_suffix(self):
+        with pytest.raises(ValueError, match="_total"):
+            validate_openmetrics("# TYPE repro_a counter\nrepro_a 1\n# EOF\n")
+
+    def test_bad_label_block(self):
+        with pytest.raises(ValueError, match="label"):
+            validate_openmetrics('# TYPE repro_a gauge\n'
+                                 'repro_a{oops=unquoted} 1\n# EOF\n')
+
+    def test_non_numeric_value(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            validate_openmetrics("# TYPE repro_a gauge\nrepro_a x\n# EOF\n")
+
+    def test_duplicate_type(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_openmetrics("# TYPE repro_a gauge\n"
+                                 "# TYPE repro_a gauge\n# EOF\n")
+
+    def test_empty_document(self):
+        with pytest.raises(ValueError, match="no metric families"):
+            validate_openmetrics("# EOF\n")
+
+
+class TestJsonDocument:
+    def test_stable_ordering(self):
+        first = to_json(sample_collection())
+        second = to_json(sample_collection())
+        assert first == second
+        document = json.loads(first)
+        assert document["schema"] == "repro-metrics/1"
+        names = [entry["name"] for entry in document["metrics"]]
+        assert names == sorted(names)
+
+    def test_manifest_embedded(self):
+        document = to_json_document(sample_collection())
+        assert document["manifest"]["git_sha"] == "deadbeef"
+        assert document["manifest"]["seed"] == 0
+
+    def test_histogram_summary_in_json(self, tmp_path):
+        path = write_json(sample_collection(), tmp_path / "m.json")
+        document = json.loads(path.read_text())
+        histogram = next(entry for entry in document["metrics"]
+                         if entry["kind"] == "histogram")
+        assert histogram["summary"]["median"] == pytest.approx(0.2)
+        assert histogram["summary"]["iqr"] == pytest.approx(0.1)

@@ -1,0 +1,225 @@
+"""Regression gate: deltas, the markdown table, and check_regression."""
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.metrics import (
+    BENCH_SCHEMA,
+    baseline_from_bench,
+    compare,
+    extract_metrics,
+    load_baseline,
+    regressions,
+    render_delta_table,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "baseline.json"
+
+
+def load_tool(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "tools" / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def make_bench_doc(wall: float = 0.1, throughput: float = 1000.0) -> dict:
+    return {
+        "schema": BENCH_SCHEMA,
+        "manifest": {"config_hash": "abc", "git_sha": "deadbeef",
+                     "version": "1.0.0", "python": "3.11",
+                     "platform": "linux", "seed": 0,
+                     "created_unix": 1000.0},
+        "quick": True,
+        "repeats": 1,
+        "warmup": 0,
+        "benchmarks": {
+            "cpu.pipeline.dhrystone": {
+                "wall_s": {"median": wall, "min": wall, "max": wall,
+                           "iqr": 0.0, "p25": wall, "p75": wall,
+                           "count": 1, "sum": wall},
+                "throughput": {"unit": "cycles/s", "median": throughput,
+                               "best": throughput},
+                "work": {"cycles": wall * throughput},
+                "work_key": "cycles",
+            },
+        },
+        "experiments": {"fig09:frequency at 1 V": 960.0},
+    }
+
+
+def bench_doc_from_baseline(baseline: dict) -> dict:
+    """Synthesize a BENCH document that reproduces the baseline exactly."""
+    doc = {"schema": BENCH_SCHEMA, "manifest": {}, "benchmarks": {},
+           "experiments": {}}
+    for name, entry in baseline["metrics"].items():
+        if name.startswith("experiment:"):
+            doc["experiments"][name[len("experiment:"):]] = entry["value"]
+        elif name.startswith("bench:"):
+            bench_name, field = name[len("bench:"):].rsplit(":", 1)
+            slot = doc["benchmarks"].setdefault(
+                bench_name, {"wall_s": {}, "throughput": {}, "work": {}})
+            if field == "wall_s":
+                slot["wall_s"]["median"] = entry["value"]
+            else:
+                slot["throughput"]["median"] = entry["value"]
+    return doc
+
+
+class TestCompare:
+    def test_identical_doc_passes(self):
+        doc = make_bench_doc()
+        baseline = baseline_from_bench(doc)
+        deltas = compare(extract_metrics(doc), baseline)
+        assert deltas and not regressions(deltas)
+
+    def test_synthetic_20pct_slowdown_fails(self):
+        baseline = baseline_from_bench(make_bench_doc())
+        # tighten wall tolerance to the gate's regression-test band
+        for entry in baseline["metrics"].values():
+            entry["tolerance"] = 0.10
+        slow = make_bench_doc(wall=0.12, throughput=1000.0 / 1.2)
+        deltas = compare(extract_metrics(slow), baseline)
+        failing = {delta.name for delta in regressions(deltas)}
+        assert "bench:cpu.pipeline.dhrystone:wall_s" in failing
+        assert "bench:cpu.pipeline.dhrystone:throughput" in failing
+
+    def test_deterministic_anchor_drift_fails_both_directions(self):
+        baseline = baseline_from_bench(make_bench_doc())
+        for factor in (0.9, 1.1):
+            doc = make_bench_doc()
+            doc["experiments"]["fig09:frequency at 1 V"] = 960.0 * factor
+            deltas = compare(extract_metrics(doc), baseline)
+            failing = {delta.name for delta in regressions(deltas)}
+            assert "experiment:fig09:frequency at 1 V" in failing
+
+    def test_missing_metric_only_fails_strict(self):
+        baseline = baseline_from_bench(make_bench_doc())
+        doc = make_bench_doc()
+        del doc["experiments"]["fig09:frequency at 1 V"]
+        deltas = compare(extract_metrics(doc), baseline)
+        assert not regressions(deltas)
+        assert regressions(deltas, strict=True)
+
+    def test_improvement_is_not_a_regression(self):
+        baseline = baseline_from_bench(make_bench_doc())
+        fast = make_bench_doc(wall=0.01, throughput=10_000.0)
+        deltas = compare(extract_metrics(fast), baseline)
+        assert not regressions(deltas)
+        assert any(delta.status == "improved" for delta in deltas)
+
+
+class TestMarkdownTable:
+    def test_render_marks_regressions(self):
+        baseline = baseline_from_bench(make_bench_doc())
+        for entry in baseline["metrics"].values():
+            entry["tolerance"] = 0.05
+        slow = make_bench_doc(wall=0.2, throughput=500.0)
+        table = render_delta_table(compare(extract_metrics(slow), baseline))
+        assert table.startswith("| metric |")
+        assert "**REGRESSION**" in table
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_loads(self):
+        baseline = load_baseline(BASELINE_PATH)
+        assert baseline["metrics"]
+
+    def test_committed_baseline_passes_against_itself(self):
+        baseline = load_baseline(BASELINE_PATH)
+        doc = bench_doc_from_baseline(baseline)
+        deltas = compare(extract_metrics(doc), baseline)
+        assert deltas
+        assert not regressions(deltas, strict=True)
+
+    def test_committed_anchor_metrics_match_experiments(self):
+        """The deterministic paper anchors in the baseline must equal what
+        the experiments measure today (fig09 is specs-only and cheap)."""
+        from repro.experiments.runner import run_experiment
+        from repro.sim import use_session
+
+        baseline = load_baseline(BASELINE_PATH)
+        with use_session(cache_enabled=False):
+            result = run_experiment("fig09", use_cache=False)
+        for metric in result.metrics:
+            entry = baseline["metrics"].get(
+                f"experiment:fig09:{metric.name}")
+            assert entry is not None
+            assert metric.measured == pytest.approx(entry["value"],
+                                                    rel=1e-6)
+
+
+class TestCheckRegressionTool:
+    def test_exit_zero_on_pass(self, tmp_path, capsys):
+        tool = load_tool("check_regression")
+        doc = make_bench_doc()
+        baseline = baseline_from_bench(doc)
+        (tmp_path / "baseline.json").write_text(json.dumps(baseline))
+        (tmp_path / "BENCH_20260101-000000.json").write_text(
+            json.dumps(doc))
+        code = tool.main(["--bench-dir", str(tmp_path), "--baseline",
+                          str(tmp_path / "baseline.json")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "within tolerance" in out
+
+    def test_exit_one_on_synthetic_slowdown(self, tmp_path, capsys):
+        tool = load_tool("check_regression")
+        baseline = baseline_from_bench(make_bench_doc())
+        for entry in baseline["metrics"].values():
+            entry["tolerance"] = 0.10
+        slow = make_bench_doc(wall=0.12, throughput=1000.0 / 1.2)
+        (tmp_path / "baseline.json").write_text(json.dumps(baseline))
+        (tmp_path / "BENCH_20260101-000000.json").write_text(
+            json.dumps(slow))
+        code = tool.main(["--bench-dir", str(tmp_path), "--baseline",
+                          str(tmp_path / "baseline.json")])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_report_only_never_fails(self, tmp_path, capsys):
+        tool = load_tool("check_regression")
+        baseline = baseline_from_bench(make_bench_doc())
+        for entry in baseline["metrics"].values():
+            entry["tolerance"] = 0.01
+        slow = make_bench_doc(wall=0.5, throughput=100.0)
+        (tmp_path / "baseline.json").write_text(json.dumps(baseline))
+        (tmp_path / "BENCH_20260101-000000.json").write_text(
+            json.dumps(slow))
+        code = tool.main(["--bench-dir", str(tmp_path), "--baseline",
+                          str(tmp_path / "baseline.json"), "--report-only"])
+        assert code == 0
+        capsys.readouterr()
+
+    def test_exit_two_without_bench_file(self, tmp_path, capsys):
+        tool = load_tool("check_regression")
+        code = tool.main(["--bench-dir", str(tmp_path)])
+        assert code == 2
+        capsys.readouterr()
+
+    def test_exit_two_on_invalid_bench(self, tmp_path, capsys):
+        tool = load_tool("check_regression")
+        (tmp_path / "BENCH_20260101-000000.json").write_text("not json")
+        code = tool.main(["--bench-dir", str(tmp_path)])
+        assert code == 2
+        capsys.readouterr()
+
+    def test_write_baseline_roundtrip(self, tmp_path, capsys):
+        tool = load_tool("check_regression")
+        doc = make_bench_doc()
+        (tmp_path / "BENCH_20260101-000000.json").write_text(
+            json.dumps(doc))
+        target = tmp_path / "baseline.json"
+        code = tool.main(["--bench-dir", str(tmp_path), "--baseline",
+                          str(target), "--write-baseline"])
+        assert code == 0
+        written = load_baseline(target)
+        reference = baseline_from_bench(copy.deepcopy(doc))
+        assert written["metrics"] == reference["metrics"]
+        capsys.readouterr()

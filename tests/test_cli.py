@@ -135,3 +135,111 @@ class TestInfoAndExperiments:
         out = capsys.readouterr().out
         assert "Fig 13" in out
         assert "41.2" in out
+
+    def test_info_json(self, capsys):
+        import json
+
+        assert main(["info", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-info/1"
+        assert payload["specs"]["frequency_mhz_at_1v"] == pytest.approx(960)
+        manifest = payload["manifest"]
+        for key in ("config_hash", "git_sha", "python", "platform",
+                    "version", "seed"):
+            assert key in manifest
+
+
+class TestRunMetrics:
+    def test_metrics_out_is_valid_openmetrics(self, source_file, tmp_path,
+                                              capsys):
+        from repro.metrics import RunManifest, validate_openmetrics_file
+
+        out = tmp_path / "run.om"
+        assert main(["run", source_file, "--metrics-out", str(out)]) == 0
+        capsys.readouterr()
+        summary = validate_openmetrics_file(out)
+        names = [name for _, name, _, _ in summary["parsed"]]
+        assert "repro_cpu_pipeline_cycles_total" in names
+        manifest_keys = set(RunManifest.collect().labels())
+        for _, _, labels, _ in summary["parsed"]:
+            assert manifest_keys <= set(labels)
+
+    def test_metrics_cycles_match_summary(self, source_file, tmp_path,
+                                          capsys):
+        """Total attributed cycles in the metrics file equal the run's
+        reported ExecStats.cycles."""
+        import re
+
+        from repro.metrics import validate_openmetrics_file
+
+        out = tmp_path / "run.om"
+        assert main(["run", source_file, "--metrics-out", str(out)]) == 0
+        text = capsys.readouterr().out
+        reported = int(re.search(r"cycles=(\d+)", text).group(1))
+        summary = validate_openmetrics_file(out)
+        cycles = [value for _, name, _, value in summary["parsed"]
+                  if name == "repro_cpu_pipeline_cycles_total"]
+        assert cycles == [float(reported)]
+
+    def test_metrics_json_document(self, source_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "run.metrics.json"
+        assert main(["run", source_file, "--metrics-json", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-metrics/1"
+        assert payload["manifest"]["config_hash"]
+
+    def test_experiments_metrics_dir(self, tmp_path, capsys):
+        from repro.metrics import validate_openmetrics_file
+
+        metrics_dir = tmp_path / "metrics"
+        assert main(["experiments", "fig09", "--metrics-dir",
+                     str(metrics_dir)]) == 0
+        capsys.readouterr()
+        per_exp = metrics_dir / "fig09.metrics.json"
+        assert per_exp.exists()
+        aggregate = metrics_dir / "experiments.om"
+        summary = validate_openmetrics_file(aggregate)
+        names = {name for _, name, _, _ in summary["parsed"]}
+        assert "repro_experiment_wall_seconds" in names
+        labels = [labels for _, name, labels, _ in summary["parsed"]
+                  if name == "repro_experiment_wall_seconds"]
+        assert labels and labels[0]["experiment"] == "fig09"
+
+
+class TestBenchCli:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "cpu.pipeline.dhrystone" in out
+        assert "runner.experiment.warm" in out
+
+    def test_bench_quick_writes_bench_file(self, tmp_path, capsys):
+        import json
+
+        from repro.metrics import validate_bench_doc
+
+        assert main(["bench", "dma", "--quick", "--no-experiments",
+                     "--repeats", "1", "--out-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "dma.transfer" in out
+        bench_files = list(tmp_path.glob("BENCH_*.json"))
+        assert len(bench_files) == 1
+        doc = json.loads(bench_files[0].read_text())
+        assert validate_bench_doc(doc)["benchmarks"] == 1
+
+    def test_bench_json_no_write(self, tmp_path, capsys):
+        import json
+
+        assert main(["bench", "dma", "--quick", "--no-experiments",
+                     "--repeats", "1", "--no-write", "--json",
+                     "--out-dir", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-bench/1"
+        assert not list(tmp_path.glob("BENCH_*.json"))
+
+    def test_bench_unknown_pattern_fails(self, capsys):
+        assert main(["bench", "no-such-benchmark"]) == 1
+        assert "no benchmarks match" in capsys.readouterr().err

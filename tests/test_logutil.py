@@ -1,0 +1,67 @@
+"""Level resolution and handler behavior of the CLI logging layer."""
+
+import io
+import logging
+
+from repro.logutil import (
+    LOG_ENV_VAR,
+    configure_logging,
+    get_logger,
+    resolve_level,
+)
+
+
+class TestResolveLevel:
+    def test_default_is_warning(self):
+        assert resolve_level(environ={}) == logging.WARNING
+
+    def test_quiet_wins_over_everything(self):
+        assert resolve_level(verbosity=2, quiet=True,
+                             environ={LOG_ENV_VAR: "debug"}) == logging.ERROR
+
+    def test_verbosity_levels(self):
+        assert resolve_level(verbosity=1, environ={}) == logging.INFO
+        assert resolve_level(verbosity=2, environ={}) == logging.DEBUG
+        assert resolve_level(verbosity=5, environ={}) == logging.DEBUG
+
+    def test_env_var_sets_default(self):
+        assert resolve_level(environ={LOG_ENV_VAR: "debug"}) == logging.DEBUG
+        assert resolve_level(environ={LOG_ENV_VAR: "Info"}) == logging.INFO
+        assert resolve_level(environ={LOG_ENV_VAR: "bogus"}) == \
+            logging.WARNING
+
+    def test_verbosity_beats_env(self):
+        assert resolve_level(verbosity=1,
+                             environ={LOG_ENV_VAR: "error"}) == logging.INFO
+
+
+class TestConfigureLogging:
+    def test_messages_go_to_given_stream(self):
+        stream = io.StringIO()
+        configure_logging(verbosity=1, stream=stream)
+        get_logger("cli").info("trace written to %s", "x.json")
+        assert "repro: trace written to x.json" in stream.getvalue()
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        stream = io.StringIO()
+        configure_logging(verbosity=1, stream=stream)
+        configure_logging(verbosity=1, stream=stream)
+        get_logger().info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_quiet_suppresses_info_and_warning(self):
+        stream = io.StringIO()
+        configure_logging(quiet=True, stream=stream)
+        logger = get_logger("experiments")
+        logger.info("progress")
+        logger.warning("careful")
+        logger.error("boom")
+        assert stream.getvalue() == "repro: boom\n"
+
+    def test_child_loggers_share_the_handler(self):
+        stream = io.StringIO()
+        configure_logging(verbosity=1, stream=stream)
+        get_logger("cli").info("from cli")
+        get_logger("experiments").info("from runner")
+        text = stream.getvalue()
+        assert "from cli" in text and "from runner" in text

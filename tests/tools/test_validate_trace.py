@@ -1,0 +1,89 @@
+"""tools/validate_trace.py exit-code contract: 0 ok, 1 schema, 2 unreadable."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "validate_trace", REPO_ROOT / "tools" / "validate_trace.py")
+validate_trace = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(validate_trace)
+
+VALID_TRACE = {
+    "traceEvents": [
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+         "args": {"name": "cpu"}},
+        {"name": "cpu.run", "ph": "X", "ts": 0.0, "dur": 5.0,
+         "pid": 1, "tid": 1},
+    ],
+    "otherData": {"generator": "repro.trace"},
+}
+
+
+def write(tmp_path, name, payload) -> str:
+    path = tmp_path / name
+    text = payload if isinstance(payload, str) else json.dumps(payload)
+    path.write_text(text)
+    return str(path)
+
+
+def test_valid_trace_exits_zero(tmp_path, capsys):
+    path = write(tmp_path, "ok.trace.json", VALID_TRACE)
+    assert validate_trace.main([path]) == validate_trace.EXIT_OK
+    assert "ok" in capsys.readouterr().out
+
+
+def test_schema_violation_exits_one(tmp_path, capsys):
+    bad = {"traceEvents": [{"name": "x", "ph": "Z", "pid": 1, "tid": 1,
+                            "ts": 0.0}]}
+    path = write(tmp_path, "bad.trace.json", bad)
+    assert validate_trace.main([path]) == validate_trace.EXIT_SCHEMA
+    assert "INVALID" in capsys.readouterr().out
+
+
+def test_unparseable_json_exits_two(tmp_path, capsys):
+    path = write(tmp_path, "garbage.trace.json", "{not json")
+    assert validate_trace.main([path]) == validate_trace.EXIT_UNREADABLE
+    assert "UNREADABLE" in capsys.readouterr().out
+
+
+def test_missing_file_exits_two(tmp_path, capsys):
+    missing = str(tmp_path / "nope.trace.json")
+    assert validate_trace.main([missing]) == validate_trace.EXIT_UNREADABLE
+    capsys.readouterr()
+
+
+def test_no_arguments_exits_two(capsys):
+    assert validate_trace.main([]) == validate_trace.EXIT_UNREADABLE
+    assert "Usage" in capsys.readouterr().err
+
+
+def test_worst_exit_code_wins(tmp_path, capsys):
+    ok = write(tmp_path, "ok.trace.json", VALID_TRACE)
+    bad = write(tmp_path, "bad.trace.json",
+                {"traceEvents": [{"name": "x", "ph": "Z", "pid": 1,
+                                  "tid": 1, "ts": 0.0}]})
+    garbage = write(tmp_path, "garbage.trace.json", "{")
+    assert validate_trace.main([ok, bad]) == validate_trace.EXIT_SCHEMA
+    assert validate_trace.main([ok, bad, garbage]) == \
+        validate_trace.EXIT_UNREADABLE
+    capsys.readouterr()
+
+
+def test_real_exported_trace_passes(tmp_path, capsys):
+    from repro.cpu import PipelinedCPU
+    from repro.isa import assemble
+    from repro.sim import use_session
+    from repro.trace import chrome_trace, install_tracer, uninstall_tracer
+
+    program = assemble("addi a0, x0, 1\nhalt\n")
+    with use_session() as session:
+        tracer = install_tracer(session)
+        PipelinedCPU(program).run()
+        payload = chrome_trace(tracer)
+        uninstall_tracer(session)
+    path = write(tmp_path, "real.trace.json", payload)
+    assert validate_trace.main([path]) == validate_trace.EXIT_OK
+    capsys.readouterr()

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Regression gate: newest BENCH file vs the committed baseline.
+
+Usage::
+
+    python tools/check_regression.py                       # gate the newest
+    python tools/check_regression.py --bench BENCH_x.json  # gate one file
+    python tools/check_regression.py --report-only         # never fail
+
+Compares the newest ``BENCH_*.json`` (see ``repro bench``) against
+``benchmarks/baseline.json`` with per-metric relative tolerances and
+prints a markdown delta table.
+
+Exit codes:
+
+* 0 — no regressions (or ``--report-only``)
+* 1 — at least one gated metric regressed (``--strict`` also fails on
+  metrics missing from the BENCH file)
+* 2 — unusable input (no BENCH file, unreadable/invalid documents)
+
+Refresh the baseline after an intentional perf change with
+``--write-baseline`` (runs on a maintainer machine; wall-time metrics
+carry generous tolerances precisely because machines differ).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.metrics import (  # noqa: E402
+    baseline_from_bench,
+    compare,
+    extract_metrics,
+    latest_bench_file,
+    load_baseline,
+    regressions,
+    render_delta_table,
+    validate_bench_doc,
+)
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_UNUSABLE = 2
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" \
+    / "baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="check_regression",
+        description="gate BENCH trajectory files against the committed "
+                    "baseline")
+    parser.add_argument("--bench", metavar="PATH",
+                        help="BENCH file to gate (default: newest "
+                             "BENCH_*.json in --bench-dir)")
+    parser.add_argument("--bench-dir", default=".",
+                        help="directory searched for BENCH_*.json "
+                             "(default: cwd)")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        help="baseline document "
+                             "(default: benchmarks/baseline.json)")
+    parser.add_argument("--report-only", action="store_true",
+                        help="print the delta table but always exit 0")
+    parser.add_argument("--strict", action="store_true",
+                        help="also fail when a gated metric is missing "
+                             "from the BENCH file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="regenerate the baseline from the BENCH file "
+                             "instead of gating")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    bench_path = Path(args.bench) if args.bench \
+        else latest_bench_file(args.bench_dir)
+    if bench_path is None:
+        print(f"no BENCH_*.json found in {args.bench_dir!r} "
+              f"(run `repro bench` first)", file=sys.stderr)
+        return EXIT_UNUSABLE
+    try:
+        bench_doc = json.loads(Path(bench_path).read_text())
+        validate_bench_doc(bench_doc)
+    except (OSError, ValueError) as exc:
+        print(f"{bench_path}: unusable BENCH document — {exc}",
+              file=sys.stderr)
+        return EXIT_UNUSABLE
+
+    if args.write_baseline:
+        baseline = baseline_from_bench(bench_doc)
+        target = Path(args.baseline)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(baseline, indent=2, sort_keys=True)
+                          + "\n")
+        print(f"baseline: {len(baseline['metrics'])} metrics -> {target}")
+        return EXIT_OK
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"{args.baseline}: unusable baseline — {exc}",
+              file=sys.stderr)
+        return EXIT_UNUSABLE
+
+    deltas = compare(extract_metrics(bench_doc), baseline)
+    print(f"## Regression gate — {bench_path.name} vs "
+          f"{Path(args.baseline).name}\n")
+    print(render_delta_table(deltas))
+    failing = regressions(deltas, strict=args.strict)
+    if failing:
+        print(f"\n{len(failing)} gated metric(s) failing: "
+              f"{', '.join(delta.name for delta in failing)}")
+        return EXIT_OK if args.report_only else EXIT_REGRESSION
+    print(f"\nall {len(deltas)} gated metrics within tolerance")
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

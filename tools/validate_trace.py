@@ -5,36 +5,54 @@ Usage::
 
     python tools/validate_trace.py trace.json [more.trace.json ...]
 
-Exit code 0 when every file passes the exporter schema check, 1
-otherwise.  CI runs this against the traces produced by the smoke job.
+Exit codes (the worst across all files wins):
+
+* 0 — every file passes the exporter schema check
+* 1 — at least one file parses as JSON but violates the trace schema
+* 2 — at least one file is unreadable (missing, unreadable, not JSON),
+  or no files were given
+
+CI runs this against the traces produced by the smoke job.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.trace import validate_chrome_trace_file  # noqa: E402
+from repro.trace import validate_chrome_trace  # noqa: E402
+
+EXIT_OK = 0
+EXIT_SCHEMA = 1
+EXIT_UNREADABLE = 2
+
+
+def validate_one(name: str) -> int:
+    """Validate one file; prints a verdict line, returns its exit code."""
+    try:
+        with open(name) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        print(f"{name}: UNREADABLE — {exc}")
+        return EXIT_UNREADABLE
+    try:
+        summary = validate_chrome_trace(payload)
+    except ValueError as exc:
+        print(f"{name}: INVALID — {exc}")
+        return EXIT_SCHEMA
+    tracks = ", ".join(summary["tracks"])
+    print(f"{name}: ok — {summary['events']} events on [{tracks}]")
+    return EXIT_OK
 
 
 def main(argv: list) -> int:
     if not argv:
         print(__doc__.strip(), file=sys.stderr)
-        return 1
-    failures = 0
-    for name in argv:
-        try:
-            summary = validate_chrome_trace_file(name)
-        except (OSError, ValueError) as exc:
-            print(f"{name}: INVALID — {exc}")
-            failures += 1
-        else:
-            tracks = ", ".join(summary["tracks"])
-            print(f"{name}: ok — {summary['events']} events on "
-                  f"[{tracks}]")
-    return 1 if failures else 0
+        return EXIT_UNREADABLE
+    return max(validate_one(name) for name in argv)
 
 
 if __name__ == "__main__":
