@@ -1,12 +1,16 @@
-"""Quickstart: the three layers of the library in ~60 lines.
+"""Quickstart: the four layers of the library in ~80 lines.
 
 1. assemble and run RISC-V code on the cycle-accurate 5-stage pipeline,
 2. train a small binary neural network and run it on the accelerator model,
 3. put both on one reconfigurable NCPU core and switch modes with the
-   custom ``trans_bnn`` instruction.
+   custom ``trans_bnn`` instruction,
+4. classify a whole batch through the bit-packed fast engine and compare
+   host throughput against the accurate engine (identical predictions).
 
 Run:  python examples/quickstart.py
 """
+
+import time
 
 import numpy as np
 
@@ -64,3 +68,19 @@ predictions = core.run_bnn()
 core.switch_to_cpu()
 print(f"NCPU core: mode-switched and classified -> class {predictions[0]}, "
       f"total {core.clock} cycles, utilization {core.utilization():.1%}")
+
+# ---- 4. batched inference on the fast engine -----------------------------
+batch = np.where(rng.standard_normal((2000, 32)) > 0, 1, -1).astype(np.int8)
+results = {}
+for engine in ("accurate", "fast"):
+    start = time.perf_counter()
+    batch_predictions, timing = accelerator.infer_batch(
+        model, batch, engine=engine)
+    wall = time.perf_counter() - start
+    results[engine] = batch_predictions
+    print(f"engine={engine:<8s}: {len(batch) / wall:>10,.0f} inferences/s "
+          f"host throughput ({timing.cycles_per_inference:.0f} simulated "
+          f"cycles/inference either way)")
+assert np.array_equal(results["fast"], results["accurate"])
+print("fast and accurate engines agree bit-for-bit on all "
+      f"{len(batch)} predictions")

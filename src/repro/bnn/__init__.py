@@ -7,6 +7,17 @@ from repro.bnn.accelerator import (
     InferenceResult,
     LAYER_OVERHEAD_CYCLES,
 )
+from repro.bnn.batched import (
+    PackedLayer,
+    PackedModel,
+    batched_predict,
+    batched_scores,
+    pack_bits64,
+    pack_sign_rows,
+    packed_model,
+    popcount64,
+    predict_with_engine,
+)
 from repro.bnn.datasets import (
     Dataset,
     MotionDataset,
@@ -45,6 +56,15 @@ __all__ = [
     "synthetic_motion",
     "BNNLayer",
     "BNNModel",
+    "PackedLayer",
+    "PackedModel",
+    "batched_predict",
+    "batched_scores",
+    "pack_bits64",
+    "pack_sign_rows",
+    "packed_model",
+    "popcount64",
+    "predict_with_engine",
     "binarize_sign",
     "bits_to_sign",
     "pack_bits",

@@ -188,9 +188,21 @@ class BNNAccelerator:
         return result
 
     def infer_batch(self, model: BNNModel, x_signs: Sequence[np.ndarray],
-                    stream_weights: bool = True):
-        """Classify a batch; returns ``(predictions, BatchTiming)``."""
-        predictions = model.predict_batch(np.asarray(x_signs))
+                    stream_weights: bool = True,
+                    engine: Optional[str] = None):
+        """Classify a batch; returns ``(predictions, BatchTiming)``.
+
+        ``engine`` selects the functional kernel: ``"accurate"`` keeps the
+        int32-matmul path, ``"fast"`` runs the bit-packed batched
+        XNOR-popcount kernels (:mod:`repro.bnn.batched`); ``None`` follows
+        the session's ``SimConfig.engine``.  Both engines classify
+        identically, and the timing/probe accounting (``bnn.batch``,
+        cycle/MAC counters) is engine-independent — the fast path changes
+        how long the *simulation* takes, never what it reports.
+        """
+        from repro.bnn.batched import predict_with_engine
+
+        predictions = predict_with_engine(model, x_signs, engine=engine)
         timing = self.batch_timing(model, len(x_signs),
                                    stream_weights=stream_weights)
         return predictions, timing

@@ -4,8 +4,8 @@ Usage::
 
     python -m repro asm prog.s [-o prog.hex] [--base 0x0]
     python -m repro dis prog.hex [--base 0x0]
-    python -m repro run prog.s [--functional] [--regs] [--max-cycles N]
-    python -m repro experiments [PATTERN ...]
+    python -m repro run prog.s [--functional] [--engine {accurate,fast}]
+    python -m repro experiments [PATTERN ...] [--engine {accurate,fast}]
     python -m repro bench [PATTERN ...] [--quick]
     python -m repro info [--json]
 
@@ -57,12 +57,30 @@ def cmd_dis(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    import dataclasses
     import json
 
-    from repro.sim import get_session
+    from repro.sim import current_engine, get_session
+
+    session = get_session()
+    if args.engine and args.engine != session.config.engine:
+        # engine changes no architectural result, so swapping it on the
+        # live session keeps the stats registry and cache intact
+        session.config = dataclasses.replace(session.config,
+                                             engine=args.engine)
+    engine = current_engine(args.engine)
 
     program = assemble(_read_text(args.file), base=args.base)
-    cpu_class = FunctionalCPU if args.functional else PipelinedCPU
+    if engine == "fast":
+        # the fast engine is the instruction-accurate basic-block
+        # interpreter; cycle-accurate pipeline timing needs --engine accurate
+        from repro.cpu import FastCPU
+
+        cpu_class = FastCPU
+        step_based = True
+    else:
+        cpu_class = FunctionalCPU if args.functional else PipelinedCPU
+        step_based = args.functional
 
     tracer = None
     if args.trace or args.trace_jsonl or args.profile:
@@ -81,7 +99,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     cpu = cpu_class(program)
     try:
-        if args.functional:
+        if step_based:
             result = cpu.run(max_steps=args.max_cycles)
         else:
             result = cpu.run(max_cycles=args.max_cycles)
@@ -152,6 +170,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
+    import dataclasses
+    import os
+
     from repro.core.events import Timeline
     from repro.experiments.runner import (
         render_json,
@@ -159,11 +180,20 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         run_selected,
         select,
     )
-    from repro.sim import SimConfig, SimSession, set_session
+    from repro.sim import ENGINE_ENV_VAR, SimConfig, SimSession, set_session
     from repro.viz import render_timeline
 
-    if args.cache_dir:
-        set_session(SimSession(SimConfig(cache_dir=args.cache_dir)))
+    if args.cache_dir or args.engine:
+        base = SimConfig.from_env()
+        set_session(SimSession(dataclasses.replace(
+            base,
+            cache_dir=args.cache_dir or base.cache_dir,
+            engine=args.engine or base.engine,
+        )))
+    if args.engine:
+        # parallel workers (-j) are separate processes; the environment
+        # variable carries the engine choice across the fork/spawn
+        os.environ[ENGINE_ENV_VAR] = args.engine
     if args.patterns and not select(args.patterns):
         logger.error("no experiments match %r", " ".join(args.patterns))
         return 1
@@ -354,6 +384,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--base", type=_parse_base, default=0)
     run.add_argument("--functional", action="store_true",
                      help="use the functional ISS instead of the pipeline")
+    run.add_argument("--engine", choices=("accurate", "fast"),
+                     help="execution engine: 'accurate' (default) keeps the "
+                          "cycle-accurate pipeline / functional ISS, 'fast' "
+                          "runs the basic-block fast interpreter (identical "
+                          "architectural results, single-cycle timing); "
+                          "REPRO_ENGINE sets the default")
     run.add_argument("--regs", action="store_true",
                      help="dump the register file after the run")
     run.add_argument("--stats-json", action="store_true",
@@ -400,6 +436,9 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--metrics-dir", metavar="DIR",
                      help="write per-experiment metrics JSON plus an "
                           "aggregate OpenMetrics file into DIR")
+    exp.add_argument("--engine", choices=("accurate", "fast"),
+                     help="execution engine for the session (fast swaps in "
+                          "the batched BNN kernels; results are identical)")
     exp.set_defaults(func=cmd_experiments)
 
     benchp = sub.add_parser("bench",

@@ -183,7 +183,11 @@ class NCPUCore:
             n_inputs = self.env.transition_neurons[TN_BATCH] or 1
 
         x_signs = self._read_packed_inputs(n_inputs, input_bits)
-        predictions = model.predict_batch(x_signs)
+        # engine-aware: the session's fast engine swaps in the bit-packed
+        # batched kernels; predictions are identical either way
+        from repro.bnn.batched import predict_with_engine
+
+        predictions = predict_with_engine(model, x_signs)
         timing = self.accelerator.batch_timing(
             model, n_inputs,
             stream_weights=self.policy.hides_weight_stream()

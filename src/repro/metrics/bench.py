@@ -144,6 +144,32 @@ def _bench_hotspot(quick: bool) -> Dict[str, float]:
             "instructions": result.stats.instructions}
 
 
+@bench("cpu.functional.dhrystone", work_key="instructions", unit="instr/s",
+       help="functional-ISS simulation speed on the Dhrystone kernel "
+            "(scalar baseline for the fast-path engine)")
+def _bench_functional_dhrystone(quick: bool) -> Dict[str, float]:
+    from repro.cpu import FunctionalCPU
+    from repro.workloads.dhrystone import dhrystone_asm
+
+    program = _assemble(dhrystone_asm(iterations=5 if quick else 40))
+    result = FunctionalCPU(program).run()
+    return {"cycles": result.stats.cycles,
+            "instructions": result.stats.instructions}
+
+
+@bench("cpu.fastpath.dhrystone", work_key="instructions", unit="instr/s",
+       help="fast-path (basic-block) interpreter speed on the Dhrystone "
+            "kernel, block compilation included (--engine fast)")
+def _bench_fastpath_dhrystone(quick: bool) -> Dict[str, float]:
+    from repro.cpu import FastCPU
+    from repro.workloads.dhrystone import dhrystone_asm
+
+    program = _assemble(dhrystone_asm(iterations=5 if quick else 40))
+    result = FastCPU(program).run()
+    return {"cycles": result.stats.cycles,
+            "instructions": result.stats.instructions}
+
+
 @bench("bnn.accelerator.infer", work_key="inferences", unit="inferences/s",
        help="BNN accelerator functional+timing inference throughput")
 def _bench_bnn_infer(quick: bool) -> Dict[str, float]:
@@ -161,6 +187,32 @@ def _bench_bnn_infer(quick: bool) -> Dict[str, float]:
     for row in inputs:
         cycles += accelerator.infer(model, row).cycles
     return {"inferences": n, "simulated_cycles": cycles}
+
+
+#: model reused across repeats so the batched bench measures steady-state
+#: throughput (weights bit-packed once, like a deployed classifier)
+_BATCHED_MODEL = None
+
+
+@bench("bnn.batched.infer", work_key="inferences", unit="inferences/s",
+       help="batched bit-packed XNOR-popcount inference throughput "
+            "(--engine fast), timing accounting included")
+def _bench_bnn_batched(quick: bool) -> Dict[str, float]:
+    import numpy as np
+
+    from repro.bnn import BNNAccelerator, BNNModel
+
+    global _BATCHED_MODEL
+    if _BATCHED_MODEL is None:
+        _BATCHED_MODEL = BNNModel.random([100, 100, 100, 10],
+                                         np.random.default_rng(0))
+    rng = np.random.default_rng(1)
+    accelerator = BNNAccelerator()
+    n = 200 if quick else 2000
+    inputs = np.sign(rng.standard_normal((n, 100))).astype(np.int8)
+    inputs[inputs == 0] = 1
+    _, timing = accelerator.infer_batch(_BATCHED_MODEL, inputs, engine="fast")
+    return {"inferences": n, "simulated_cycles": timing.total_cycles}
 
 
 @bench("dma.transfer", work_key="words", unit="words/s",

@@ -14,6 +14,8 @@ from repro.sim.cache import ArtifactCache
 from repro.sim.config import (
     CACHE_ENV_VAR,
     DEFAULT_CACHE_DIR,
+    ENGINE_ENV_VAR,
+    ENGINES,
     NO_CACHE_ENV_VAR,
     SimConfig,
     config_hash,
@@ -28,6 +30,7 @@ from repro.sim.instrument import (
 )
 from repro.sim.session import (
     SimSession,
+    current_engine,
     get_session,
     reset_session,
     set_session,
@@ -38,6 +41,8 @@ __all__ = [
     "ALL_EVENTS",
     "ArtifactCache",
     "CACHE_ENV_VAR",
+    "ENGINE_ENV_VAR",
+    "ENGINES",
     "PROBE_ERROR_COUNTER",
     "STRICT_PROBES_ENV_VAR",
     "DEFAULT_CACHE_DIR",
@@ -47,6 +52,7 @@ __all__ = [
     "StatsRegistry",
     "StatsScope",
     "config_hash",
+    "current_engine",
     "get_session",
     "reset_session",
     "set_session",

@@ -16,14 +16,23 @@ import os
 from pathlib import Path
 from typing import Any, Mapping, Tuple
 
+from repro.errors import ConfigurationError
+
 #: environment variable overriding the artifact-cache root directory
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
 
 #: environment variable disabling the on-disk cache entirely (set to "1")
 NO_CACHE_ENV_VAR = "REPRO_NO_CACHE"
 
+#: environment variable selecting the default execution engine
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
 #: default artifact-cache root (expanded lazily)
 DEFAULT_CACHE_DIR = "~/.cache/repro"
+
+#: supported execution engines: ``accurate`` keeps the scalar/cycle paths,
+#: ``fast`` selects the batched BNN kernels and the fast-path interpreter
+ENGINES = ("accurate", "fast")
 
 
 def _canonical(value: Any) -> Any:
@@ -75,20 +84,32 @@ class SimConfig:
     ``seed`` and ``params`` identify the simulated configuration and feed
     the deterministic :attr:`hash`; ``cache_dir``/``cache_enabled`` only
     say where artifacts are stored and are deliberately excluded from it.
+    ``engine`` picks between the scalar/cycle-accurate execution paths
+    (``accurate``) and the batched/fast-path ones (``fast``); both produce
+    identical architectural results (the equivalence suites pin this), so
+    the engine is excluded from the hash too.
     """
 
     cache_dir: str = DEFAULT_CACHE_DIR
     cache_enabled: bool = True
     seed: int = 0
     params: Tuple[Tuple[str, Any], ...] = ()
+    engine: str = "accurate"
+
+    def __post_init__(self):
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}")
 
     @classmethod
     def from_env(cls, environ: Mapping[str, str] | None = None) -> "SimConfig":
-        """Build a config from ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``."""
+        """Build a config from ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` /
+        ``REPRO_ENGINE``."""
         env = os.environ if environ is None else environ
         disabled = env.get(NO_CACHE_ENV_VAR, "").lower() not in ("", "0", "false")
         return cls(cache_dir=env.get(CACHE_ENV_VAR, DEFAULT_CACHE_DIR),
-                   cache_enabled=not disabled)
+                   cache_enabled=not disabled,
+                   engine=env.get(ENGINE_ENV_VAR, "accurate"))
 
     def with_params(self, **params: Any) -> "SimConfig":
         """A copy with extra named parameters folded into the hash."""

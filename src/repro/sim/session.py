@@ -69,6 +69,23 @@ def reset_session() -> None:
     set_session(None)
 
 
+def current_engine(override: Optional[str] = None) -> str:
+    """Resolve the active execution engine.
+
+    ``override`` wins when given; otherwise the current session's
+    ``SimConfig.engine`` applies.  Raises
+    :class:`~repro.errors.ConfigurationError` on unknown names.
+    """
+    from repro.errors import ConfigurationError
+    from repro.sim.config import ENGINES
+
+    engine = override if override is not None else get_session().config.engine
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; choose from {ENGINES}")
+    return engine
+
+
 @contextmanager
 def use_session(session: Optional[SimSession] = None, **config_kwargs: Any):
     """Temporarily install a session (built from ``config_kwargs`` if not

@@ -1,0 +1,187 @@
+"""Differential equivalence: batched bit-packed BNN kernels vs. scalar path.
+
+The ``--engine fast`` contract is *bit-identical logits*, not approximate
+agreement: for every topology and batch, :func:`repro.bnn.batched.
+batched_scores` must equal the int32 matmul scores of the scalar path
+exactly, and the probe/timing accounting must not depend on the engine.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bnn import BNNAccelerator, BNNModel
+from repro.bnn.batched import (
+    PackedModel,
+    batched_predict,
+    batched_scores,
+    pack_bits64,
+    packed_model,
+    popcount64,
+    predict_with_engine,
+)
+from repro.errors import ConfigurationError
+from repro.sim import use_session
+
+
+def _random_inputs(rng, batch, n):
+    x = np.sign(rng.standard_normal((batch, n))).astype(np.int8)
+    x[x == 0] = 1
+    return x
+
+
+def _scalar_scores(model, x):
+    return np.stack([model.scores(row) for row in x])
+
+
+class TestPackedPrimitives:
+    def test_popcount64_matches_python_bin(self):
+        rng = np.random.default_rng(0)
+        words = rng.integers(0, 2**64, size=100, dtype=np.uint64)
+        expected = [bin(int(w)).count("1") for w in words]
+        assert popcount64(words).tolist() == expected
+
+    def test_popcount64_extremes(self):
+        words = np.array([0, 1, 2**63, 2**64 - 1], dtype=np.uint64)
+        assert popcount64(words).tolist() == [0, 1, 1, 64]
+
+    def test_pack_bits64_little_endian_layout(self):
+        bits = np.zeros(70, dtype=np.uint8)
+        bits[0] = 1   # bit 0 of word 0
+        bits[65] = 1  # bit 1 of word 1
+        packed = pack_bits64(bits)
+        assert packed.shape == (2,)
+        assert packed[0] == 1 and packed[1] == 2
+
+    def test_pack_bits64_pads_with_zeros(self):
+        packed = pack_bits64(np.ones(3, dtype=np.uint8))
+        assert packed.shape == (1,) and packed[0] == 0b111
+
+
+class TestBitIdenticalScores:
+    @pytest.mark.parametrize("topology", [
+        [100, 100, 100, 10],   # the chip's canonical network
+        [784, 100, 100, 10],   # MNIST-sized input
+        [64, 64, 4],           # exact word multiples
+        [65, 64, 3],           # one bit past a word boundary
+        [33, 7, 5],            # nothing aligns
+        [1, 1, 1],             # degenerate
+        [130, 2],              # single layer, multi-word
+    ])
+    def test_scores_bit_identical(self, topology):
+        rng = np.random.default_rng(42)
+        model = BNNModel.random(topology, rng)
+        x = _random_inputs(rng, 23, topology[0])
+        batched = batched_scores(model, x)
+        assert batched.dtype == np.int32
+        assert np.array_equal(batched, _scalar_scores(model, x))
+
+    def test_predictions_match_predict_batch(self):
+        rng = np.random.default_rng(7)
+        model = BNNModel.random([100, 100, 100, 10], rng)
+        x = _random_inputs(rng, 50, 100)
+        assert np.array_equal(batched_predict(model, x),
+                              model.predict_batch(x))
+
+    def test_single_row_input_promoted(self):
+        rng = np.random.default_rng(3)
+        model = BNNModel.random([40, 10], rng)
+        row = _random_inputs(rng, 1, 40)[0]
+        assert np.array_equal(batched_scores(model, row)[0],
+                              model.scores(row))
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_random_topologies_bit_identical(self, data):
+        sizes = data.draw(st.lists(st.integers(1, 130), min_size=2,
+                                   max_size=5))
+        batch = data.draw(st.integers(1, 8))
+        seed = data.draw(st.integers(0, 2**16))
+        rng = np.random.default_rng(seed)
+        model = BNNModel.random(sizes, rng)
+        x = _random_inputs(rng, batch, sizes[0])
+        assert np.array_equal(batched_scores(model, x),
+                              _scalar_scores(model, x))
+
+
+class TestPackedModelCache:
+    def test_lowering_is_cached_per_model(self):
+        model = BNNModel.random([30, 10], np.random.default_rng(0))
+        assert packed_model(model) is packed_model(model)
+
+    def test_distinct_models_get_distinct_lowerings(self):
+        m1 = BNNModel.random([30, 10], np.random.default_rng(0))
+        m2 = BNNModel.random([30, 10], np.random.default_rng(0))
+        assert packed_model(m1) is not packed_model(m2)
+
+    def test_packed_model_requires_layers(self):
+        with pytest.raises(ConfigurationError):
+            PackedModel([])
+
+
+class TestInputValidation:
+    def test_wrong_input_size_rejected(self):
+        model = BNNModel.random([30, 10], np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            batched_scores(model, np.ones((4, 29), dtype=np.int8))
+
+    def test_non_sign_values_rejected(self):
+        model = BNNModel.random([30, 10], np.random.default_rng(0))
+        bad = np.ones((2, 30), dtype=np.int8)
+        bad[0, 0] = 0
+        with pytest.raises(ConfigurationError):
+            batched_scores(model, bad)
+
+
+class TestEngineSelection:
+    def test_engines_agree(self):
+        rng = np.random.default_rng(11)
+        model = BNNModel.random([100, 100, 10], rng)
+        x = _random_inputs(rng, 16, 100)
+        assert np.array_equal(
+            predict_with_engine(model, x, engine="fast"),
+            predict_with_engine(model, x, engine="accurate"))
+
+    def test_default_engine_follows_session(self):
+        rng = np.random.default_rng(11)
+        model = BNNModel.random([50, 10], rng)
+        x = _random_inputs(rng, 4, 50)
+        with use_session(cache_enabled=False, engine="fast"):
+            fast = predict_with_engine(model, x)
+        with use_session(cache_enabled=False, engine="accurate"):
+            accurate = predict_with_engine(model, x)
+        assert np.array_equal(fast, accurate)
+
+    def test_unknown_engine_rejected(self):
+        model = BNNModel.random([50, 10], np.random.default_rng(0))
+        x = _random_inputs(np.random.default_rng(1), 2, 50)
+        with pytest.raises(ConfigurationError):
+            predict_with_engine(model, x, engine="warp")
+
+
+class TestAcceleratorAccounting:
+    """Probe events and cycle/MAC accounting must be engine-independent."""
+
+    def _run(self, engine):
+        rng = np.random.default_rng(5)
+        model = BNNModel.random([100, 100, 10], rng)
+        x = _random_inputs(rng, 12, 100)
+        with use_session(cache_enabled=False) as session:
+            events = []
+            session.stats.subscribe(
+                "*", lambda name, payload: events.append((name, payload)))
+            predictions, timing = BNNAccelerator().infer_batch(
+                model, x, engine=engine)
+            counters = session.stats.counters("bnn.")
+        return predictions, timing, events, counters
+
+    def test_identical_predictions_timing_probes_counters(self):
+        fast = self._run("fast")
+        accurate = self._run("accurate")
+        assert np.array_equal(fast[0], accurate[0])
+        assert fast[1] == accurate[1]
+        assert fast[2] == accurate[2]
+        assert fast[3] == accurate[3]
+        names = [name for name, _ in fast[2]]
+        assert "bnn.batch" in names

@@ -73,6 +73,53 @@ class TestRun:
         assert main(["run", str(path), "--max-cycles", "100"]) == 1
 
 
+class TestRunEngine:
+    def test_fast_engine_matches_functional_output(self, source_file, capsys):
+        assert main(["run", source_file, "--engine", "fast", "--regs"]) == 0
+        fast_out = capsys.readouterr().out
+        assert main(["run", source_file, "--functional", "--regs"]) == 0
+        accurate_out = capsys.readouterr().out
+        assert "instructions=4" in fast_out
+        assert fast_out == accurate_out  # identical regs, cycles, stop line
+
+    def test_accurate_engine_keeps_pipeline(self, source_file, capsys):
+        assert main(["run", source_file, "--engine", "accurate"]) == 0
+        out = capsys.readouterr().out
+        # the 5-stage pipeline pays fill latency, so cycles > instructions
+        assert "stop: halt" in out and "instructions=4" in out
+        assert "cycles=4 " not in out
+
+    def test_engine_env_var_sets_default(self, source_file, capsys,
+                                         monkeypatch):
+        from repro.sim import reset_session
+
+        monkeypatch.setenv("REPRO_ENGINE", "fast")
+        reset_session()
+        try:
+            assert main(["run", source_file]) == 0
+            assert "cycles=4 " in capsys.readouterr().out
+        finally:
+            reset_session()
+
+    def test_unknown_engine_rejected_by_parser(self, source_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", source_file, "--engine", "warp"])
+
+    def test_experiments_accept_engine_flag(self, capsys, monkeypatch):
+        import os
+
+        from repro.sim import reset_session
+
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        try:
+            assert main(["experiments", "--engine", "fast", "fig07"]) == 0
+            assert os.environ.get("REPRO_ENGINE") == "fast"
+            assert "Fig 7" in capsys.readouterr().out
+        finally:
+            os.environ.pop("REPRO_ENGINE", None)
+            reset_session()
+
+
 class TestRunStatsJson:
     def test_stdout_is_one_json_document(self, source_file, capsys):
         import json

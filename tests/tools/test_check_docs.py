@@ -1,0 +1,131 @@
+"""Tests for tools/check_docs.py (documentation lint)."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRealRepo:
+    def test_repo_docs_pass(self, check_docs, capsys):
+        assert check_docs.main([]) == 0
+        assert "docs ok" in capsys.readouterr().out
+
+    def test_probe_table_in_sync(self, check_docs):
+        assert check_docs.check_probe_table() == []
+
+    def test_every_markdown_file_discovered(self, check_docs):
+        names = {path.name for path in check_docs.markdown_files()}
+        assert {"README.md", "ARCHITECTURE.md", "PERFORMANCE.md"} <= names
+
+
+class TestLinkCheck:
+    def test_broken_relative_link_reported(self, check_docs, tmp_path,
+                                           monkeypatch):
+        doc = tmp_path / "doc.md"
+        doc.write_text("see [missing](no/such/file.md) here\n")
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        problems = check_docs.check_links([doc])
+        assert len(problems) == 1
+        assert "doc.md:1" in problems[0] and "no/such/file.md" in problems[0]
+
+    def test_urls_anchors_and_good_links_pass(self, check_docs, tmp_path,
+                                              monkeypatch):
+        (tmp_path / "other.md").write_text("x\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[a](https://example.com) [b](#section) "
+            "[c](other.md) [d](other.md#part) [e](mailto:x@y.z)\n")
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        assert check_docs.check_links([doc]) == []
+
+
+class TestCommandExtraction:
+    def test_prompt_prefix_and_operators(self, check_docs):
+        argv = check_docs.extract_repro_argv(
+            "$ repro bench --quick | tee log.txt")
+        assert argv == [["bench", "--quick"]]
+
+    def test_python_dash_m_form_with_env_prefix(self, check_docs):
+        argv = check_docs.extract_repro_argv(
+            "PYTHONPATH=src python -m repro run prog.s --engine fast")
+        assert argv == [["run", "prog.s", "--engine", "fast"]]
+
+    def test_plain_words_and_comments_ignored(self, check_docs):
+        assert check_docs.extract_repro_argv("# repro is great") == []
+        assert check_docs.extract_repro_argv("cat repro.log") == []
+
+    def test_continuation_lines_joined(self, check_docs):
+        merged = check_docs.join_continuations(
+            ["repro bench \\", "  --quick"])
+        assert merged == [(0, "repro bench --quick")]
+
+    def test_only_shell_fences_scanned(self, check_docs):
+        text = ("```python\nrepro = 1\n```\n"
+                "```bash\nrepro info\n```\n")
+        blocks = check_docs.shell_blocks(text)
+        assert len(blocks) == 1
+        assert blocks[0][1] == ["repro info"]
+
+
+class TestCliExampleCheck:
+    def _run(self, check_docs, tmp_path, monkeypatch, command):
+        readme = tmp_path / "README.md"
+        readme.write_text(f"```bash\n{command}\n```\n")
+        monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+        return check_docs.check_cli_examples([readme])
+
+    def test_valid_command_passes(self, check_docs, tmp_path, monkeypatch):
+        assert self._run(check_docs, tmp_path, monkeypatch,
+                         "repro run prog.s --engine fast") == []
+
+    def test_unknown_flag_reported(self, check_docs, tmp_path, monkeypatch):
+        problems = self._run(check_docs, tmp_path, monkeypatch,
+                             "repro run prog.s --no-such-flag")
+        assert len(problems) == 1
+        assert "--no-such-flag" in problems[0]
+
+    def test_unknown_subcommand_reported(self, check_docs, tmp_path,
+                                         monkeypatch):
+        problems = self._run(check_docs, tmp_path, monkeypatch,
+                             "repro frobnicate")
+        assert len(problems) == 1
+
+
+class TestProbeTableCheck:
+    def test_stale_table_reported(self, check_docs, tmp_path, monkeypatch):
+        stale = tmp_path / "ARCHITECTURE.md"
+        stale.write_text(
+            "### Probe event vocabulary\n\n"
+            "| event | emitted by | payload |\n"
+            "| --- | --- | --- |\n"
+            "| `cpu.run` | `cpu/functional.py` | stats |\n"
+            "| `ghost.event` | nowhere | - |\n")
+        monkeypatch.setattr(check_docs, "ARCHITECTURE", stale)
+        problems = check_docs.check_probe_table()
+        assert any("ghost.event" in p and "no longer emitted" in p
+                   for p in problems)
+        assert any("missing from" in p for p in problems)  # bnn.batch etc.
+
+    def test_missing_table_reported(self, check_docs, tmp_path, monkeypatch):
+        empty = tmp_path / "ARCHITECTURE.md"
+        empty.write_text("no table here\n")
+        monkeypatch.setattr(check_docs, "ARCHITECTURE", empty)
+        problems = check_docs.check_probe_table()
+        assert problems and "table not found" in problems[0]
+
+    def test_emitted_names_include_known_events(self, check_docs):
+        emitted = check_docs.emitted_probe_names()
+        for name in ("cpu.run", "bnn.infer", "bnn.batch", "dma.transfer"):
+            assert name in emitted

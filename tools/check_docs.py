@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Documentation lint: links resolve, CLI examples parse, probe table synced.
+
+Three checks, each cheap enough for every CI run:
+
+1. **Relative links** — every ``[text](target)`` in a tracked markdown file
+   whose target is not an external URL or a pure anchor must point at an
+   existing file or directory (anchors and query strings are stripped).
+2. **CLI examples** — every ``repro ...`` / ``python -m repro ...`` command
+   inside a fenced ```bash/```console block of README.md and docs/*.md is
+   parsed against the *real* argparse tree (``repro.cli.build_parser``), so
+   documented flags can never drift from the implementation.
+3. **Probe vocabulary** — the probe event table in docs/ARCHITECTURE.md
+   must list exactly the literal ``*.emit("name", ...)`` sites under src/
+   (same contract as tests/test_probe_vocabulary.py, enforced at docs-lint
+   time too so a docs-only change cannot merge a stale table).
+
+Exit status: 0 when everything passes, 1 with a per-finding report
+otherwise.  Run from anywhere: paths resolve relative to the repo root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import contextlib
+import io
+import re
+import shlex
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+ARCHITECTURE = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+
+#: markdown files whose fenced shell blocks must contain valid repro CLI
+#: invocations (the link check covers every markdown file)
+CLI_CHECKED = ("README.md", "docs")
+
+#: directories never scanned for markdown
+SKIP_DIRS = {".git", ".claude", "__pycache__", ".hypothesis",
+             ".pytest_cache", "node_modules"}
+
+#: fence info strings whose blocks hold shell commands
+SHELL_FENCES = {"bash", "console", "sh", "shell"}
+
+#: tokens that end one shell command inside a line
+SHELL_OPERATORS = {"|", "||", "&&", ";", ">", ">>", "<", "2>", "2>>", "&"}
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE_RE = re.compile(r"^```\s*(\S*)\s*$")
+
+
+def markdown_files() -> List[Path]:
+    files = []
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        if not SKIP_DIRS.intersection(part for part in path.parts):
+            files.append(path)
+    return files
+
+
+# -- check 1: relative links ---------------------------------------------
+def check_links(files: List[Path]) -> List[str]:
+    problems = []
+    for path in files:
+        for number, line in enumerate(path.read_text().splitlines(), 1):
+            for target in _LINK_RE.findall(line):
+                if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                    continue
+                if target.startswith("#"):  # in-page anchor
+                    continue
+                plain = target.split("#", 1)[0].split("?", 1)[0]
+                if not plain:
+                    continue
+                resolved = (path.parent / plain).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{path.relative_to(REPO_ROOT)}:{number}: broken "
+                        f"link -> {target}")
+    return problems
+
+
+# -- check 2: fenced repro commands parse --------------------------------
+def shell_blocks(text: str) -> List[Tuple[int, List[str]]]:
+    """``(first line number, lines)`` of each bash/console fenced block."""
+    blocks = []
+    lines = text.splitlines()
+    index = 0
+    while index < len(lines):
+        match = _FENCE_RE.match(lines[index])
+        if match and match.group(1).lower() in SHELL_FENCES:
+            start = index + 1
+            body = []
+            index += 1
+            while index < len(lines) and not lines[index].startswith("```"):
+                body.append(lines[index])
+                index += 1
+            blocks.append((start + 1, body))
+        index += 1
+    return blocks
+
+
+def join_continuations(body: List[str]) -> List[Tuple[int, str]]:
+    """Merge backslash-continued lines; keep the first line's number."""
+    merged: List[Tuple[int, str]] = []
+    pending: str = ""
+    pending_line = 0
+    for offset, raw in enumerate(body):
+        line = raw.rstrip()
+        if not pending:
+            pending_line = offset
+        pending = (pending + " " + line.lstrip()) if pending else line
+        if pending.endswith("\\"):
+            pending = pending[:-1].rstrip()
+            continue
+        merged.append((pending_line, pending))
+        pending = ""
+    if pending:
+        merged.append((pending_line, pending))
+    return merged
+
+
+def extract_repro_argv(command: str) -> List[List[str]]:
+    """The argv lists of every repro CLI invocation inside one shell line."""
+    command = command.strip()
+    if command.startswith("$"):
+        command = command[1:].strip()
+    if not command or command.startswith("#"):
+        return []
+    try:
+        tokens = shlex.split(command, comments=True, posix=True)
+    except ValueError:
+        return []
+    invocations = []
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        is_cli = token == "repro"
+        if token == "repro" and index >= 2 and tokens[index - 1] == "-m":
+            is_cli = True  # python -m repro
+        elif token == "repro" and index > 0 \
+                and tokens[index - 1] not in SHELL_OPERATORS \
+                and not re.match(r"^\w+=", tokens[index - 1]) \
+                and index != 0:
+            # "repro" as a plain word mid-sentence (e.g. a path argument)
+            is_cli = tokens[index - 1] in ("-m",)
+        if is_cli:
+            argv = []
+            index += 1
+            while index < len(tokens) and tokens[index] not in SHELL_OPERATORS:
+                argv.append(tokens[index])
+                index += 1
+            invocations.append(argv)
+        else:
+            index += 1
+    return invocations
+
+
+def check_cli_examples(files: List[Path]) -> List[str]:
+    sys.path.insert(0, str(SRC))
+    try:
+        from repro.cli import build_parser
+    finally:
+        sys.path.pop(0)
+    problems = []
+    for path in files:
+        relative = path.relative_to(REPO_ROOT)
+        if not (path.name == "README.md" and path.parent == REPO_ROOT
+                or relative.parts[0] in CLI_CHECKED):
+            continue
+        for start, body in shell_blocks(path.read_text()):
+            for offset, command in join_continuations(body):
+                for argv in extract_repro_argv(command):
+                    parser = build_parser()
+                    sink = io.StringIO()
+                    try:
+                        with contextlib.redirect_stderr(sink):
+                            parser.parse_args(argv)
+                    except SystemExit as exc:
+                        if exc.code not in (0, None):
+                            where = f"{relative}:{start + offset}"
+                            reason = sink.getvalue().strip().splitlines()
+                            problems.append(
+                                f"{where}: `repro {' '.join(argv)}` does "
+                                f"not parse ({reason[-1] if reason else exc})")
+    return problems
+
+
+# -- check 3: probe vocabulary table -------------------------------------
+def emitted_probe_names() -> Dict[str, List[str]]:
+    """``{event name: [file:line, ...]}`` for literal emit sites in src/."""
+    sites: Dict[str, List[str]] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value,
+                                                              str):
+                where = f"{path.relative_to(REPO_ROOT)}:{node.lineno}"
+                sites.setdefault(first.value, []).append(where)
+    return sites
+
+
+def documented_probe_names() -> Set[str]:
+    text = ARCHITECTURE.read_text()
+    anchor = "### Probe event vocabulary"
+    if anchor not in text:
+        return set()
+    names = set()
+    for line in text.split(anchor, 1)[1].splitlines():
+        match = re.match(r"\|\s*`([a-z0-9_.]+)`\s*\|", line)
+        if match:
+            names.add(match.group(1))
+        elif names and not line.strip().startswith("|"):
+            break
+    return names
+
+
+def check_probe_table() -> List[str]:
+    problems = []
+    emitted = emitted_probe_names()
+    documented = documented_probe_names()
+    if not documented:
+        return [f"{ARCHITECTURE.name}: probe vocabulary table not found"]
+    for name in sorted(set(emitted) - documented):
+        problems.append(
+            f"probe `{name}` emitted at {', '.join(emitted[name])} but "
+            "missing from the docs/ARCHITECTURE.md vocabulary table")
+    for name in sorted(documented - set(emitted)):
+        problems.append(
+            f"probe `{name}` documented in docs/ARCHITECTURE.md but no "
+            "longer emitted anywhere under src/")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_docs",
+        description="lint markdown links, CLI examples, and the probe table")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only failures")
+    args = parser.parse_args(argv)
+
+    files = markdown_files()
+    problems = check_links(files)
+    problems += check_cli_examples(files)
+    problems += check_probe_table()
+    if problems:
+        for problem in problems:
+            print(f"FAIL {problem}")
+        print(f"{len(problems)} documentation problem(s)")
+        return 1
+    if not args.quiet:
+        print(f"docs ok: {len(files)} markdown files, links + CLI examples "
+              "+ probe table all consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
