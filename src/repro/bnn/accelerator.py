@@ -192,17 +192,18 @@ class BNNAccelerator:
                     engine: Optional[str] = None):
         """Classify a batch; returns ``(predictions, BatchTiming)``.
 
-        ``engine`` selects the functional kernel: ``"accurate"`` keeps the
-        int32-matmul path, ``"fast"`` runs the bit-packed batched
-        XNOR-popcount kernels (:mod:`repro.bnn.batched`); ``None`` follows
-        the session's ``SimConfig.engine``.  Both engines classify
+        ``engine`` selects the functional kernel through the
+        :mod:`repro.engine` registry — any registered name (``accurate``,
+        ``fast``, ``parallel``, ...) or engine object; ``None`` follows
+        the session's ``SimConfig.engine``.  Every engine classifies
         identically, and the timing/probe accounting (``bnn.batch``,
-        cycle/MAC counters) is engine-independent — the fast path changes
-        how long the *simulation* takes, never what it reports.
+        cycle/MAC counters) is engine-independent — the fast engines
+        change how long the *simulation* takes, never what it reports.
         """
-        from repro.bnn.batched import predict_with_engine
+        from repro.engine import resolve_engine
 
-        predictions = predict_with_engine(model, x_signs, engine=engine)
+        predictions = resolve_engine(engine).predict(model,
+                                                     np.asarray(x_signs))
         timing = self.batch_timing(model, len(x_signs),
                                    stream_weights=stream_weights)
         return predictions, timing

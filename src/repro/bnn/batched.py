@@ -18,11 +18,15 @@ contribute to the XOR.  Every pre-activation is computed in integers, so
 differential suite in ``tests/bnn/test_batched_equivalence.py`` pins
 this for every topology shape.
 
-Engine selection: callers normally go through
+This module is the BNN half of the registered ``fast`` engine:
+:class:`BatchedBNNHalf` plugs the kernels into the
+:class:`~repro.engine.ExecutionEngine` assembled in
+:mod:`repro.cpu.fastpath`.  Callers normally go through
 :meth:`BNNAccelerator.infer_batch(..., engine=...)
 <repro.bnn.accelerator.BNNAccelerator.infer_batch>` or
-:func:`predict_with_engine`, which default to the session's
-``SimConfig.engine`` (``repro run --engine fast``, ``REPRO_ENGINE``).
+:func:`predict_with_engine`, which resolve through the engine registry
+and default to the session's ``SimConfig.engine`` (``repro run
+--engine fast``, ``REPRO_ENGINE``).
 """
 
 from __future__ import annotations
@@ -182,17 +186,50 @@ def batched_predict(model: BNNModel, x_signs: np.ndarray) -> np.ndarray:
     return np.argmax(batched_scores(model, x_signs), axis=1)
 
 
+def batched_hidden_forward(model: BNNModel, x_signs: np.ndarray) -> np.ndarray:
+    """Sign activations after *every* layer through the packed kernels.
+
+    Bit-identical to :meth:`BNNModel.hidden_forward_batch` — the integer
+    pre-activations are exact, so thresholding at zero lands on the same
+    signs.  Used when this model is the front half of a two-core chain.
+    """
+    x = _as_sign_batch(model, x_signs)
+    packed = pack_sign_rows(x)
+    bits = np.zeros((x.shape[0], 0), dtype=np.uint8)
+    for layer in packed_model(model).layers:
+        bits = (layer.pre_activation(packed) >= 0).astype(np.uint8)
+        packed = pack_bits64(bits)
+    return q.bits_to_sign(bits)
+
+
+class BatchedBNNHalf:
+    """BNN half of the ``fast`` engine (mixin for ExecutionEngine).
+
+    Pure functions of the model and inputs: no session stats, no probe
+    emissions — the accounting contract lives in the accelerator timing
+    model and is engine-independent.
+    """
+
+    def scores(self, model: BNNModel, x_signs: np.ndarray) -> np.ndarray:
+        return batched_scores(model, x_signs)
+
+    def predict(self, model: BNNModel, x_signs: np.ndarray) -> np.ndarray:
+        return batched_predict(model, x_signs)
+
+    def hidden_forward(self, model: BNNModel,
+                       x_signs: np.ndarray) -> np.ndarray:
+        return batched_hidden_forward(model, x_signs)
+
+
 def predict_with_engine(model: BNNModel, x_signs: np.ndarray,
                         engine: Optional[str] = None) -> np.ndarray:
     """Classify a batch with the selected engine.
 
-    ``engine=None`` resolves to the session's ``SimConfig.engine``;
-    ``"accurate"`` keeps the int32-matmul path, ``"fast"`` dispatches to
-    the packed XNOR-popcount kernels.  Both return identical predictions
-    (the equivalence suite pins the logits bit-for-bit).
+    ``engine=None`` resolves to the session's ``SimConfig.engine``; any
+    registered engine name (or engine object) works.  Every engine
+    returns identical predictions (the equivalence suites pin the logits
+    bit-for-bit), so this only changes host-side speed.
     """
-    from repro.sim import current_engine
+    from repro.engine import resolve_engine
 
-    if current_engine(engine) == "fast":
-        return batched_predict(model, np.asarray(x_signs))
-    return model.predict_batch(np.asarray(x_signs))
+    return resolve_engine(engine).predict(model, np.asarray(x_signs))

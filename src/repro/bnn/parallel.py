@@ -1,0 +1,209 @@
+"""Process-sharded whole-batch BNN inference (the ``parallel`` engine).
+
+The bit-packed kernels in :mod:`repro.bnn.batched` are embarrassingly
+parallel across batch rows: every image's scores depend only on that
+image's packed bits and the (shared, immutable) packed weights.  This
+module shards a whole-batch inference call across a
+:class:`~concurrent.futures.ProcessPoolExecutor` — chunked work
+distribution with a serial fallback when the batch is too small for the
+fan-out overhead to pay — and registers the result as the ``parallel``
+engine through the same seam every other backend uses.
+
+Exactness is free: chunks are concatenated in submission order and each
+chunk runs the very same packed kernels, so scores are **bit-identical**
+to the ``fast`` and ``accurate`` engines (the three-way differential
+suite pins this).  Worker processes never touch the parent's
+:class:`~repro.sim.StatsRegistry`; cycle/MAC/probe accounting stays in
+the accelerator timing model, engine-independent.
+
+Tuning knobs: ``REPRO_PARALLEL_WORKERS`` caps the pool size (default:
+host CPU count), and batches below :data:`MIN_PARALLEL_BATCH` rows (or
+hosts with one usable CPU) take the serial path.  See
+``docs/PERFORMANCE.md`` for when sharding pays off.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bnn.batched import (
+    PackedModel,
+    batched_scores,
+    pack_sign_rows,
+    _as_sign_batch,
+)
+from repro.bnn.model import BNNModel
+from repro.cpu.fastpath import FastEngine
+from repro.engine import EngineCapabilities, register_engine
+from repro.errors import ConfigurationError
+
+#: environment variable capping the shard pool size (default: CPU count)
+PARALLEL_WORKERS_ENV_VAR = "REPRO_PARALLEL_WORKERS"
+
+#: batches smaller than this run serially — fan-out (pickle + IPC) costs
+#: more than it saves on small batches
+MIN_PARALLEL_BATCH = 512
+
+#: never split the batch into chunks smaller than this many rows
+MIN_CHUNK_ROWS = 128
+
+#: chunks per worker; >1 smooths load imbalance across chunks
+CHUNKS_PER_WORKER = 2
+
+
+def default_workers(environ=None) -> int:
+    """Shard pool size: ``REPRO_PARALLEL_WORKERS`` or the host CPU count."""
+    env = os.environ if environ is None else environ
+    raw = env.get(PARALLEL_WORKERS_ENV_VAR, "").strip()
+    if raw:
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{PARALLEL_WORKERS_ENV_VAR}={raw!r} is not an integer")
+        if workers < 1:
+            raise ConfigurationError(
+                f"{PARALLEL_WORKERS_ENV_VAR} must be >= 1, got {workers}")
+        return workers
+    return os.cpu_count() or 1
+
+
+def chunk_bounds(n_rows: int, workers: int,
+                 min_chunk: int = MIN_CHUNK_ROWS) -> List[Tuple[int, int]]:
+    """``(start, stop)`` row ranges splitting ``n_rows`` across ``workers``.
+
+    Aims for :data:`CHUNKS_PER_WORKER` chunks per worker but never cuts a
+    chunk below ``min_chunk`` rows; remainders spread one extra row per
+    leading chunk so sizes differ by at most one.
+    """
+    if n_rows <= 0:
+        return []
+    target = max(1, workers) * CHUNKS_PER_WORKER
+    n_chunks = max(1, min(target, n_rows // max(1, min_chunk)))
+    base, extra = divmod(n_rows, n_chunks)
+    bounds = []
+    start = 0
+    for index in range(n_chunks):
+        stop = start + base + (1 if index < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+# -- worker side ----------------------------------------------------------
+#: per-worker packed-model cache keyed by the parent's model token, so a
+#: pool reused across calls re-packs each model once per worker, not once
+#: per chunk
+_WORKER_PACKED: Dict[str, PackedModel] = {}
+
+
+def _score_chunk(token: str, model: BNNModel, rows: np.ndarray) -> np.ndarray:
+    packed = _WORKER_PACKED.get(token)
+    if packed is None:
+        packed = PackedModel.from_model(model)
+        _WORKER_PACKED[token] = packed
+    return packed.scores(pack_sign_rows(rows))
+
+
+# -- parent side ----------------------------------------------------------
+#: stable per-model tokens (weak — dropping the model drops its token);
+#: the parent pid is folded in so forked children never collide
+_MODEL_TOKENS: "weakref.WeakKeyDictionary[BNNModel, str]" = \
+    weakref.WeakKeyDictionary()
+_TOKEN_COUNTER = itertools.count()
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+
+
+def _model_token(model: BNNModel) -> str:
+    token = _MODEL_TOKENS.get(model)
+    if token is None:
+        token = f"{os.getpid()}-{next(_TOKEN_COUNTER)}"
+        _MODEL_TOKENS[model] = token
+    return token
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared shard pool (respawned when the worker count changes)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is None or _POOL_WORKERS != workers:
+        shutdown_pool()
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shard pool (tests; also registered at exit)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+        _POOL = None
+        _POOL_WORKERS = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def parallel_scores(model: BNNModel, x_signs: np.ndarray, *,
+                    workers: Optional[int] = None,
+                    min_batch: int = MIN_PARALLEL_BATCH) -> np.ndarray:
+    """Integer class scores, sharded across host processes.
+
+    Bit-identical to :func:`~repro.bnn.batched.batched_scores`; falls
+    back to the serial kernels when the batch is below ``min_batch``,
+    only one worker is available, or the chunker cannot produce at least
+    two chunks.
+    """
+    x = _as_sign_batch(model, x_signs)
+    n_workers = default_workers() if workers is None else workers
+    bounds = chunk_bounds(len(x), n_workers)
+    if n_workers <= 1 or len(x) < min_batch or len(bounds) <= 1:
+        return batched_scores(model, x)
+    token = _model_token(model)
+    pool = _get_pool(n_workers)
+    futures = [pool.submit(_score_chunk, token, model, x[start:stop])
+               for start, stop in bounds]
+    return np.concatenate([future.result() for future in futures], axis=0)
+
+
+def parallel_predict(model: BNNModel, x_signs: np.ndarray, *,
+                     workers: Optional[int] = None,
+                     min_batch: int = MIN_PARALLEL_BATCH) -> np.ndarray:
+    """Sharded argmax classification (exactly ``argmax(parallel_scores)``)."""
+    return np.argmax(parallel_scores(model, x_signs, workers=workers,
+                                     min_batch=min_batch), axis=1)
+
+
+@register_engine
+class ParallelEngine(FastEngine):
+    """The ``parallel`` engine: fast engine + process-sharded inference.
+
+    Whole-batch ``scores``/``predict`` fan out across the shard pool;
+    ``hidden_forward`` and the CPU half are inherited from the fast
+    engine (chained-inference activations are consumed immediately by
+    the next core, so sharding them buys nothing).  Registered through
+    the same seam as every other backend — adding it touched no core
+    code, which is the point of the registry.
+    """
+
+    name = "parallel"
+    description = ("fast engine with whole-batch BNN inference sharded "
+                   "across host processes (serial fallback for small "
+                   "batches)")
+    capabilities = EngineCapabilities(
+        timing_accurate=False, functional=True, batched=True, sharded=True)
+
+    def scores(self, model: BNNModel, x_signs: np.ndarray) -> np.ndarray:
+        return parallel_scores(model, x_signs)
+
+    def predict(self, model: BNNModel, x_signs: np.ndarray) -> np.ndarray:
+        return parallel_predict(model, x_signs)

@@ -4,8 +4,8 @@ Usage::
 
     python -m repro asm prog.s [-o prog.hex] [--base 0x0]
     python -m repro dis prog.hex [--base 0x0]
-    python -m repro run prog.s [--functional] [--engine {accurate,fast}]
-    python -m repro experiments [PATTERN ...] [--engine {accurate,fast}]
+    python -m repro run prog.s [--functional] [--engine NAME]
+    python -m repro experiments [PATTERN ...] [--engine NAME]
     python -m repro bench [PATTERN ...] [--quick]
     python -m repro info [--json]
 
@@ -20,7 +20,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.cpu import FunctionalCPU, PipelinedCPU
 from repro.errors import ReproError
 from repro.isa import assemble, disassemble
 from repro.logutil import configure_logging, get_logger
@@ -35,6 +34,13 @@ def _read_text(path: str) -> str:
 
 def _parse_base(text: str) -> int:
     return int(text, 0)
+
+
+def engine_choices() -> tuple:
+    """Registered engine names for ``--engine`` (sorted, registry-fed)."""
+    from repro.engine import engine_names
+
+    return engine_names()
 
 
 def cmd_asm(args: argparse.Namespace) -> int:
@@ -60,7 +66,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     import dataclasses
     import json
 
-    from repro.sim import current_engine, get_session
+    from repro.engine import resolve_engine
+    from repro.sim import get_session
 
     session = get_session()
     if args.engine and args.engine != session.config.engine:
@@ -68,19 +75,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         # live session keeps the stats registry and cache intact
         session.config = dataclasses.replace(session.config,
                                              engine=args.engine)
-    engine = current_engine(args.engine)
+    engine = resolve_engine(args.engine)
 
     program = assemble(_read_text(args.file), base=args.base)
-    if engine == "fast":
-        # the fast engine is the instruction-accurate basic-block
-        # interpreter; cycle-accurate pipeline timing needs --engine accurate
-        from repro.cpu import FastCPU
-
-        cpu_class = FastCPU
-        step_based = True
-    else:
-        cpu_class = FunctionalCPU if args.functional else PipelinedCPU
-        step_based = args.functional
 
     tracer = None
     if args.trace or args.trace_jsonl or args.profile:
@@ -97,12 +94,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         recorder = MetricsRecorder(get_session())
         recorder.__enter__()
 
-    cpu = cpu_class(program)
     try:
-        if step_based:
-            result = cpu.run(max_steps=args.max_cycles)
-        else:
-            result = cpu.run(max_cycles=args.max_cycles)
+        # the engine owns CPU construction and the step/cycle limit
+        # semantics (fast engines count retired instructions, the
+        # accurate pipeline counts cycles)
+        cpu, result = engine.run_program(program, limit=args.max_cycles,
+                                         prefer_functional=args.functional)
     finally:
         if recorder is not None:
             recorder.__exit__(None, None, None)
@@ -268,15 +265,23 @@ def chip_specs() -> dict:
 def cmd_info(args: argparse.Namespace) -> int:
     import json
 
+    from repro.engine import engine_table
+    from repro.sim import get_session
+
     if args.json:
         # shares the run-manifest serializer so specs and metrics carry
-        # the same identity block
+        # the same identity block, and the registry serializer so the
+        # engine list cannot drift from what actually dispatches
         from repro.metrics import RunManifest
 
         document = {
             "schema": "repro-info/1",
             "manifest": RunManifest.collect().as_dict(),
             "specs": chip_specs(),
+            "engines": {
+                "active": get_session().config.engine,
+                "registered": engine_table(),
+            },
         }
         print(json.dumps(document, indent=2, sort_keys=True))
         return 0
@@ -309,6 +314,14 @@ def cmd_info(args: argparse.Namespace) -> int:
     print(f"  accelerator array  : {accelerator.config.n_physical_layers} layers x "
           f"{accelerator.config.neurons_per_layer} neurons "
           f"({accelerator.peak_ops_per_cycle()} MACs/cycle)")
+    active = get_session().config.engine
+    print("execution engines (active marked *):")
+    for entry in engine_table():
+        marker = "*" if entry["name"] == active else " "
+        flags = ", ".join(sorted(flag for flag, value
+                                 in entry["capabilities"].items() if value))
+        print(f"  {marker} {entry['name']:<9}: {entry['description']}")
+        print(f"    {'':>9}  [{flags}]")
     _ = args
     return 0
 
@@ -384,12 +397,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--base", type=_parse_base, default=0)
     run.add_argument("--functional", action="store_true",
                      help="use the functional ISS instead of the pipeline")
-    run.add_argument("--engine", choices=("accurate", "fast"),
+    run.add_argument("--engine", choices=engine_choices(),
                      help="execution engine: 'accurate' (default) keeps the "
-                          "cycle-accurate pipeline / functional ISS, 'fast' "
-                          "runs the basic-block fast interpreter (identical "
-                          "architectural results, single-cycle timing); "
-                          "REPRO_ENGINE sets the default")
+                          "cycle-accurate pipeline / functional ISS, the "
+                          "others swap in faster host-side backends with "
+                          "identical architectural results; REPRO_ENGINE "
+                          "sets the default")
     run.add_argument("--regs", action="store_true",
                      help="dump the register file after the run")
     run.add_argument("--stats-json", action="store_true",
@@ -436,9 +449,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--metrics-dir", metavar="DIR",
                      help="write per-experiment metrics JSON plus an "
                           "aggregate OpenMetrics file into DIR")
-    exp.add_argument("--engine", choices=("accurate", "fast"),
-                     help="execution engine for the session (fast swaps in "
-                          "the batched BNN kernels; results are identical)")
+    exp.add_argument("--engine", choices=engine_choices(),
+                     help="execution engine for the session (the fast "
+                          "engines swap in batched BNN kernels; results "
+                          "are identical)")
     exp.set_defaults(func=cmd_experiments)
 
     benchp = sub.add_parser("bench",

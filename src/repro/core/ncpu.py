@@ -51,7 +51,10 @@ class NCPUCore:
         l2: Optional[DataMemory] = None,
         accelerator_config: Optional[AcceleratorConfig] = None,
         transition_policy: Optional[TransitionPolicy] = None,
+        engine=None,
     ):
+        from repro.engine import resolve_engine
+
         self.name = name
         self.memory = NCPUMemory()
         self.env = CoreEnv(l2=l2)
@@ -63,8 +66,22 @@ class NCPUCore:
         self.model: Optional[BNNModel] = None
         self.registers = None  # regfile of the most recent CPU-mode run
         self._weight_stream_pending = 0
+        #: pinned engine (name or object); None tracks the session config
+        self._engine = resolve_engine(engine) if engine is not None else None
 
     # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The resolved execution engine driving this core's BNN mode.
+
+        Pinned at construction when ``engine=`` was given; otherwise the
+        session's ``SimConfig.engine`` is resolved on each access, so a
+        core built before ``use_session(engine=...)`` still honours it.
+        """
+        from repro.engine import resolve_engine
+
+        return self._engine if self._engine is not None else resolve_engine()
+
     @property
     def mode(self) -> CoreMode:
         return self.memory.mode
@@ -106,6 +123,10 @@ class NCPUCore:
         """
         if self.mode is not CoreMode.CPU:
             raise SimulationError(f"{self.name} is in BNN mode; switch first")
+        # CPU mode always runs the cycle-accurate pipeline: the core's
+        # clock and timeline are the timing oracle the experiments (and
+        # the fast-path calibration) are pinned against, so the engine
+        # seam only swaps the BNN inference math, never CPU-mode timing.
         cpu = PipelinedCPU(program, memory=self.memory.data_memory(),
                            env=self.env)
         result = cpu.run(max_cycles=max_cycles)
@@ -183,11 +204,10 @@ class NCPUCore:
             n_inputs = self.env.transition_neurons[TN_BATCH] or 1
 
         x_signs = self._read_packed_inputs(n_inputs, input_bits)
-        # engine-aware: the session's fast engine swaps in the bit-packed
-        # batched kernels; predictions are identical either way
-        from repro.bnn.batched import predict_with_engine
-
-        predictions = predict_with_engine(model, x_signs)
+        # engine-aware: the resolved engine's BNN half does the math (the
+        # fast/parallel engines swap in bit-packed batched kernels);
+        # predictions are identical either way, only host speed changes
+        predictions = self.engine.predict(model, x_signs)
         timing = self.accelerator.batch_timing(
             model, n_inputs,
             stream_weights=self.policy.hides_weight_stream()

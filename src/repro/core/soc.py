@@ -42,6 +42,7 @@ class NCPUSoC:
         l2_bytes: int = DEFAULT_L2_BYTES,
         accelerator_config: Optional[AcceleratorConfig] = None,
         transition_policy: Optional[TransitionPolicy] = None,
+        engine=None,
     ):
         if n_cores < 1:
             raise ConfigurationError("need at least one core")
@@ -53,7 +54,8 @@ class NCPUSoC:
         for index in range(n_cores):
             core = NCPUCore(name=f"ncpu{index}", l2=self.l2,
                             accelerator_config=accelerator_config,
-                            transition_policy=transition_policy)
+                            transition_policy=transition_policy,
+                            engine=engine)
             self.bus.register_client(core.name)
             self.cores.append(core)
 
@@ -117,9 +119,11 @@ class NCPUSoC:
         core0.load_model(front)
         core1.load_model(back)
 
-        # functional path: real bank writes at each hop
-        activations = front.hidden_forward_batch(x_signs)
-        predictions = back.predict_batch(activations)
+        # functional path: real bank writes at each hop; the resolved
+        # engine supplies the (bit-identical) forward math for both halves
+        engine = core0.engine
+        activations = engine.hidden_forward(front, x_signs)
+        predictions = engine.predict(back, activations)
         words_per_act = (front.n_classes + 31) // 32
         for index in range(n_inputs):
             packed = q_mod.pack_bits(q_mod.sign_to_bits(activations[index]))

@@ -30,12 +30,14 @@ from __future__ import annotations
 from collections import Counter
 from typing import Callable, List, Optional, Tuple
 
+from repro.bnn.batched import BatchedBNNHalf
 from repro.cpu.env import CoreEnv, ExecStats, RunResult
 from repro.cpu.functional import DEFAULT_MAX_STEPS
 from repro.cpu.memory import DataMemory, FlatMemory
 from repro.cpu.semantics import MEM_SIZES, SIGNED_LOADS
 from repro.cpu.state import RegisterFile
 from repro.errors import SimulationError
+from repro.engine import EngineCapabilities, ExecutionEngine, register_engine
 from repro.isa.instructions import DecodedInstr, decode
 from repro.isa.program import Program
 from repro.sim import get_session
@@ -436,3 +438,35 @@ def run_fastpath(
     cpu = FastCPU(program, memory=memory, env=env)
     result = cpu.run(max_steps=max_steps)
     return cpu, result
+
+
+@register_engine
+class FastEngine(BatchedBNNHalf, ExecutionEngine):
+    """The ``fast`` engine: :class:`FastCPU` + bit-packed BNN kernels.
+
+    CPU half registered here; BNN half provided by
+    :class:`~repro.bnn.batched.BatchedBNNHalf`.  Instruction-accurate
+    with single-cycle timing — the pipeline stays the timing oracle.
+    """
+
+    name = "fast"
+    description = ("basic-block interpreter (single-cycle timing) and "
+                   "bit-packed whole-batch XNOR-popcount BNN kernels")
+    capabilities = EngineCapabilities(
+        timing_accurate=False, functional=True, batched=True, sharded=False)
+
+    def create_cpu(self, program: Program,
+                   memory: Optional[DataMemory] = None,
+                   env: Optional[CoreEnv] = None, *,
+                   prefer_functional: bool = False) -> FastCPU:
+        # prefer_functional is moot: FastCPU *is* the functional engine
+        return FastCPU(program, memory=memory, env=env)
+
+    def run_program(self, program: Program, *,
+                    limit: Optional[int] = None,
+                    memory: Optional[DataMemory] = None,
+                    env: Optional[CoreEnv] = None,
+                    prefer_functional: bool = False):
+        cpu = self.create_cpu(program, memory=memory, env=env)
+        result = cpu.run() if limit is None else cpu.run(max_steps=limit)
+        return cpu, result

@@ -107,6 +107,7 @@ def run_experiment(name: str, use_cache: bool = True,
         "wall_time_s": wall_time,
         "cache_hit": cache_hit,
         "trace_path": traced_path,
+        "engine": session.config.engine,
     })
     session.stats.emit("experiment.finished", name=name,
                        worker=os.getpid(), wall_time_s=wall_time,

@@ -120,52 +120,53 @@ def _assemble(source: str):
     return assemble(source)
 
 
-@bench("cpu.pipeline.dhrystone", work_key="cycles", unit="cycles/s",
-       help="pipelined-CPU simulation speed on the Dhrystone kernel")
-def _bench_dhrystone(quick: bool) -> Dict[str, float]:
-    from repro.cpu import PipelinedCPU
-    from repro.workloads.dhrystone import dhrystone_asm
+def _register_dhrystone_bench(name: str, engine: str, *,
+                              prefer_functional: bool, work_key: str,
+                              unit: str, help: str) -> None:
+    """Register one Dhrystone bench driving the named registered engine.
 
-    program = _assemble(dhrystone_asm(iterations=5 if quick else 40))
-    result = PipelinedCPU(program).run()
-    return {"cycles": result.stats.cycles,
-            "instructions": result.stats.instructions}
+    The CPU benches are parametrized over the engine registry: each one
+    resolves its engine by name through :func:`repro.engine.get_engine`
+    and runs the same kernel through ``run_program``, so a new backend
+    gets benchmarked by adding one registration line here.
+    """
+
+    @bench(name, work_key=work_key, unit=unit, help=help)
+    def _bench(quick: bool) -> Dict[str, float]:
+        from repro.engine import get_engine
+        from repro.workloads.dhrystone import dhrystone_asm
+
+        program = _assemble(dhrystone_asm(iterations=5 if quick else 40))
+        _, result = get_engine(engine).run_program(
+            program, prefer_functional=prefer_functional)
+        return {"cycles": result.stats.cycles,
+                "instructions": result.stats.instructions}
+
+
+_register_dhrystone_bench(
+    "cpu.pipeline.dhrystone", "accurate", prefer_functional=False,
+    work_key="cycles", unit="cycles/s",
+    help="pipelined-CPU simulation speed on the Dhrystone kernel")
+_register_dhrystone_bench(
+    "cpu.functional.dhrystone", "accurate", prefer_functional=True,
+    work_key="instructions", unit="instr/s",
+    help="functional-ISS simulation speed on the Dhrystone kernel "
+         "(scalar baseline for the fast-path engine)")
+_register_dhrystone_bench(
+    "cpu.fastpath.dhrystone", "fast", prefer_functional=False,
+    work_key="instructions", unit="instr/s",
+    help="fast-path (basic-block) interpreter speed on the Dhrystone "
+         "kernel, block compilation included (--engine fast)")
 
 
 @bench("cpu.pipeline.hotspot", work_key="cycles", unit="cycles/s",
        help="pipelined-CPU simulation speed on the hazard-heavy hotspot "
             "kernel (examples/hotspot.s)")
 def _bench_hotspot(quick: bool) -> Dict[str, float]:
-    from repro.cpu import PipelinedCPU
+    from repro.engine import get_engine
 
     program = _assemble(hotspot_asm(passes=5 if quick else 50))
-    result = PipelinedCPU(program).run()
-    return {"cycles": result.stats.cycles,
-            "instructions": result.stats.instructions}
-
-
-@bench("cpu.functional.dhrystone", work_key="instructions", unit="instr/s",
-       help="functional-ISS simulation speed on the Dhrystone kernel "
-            "(scalar baseline for the fast-path engine)")
-def _bench_functional_dhrystone(quick: bool) -> Dict[str, float]:
-    from repro.cpu import FunctionalCPU
-    from repro.workloads.dhrystone import dhrystone_asm
-
-    program = _assemble(dhrystone_asm(iterations=5 if quick else 40))
-    result = FunctionalCPU(program).run()
-    return {"cycles": result.stats.cycles,
-            "instructions": result.stats.instructions}
-
-
-@bench("cpu.fastpath.dhrystone", work_key="instructions", unit="instr/s",
-       help="fast-path (basic-block) interpreter speed on the Dhrystone "
-            "kernel, block compilation included (--engine fast)")
-def _bench_fastpath_dhrystone(quick: bool) -> Dict[str, float]:
-    from repro.cpu import FastCPU
-    from repro.workloads.dhrystone import dhrystone_asm
-
-    program = _assemble(dhrystone_asm(iterations=5 if quick else 40))
-    result = FastCPU(program).run()
+    _, result = get_engine("accurate").run_program(program)
     return {"cycles": result.stats.cycles,
             "instructions": result.stats.instructions}
 
@@ -189,30 +190,47 @@ def _bench_bnn_infer(quick: bool) -> Dict[str, float]:
     return {"inferences": n, "simulated_cycles": cycles}
 
 
-#: model reused across repeats so the batched bench measures steady-state
+#: model reused across repeats so the batched benches measure steady-state
 #: throughput (weights bit-packed once, like a deployed classifier)
 _BATCHED_MODEL = None
 
 
-@bench("bnn.batched.infer", work_key="inferences", unit="inferences/s",
-       help="batched bit-packed XNOR-popcount inference throughput "
-            "(--engine fast), timing accounting included")
-def _bench_bnn_batched(quick: bool) -> Dict[str, float]:
-    import numpy as np
+def _register_batch_infer_bench(name: str, engine: str, *, n_quick: int,
+                                n_full: int, help: str) -> None:
+    """Register a whole-batch inference bench for one registered engine.
 
-    from repro.bnn import BNNAccelerator, BNNModel
+    All batch benches share the model and input recipe, so their numbers
+    are directly comparable across engines (fast vs parallel).
+    """
 
-    global _BATCHED_MODEL
-    if _BATCHED_MODEL is None:
-        _BATCHED_MODEL = BNNModel.random([100, 100, 100, 10],
-                                         np.random.default_rng(0))
-    rng = np.random.default_rng(1)
-    accelerator = BNNAccelerator()
-    n = 200 if quick else 2000
-    inputs = np.sign(rng.standard_normal((n, 100))).astype(np.int8)
-    inputs[inputs == 0] = 1
-    _, timing = accelerator.infer_batch(_BATCHED_MODEL, inputs, engine="fast")
-    return {"inferences": n, "simulated_cycles": timing.total_cycles}
+    @bench(name, work_key="inferences", unit="inferences/s", help=help)
+    def _bench(quick: bool) -> Dict[str, float]:
+        import numpy as np
+
+        from repro.bnn import BNNAccelerator, BNNModel
+
+        global _BATCHED_MODEL
+        if _BATCHED_MODEL is None:
+            _BATCHED_MODEL = BNNModel.random([100, 100, 100, 10],
+                                             np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        accelerator = BNNAccelerator()
+        n = n_quick if quick else n_full
+        inputs = np.sign(rng.standard_normal((n, 100))).astype(np.int8)
+        inputs[inputs == 0] = 1
+        _, timing = accelerator.infer_batch(_BATCHED_MODEL, inputs,
+                                            engine=engine)
+        return {"inferences": n, "simulated_cycles": timing.total_cycles}
+
+
+_register_batch_infer_bench(
+    "bnn.batched.infer", "fast", n_quick=200, n_full=2000,
+    help="batched bit-packed XNOR-popcount inference throughput "
+         "(--engine fast), timing accounting included")
+_register_batch_infer_bench(
+    "bnn.parallel.infer", "parallel", n_quick=200, n_full=4000,
+    help="process-sharded whole-batch inference throughput (--engine "
+         "parallel; serial fallback below the sharding threshold)")
 
 
 @bench("dma.transfer", work_key="words", unit="words/s",

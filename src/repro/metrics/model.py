@@ -73,6 +73,7 @@ class RunManifest:
     git_sha: str
     python: str
     platform: str
+    engine: str = "accurate"
     cache_hits: int = 0
     cache_misses: int = 0
     cache_stores: int = 0
@@ -95,6 +96,7 @@ class RunManifest:
             git_sha=_git_sha(),
             python=platform_module.python_version(),
             platform=sys.platform,
+            engine=session.config.engine,
             cache_hits=cache.hits,
             cache_misses=cache.misses,
             cache_stores=cache.stores,
@@ -110,6 +112,7 @@ class RunManifest:
         """The identity subset stamped onto every exported series."""
         return {
             "config_hash": self.config_hash,
+            "engine": self.engine,
             "git_sha": self.git_sha,
             "platform": self.platform,
             "python": self.python,

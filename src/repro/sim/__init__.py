@@ -14,8 +14,8 @@ from repro.sim.cache import ArtifactCache
 from repro.sim.config import (
     CACHE_ENV_VAR,
     DEFAULT_CACHE_DIR,
+    DEFAULT_ENGINE,
     ENGINE_ENV_VAR,
-    ENGINES,
     NO_CACHE_ENV_VAR,
     SimConfig,
     config_hash,
@@ -41,8 +41,8 @@ __all__ = [
     "ALL_EVENTS",
     "ArtifactCache",
     "CACHE_ENV_VAR",
+    "DEFAULT_ENGINE",
     "ENGINE_ENV_VAR",
-    "ENGINES",
     "PROBE_ERROR_COUNTER",
     "STRICT_PROBES_ENV_VAR",
     "DEFAULT_CACHE_DIR",

@@ -30,9 +30,9 @@ ENGINE_ENV_VAR = "REPRO_ENGINE"
 #: default artifact-cache root (expanded lazily)
 DEFAULT_CACHE_DIR = "~/.cache/repro"
 
-#: supported execution engines: ``accurate`` keeps the scalar/cycle paths,
-#: ``fast`` selects the batched BNN kernels and the fast-path interpreter
-ENGINES = ("accurate", "fast")
+#: execution engine selected when no ``--engine``/``REPRO_ENGINE`` is given;
+#: the full set of valid names lives in the :mod:`repro.engine` registry
+DEFAULT_ENGINE = "accurate"
 
 
 def _canonical(value: Any) -> Any:
@@ -84,8 +84,8 @@ class SimConfig:
     ``seed`` and ``params`` identify the simulated configuration and feed
     the deterministic :attr:`hash`; ``cache_dir``/``cache_enabled`` only
     say where artifacts are stored and are deliberately excluded from it.
-    ``engine`` picks between the scalar/cycle-accurate execution paths
-    (``accurate``) and the batched/fast-path ones (``fast``); both produce
+    ``engine`` names a backend registered in :mod:`repro.engine`
+    (``accurate``, ``fast``, ``parallel``, ...); every engine produces
     identical architectural results (the equivalence suites pin this), so
     the engine is excluded from the hash too.
     """
@@ -94,12 +94,14 @@ class SimConfig:
     cache_enabled: bool = True
     seed: int = 0
     params: Tuple[Tuple[str, Any], ...] = ()
-    engine: str = "accurate"
+    engine: str = DEFAULT_ENGINE
 
     def __post_init__(self):
-        if self.engine not in ENGINES:
-            raise ConfigurationError(
-                f"unknown engine {self.engine!r}; choose from {ENGINES}")
+        # imported lazily: repro.engine loads provider modules that import
+        # repro.sim, so validation must not run at repro.sim import time
+        from repro.engine import ensure_known
+
+        ensure_known(self.engine)
 
     @classmethod
     def from_env(cls, environ: Mapping[str, str] | None = None) -> "SimConfig":
@@ -107,9 +109,12 @@ class SimConfig:
         ``REPRO_ENGINE``."""
         env = os.environ if environ is None else environ
         disabled = env.get(NO_CACHE_ENV_VAR, "").lower() not in ("", "0", "false")
-        return cls(cache_dir=env.get(CACHE_ENV_VAR, DEFAULT_CACHE_DIR),
-                   cache_enabled=not disabled,
-                   engine=env.get(ENGINE_ENV_VAR, "accurate"))
+        try:
+            return cls(cache_dir=env.get(CACHE_ENV_VAR, DEFAULT_CACHE_DIR),
+                       cache_enabled=not disabled,
+                       engine=env.get(ENGINE_ENV_VAR, DEFAULT_ENGINE))
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"{ENGINE_ENV_VAR}: {exc}") from exc
 
     def with_params(self, **params: Any) -> "SimConfig":
         """A copy with extra named parameters folded into the hash."""

@@ -70,20 +70,17 @@ def reset_session() -> None:
 
 
 def current_engine(override: Optional[str] = None) -> str:
-    """Resolve the active execution engine.
+    """Resolve the active execution engine's name.
 
     ``override`` wins when given; otherwise the current session's
-    ``SimConfig.engine`` applies.  Raises
-    :class:`~repro.errors.ConfigurationError` on unknown names.
+    ``SimConfig.engine`` applies.  Resolution goes through the
+    :mod:`repro.engine` registry, so a
+    :class:`~repro.errors.ConfigurationError` naming the registered
+    engines is raised on unknown names.
     """
-    from repro.errors import ConfigurationError
-    from repro.sim.config import ENGINES
+    from repro.engine import resolve_engine
 
-    engine = override if override is not None else get_session().config.engine
-    if engine not in ENGINES:
-        raise ConfigurationError(
-            f"unknown engine {engine!r}; choose from {ENGINES}")
-    return engine
+    return resolve_engine(override).name
 
 
 @contextmanager

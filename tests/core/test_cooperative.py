@@ -13,6 +13,7 @@ from repro.bnn import BNNAccelerator, BNNModel, binarize_sign
 from repro.bnn.quantize import pack_bits, sign_to_bits
 from repro.core import NCPUCore, NCPUSoC
 from repro.cpu import FlatMemory, PipelinedCPU
+from repro.engine import engine_names
 from repro.errors import ConfigurationError
 from repro.isa import assemble
 
@@ -120,13 +121,29 @@ class TestIsaConfiguredSmallerModel:
 
 
 class TestChainedCores:
-    def test_chained_predictions_match_model(self):
-        soc = NCPUSoC(n_cores=2)
+    @pytest.mark.parametrize("engine", sorted(engine_names()))
+    def test_chained_predictions_match_model(self, engine):
+        soc = NCPUSoC(n_cores=2, engine=engine)
+        assert soc.cores[0].engine.name == engine
         model = deep_model()
         xs = binarize_sign(np.random.default_rng(6).standard_normal((5, 48)))
         predictions, makespan = soc.run_chained_inference(model, xs)
         np.testing.assert_array_equal(predictions, model.predict_batch(xs))
         assert makespan > 0
+
+    def test_chained_timing_is_engine_independent(self):
+        """The engine may change host-side math only: predictions AND the
+        simulated makespan must agree across every registered engine."""
+        model = deep_model()
+        xs = binarize_sign(np.random.default_rng(16).standard_normal((7, 48)))
+        outcomes = []
+        for engine in sorted(engine_names()):
+            soc = NCPUSoC(n_cores=2, engine=engine)
+            outcomes.append(soc.run_chained_inference(model, xs))
+        reference_predictions, reference_makespan = outcomes[0]
+        for predictions, makespan in outcomes[1:]:
+            assert predictions == reference_predictions
+            assert makespan == reference_makespan
 
     def test_single_input_accepted(self):
         soc = NCPUSoC(n_cores=2)

@@ -17,7 +17,8 @@ from repro.metrics.bench import BenchSpec, bench_filename, select
 #: every benchmark the issue requires must stay registered
 REQUIRED = ("cpu.pipeline.dhrystone", "cpu.pipeline.hotspot",
             "cpu.functional.dhrystone", "cpu.fastpath.dhrystone",
-            "bnn.accelerator.infer", "bnn.batched.infer", "dma.transfer",
+            "bnn.accelerator.infer", "bnn.batched.infer",
+            "bnn.parallel.infer", "dma.transfer",
             "runner.experiment.cold", "runner.experiment.warm")
 
 

@@ -76,8 +76,14 @@ class TestManifest:
         manifest = make_manifest(seed=3)
         labels = manifest.labels()
         assert labels["seed"] == "3"
-        assert set(labels) == {"config_hash", "git_sha", "platform",
-                               "python", "seed", "version"}
+        assert set(labels) == {"config_hash", "engine", "git_sha",
+                               "platform", "python", "seed", "version"}
+
+    def test_collect_records_session_engine(self):
+        with use_session(engine="fast"):
+            manifest = RunManifest.collect()
+        assert manifest.engine == "fast"
+        assert manifest.labels()["engine"] == "fast"
 
     def test_as_dict_sorted(self):
         keys = list(make_manifest().as_dict())

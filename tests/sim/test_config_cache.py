@@ -97,6 +97,31 @@ class TestSimConfig:
     def test_resolved_cache_dir_expands_user(self):
         assert "~" not in str(SimConfig().resolved_cache_dir)
 
+    def test_hash_ignores_engine(self):
+        from repro.engine import engine_names
+
+        # engines are bit-identical by contract, so artifacts cached
+        # under one engine stay valid under every other
+        hashes = {SimConfig(engine=name).hash for name in engine_names()}
+        assert len(hashes) == 1
+
+    def test_engine_round_trips_through_env(self):
+        from repro.sim import ENGINE_ENV_VAR
+
+        config = SimConfig.from_env({ENGINE_ENV_VAR: "parallel"})
+        assert config.engine == "parallel"
+        assert SimConfig.from_env({}).engine == "accurate"
+
+    def test_unknown_engine_rejected_with_registered_names(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            SimConfig(engine="warp")
+        message = str(excinfo.value)
+        assert "warp" in message
+        assert "registered engines" in message
+        assert "fast" in message
+
 
 class TestArtifactCache:
     def test_fetch_builds_once(self, tmp_path):

@@ -105,6 +105,30 @@ class TestRunEngine:
         with pytest.raises(SystemExit):
             main(["run", source_file, "--engine", "warp"])
 
+    def test_engine_choices_come_from_registry(self):
+        from repro.cli import engine_choices
+        from repro.engine import engine_names
+
+        assert engine_choices() == engine_names()
+        assert "parallel" in engine_choices()
+
+    def test_parallel_engine_runs_programs(self, source_file, capsys):
+        assert main(["run", source_file, "--engine", "parallel"]) == 0
+        assert "cycles=4 " in capsys.readouterr().out
+
+    def test_unknown_engine_env_var_names_registered(self, source_file,
+                                                     capsys, monkeypatch):
+        from repro.errors import ConfigurationError
+        from repro.sim import SimConfig
+
+        monkeypatch.setenv("REPRO_ENGINE", "warp")
+        with pytest.raises(ConfigurationError) as excinfo:
+            SimConfig.from_env()
+        message = str(excinfo.value)
+        assert "REPRO_ENGINE" in message
+        assert "warp" in message
+        assert "accurate" in message and "parallel" in message
+
     def test_experiments_accept_engine_flag(self, capsys, monkeypatch):
         import os
 
@@ -151,7 +175,10 @@ class TestRunTrace:
 
         trace = tmp_path / "run.trace.json"
         jsonl = tmp_path / "run.jsonl"
-        assert main(["run", source_file, "--trace", str(trace),
+        # pinned: per-cycle profiling is a pipeline (accurate-engine)
+        # feature, so the test must not follow REPRO_ENGINE
+        assert main(["run", source_file, "--engine", "accurate",
+                     "--trace", str(trace),
                      "--trace-jsonl", str(jsonl), "--profile"]) == 0
         out = capsys.readouterr().out
         summary = validate_chrome_trace_file(trace)
@@ -191,9 +218,32 @@ class TestInfoAndExperiments:
         assert payload["schema"] == "repro-info/1"
         assert payload["specs"]["frequency_mhz_at_1v"] == pytest.approx(960)
         manifest = payload["manifest"]
-        for key in ("config_hash", "git_sha", "python", "platform",
-                    "version", "seed"):
+        for key in ("config_hash", "engine", "git_sha", "python",
+                    "platform", "version", "seed"):
             assert key in manifest
+
+    def test_info_json_reports_engine_registry(self, capsys):
+        import json
+
+        from repro.engine import engine_names, engine_table
+        from repro.sim import get_session
+
+        assert main(["info", "--json"]) == 0
+        engines = json.loads(capsys.readouterr().out)["engines"]
+        assert engines["active"] == get_session().config.engine
+        assert [e["name"] for e in engines["registered"]] == \
+            list(engine_names())
+        assert engines["registered"] == engine_table()
+        by_name = {e["name"]: e for e in engines["registered"]}
+        assert by_name["accurate"]["capabilities"]["timing_accurate"]
+        assert by_name["parallel"]["capabilities"]["sharded"]
+
+    def test_info_text_lists_engines(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "execution engines" in out
+        for name in ("accurate", "fast", "parallel"):
+            assert name in out
 
 
 class TestRunMetrics:

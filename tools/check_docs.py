@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Documentation lint: links resolve, CLI examples parse, probe table synced.
+"""Documentation lint: links, CLI examples, probe table, engine table.
 
-Three checks, each cheap enough for every CI run:
+Four checks, each cheap enough for every CI run:
 
 1. **Relative links** — every ``[text](target)`` in a tracked markdown file
    whose target is not an external URL or a pure anchor must point at an
@@ -14,6 +14,10 @@ Three checks, each cheap enough for every CI run:
    must list exactly the literal ``*.emit("name", ...)`` sites under src/
    (same contract as tests/test_probe_vocabulary.py, enforced at docs-lint
    time too so a docs-only change cannot merge a stale table).
+4. **Engine registry table** — the "### Engine registry" table in
+   docs/ARCHITECTURE.md must list exactly the engines registered in
+   ``repro.engine`` with their live capability flags, so registering a
+   new backend (or changing flags) forces the docs to follow.
 
 Exit status: 0 when everything passes, 1 with a per-finding report
 otherwise.  Run from anywhere: paths resolve relative to the repo root.
@@ -240,10 +244,70 @@ def check_probe_table() -> List[str]:
     return problems
 
 
+# -- check 4: engine registry table --------------------------------------
+ENGINE_TABLE_ANCHOR = "### Engine registry"
+
+#: capability columns of the docs table, in order
+ENGINE_FLAG_COLUMNS = ("timing_accurate", "functional", "batched", "sharded")
+
+_ENGINE_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_-]+)`\s*\|(.+)\|\s*$")
+
+
+def documented_engine_table(text: str) -> Dict[str, Dict[str, bool]]:
+    """``{engine name: {flag: bool}}`` parsed from the docs table."""
+    if ENGINE_TABLE_ANCHOR not in text:
+        return {}
+    rows: Dict[str, Dict[str, bool]] = {}
+    for line in text.split(ENGINE_TABLE_ANCHOR, 1)[1].splitlines():
+        match = _ENGINE_ROW_RE.match(line.strip())
+        if match:
+            cells = [cell.strip() for cell in match.group(2).split("|")]
+            rows[match.group(1)] = {
+                flag: cell == "yes"
+                for flag, cell in zip(ENGINE_FLAG_COLUMNS, cells)}
+        elif rows and not line.strip().startswith("|"):
+            break
+    return rows
+
+
+def check_engine_table() -> List[str]:
+    sys.path.insert(0, str(SRC))
+    try:
+        from repro.engine import engine_table
+    finally:
+        sys.path.pop(0)
+    documented = documented_engine_table(ARCHITECTURE.read_text())
+    if not documented:
+        return [f"{ARCHITECTURE.name}: engine registry table "
+                f"('{ENGINE_TABLE_ANCHOR}') not found"]
+    problems = []
+    registered = {entry["name"]: entry["capabilities"]
+                  for entry in engine_table()}
+    for name in sorted(set(registered) - set(documented)):
+        problems.append(
+            f"engine `{name}` is registered but missing from the "
+            "docs/ARCHITECTURE.md engine registry table")
+    for name in sorted(set(documented) - set(registered)):
+        problems.append(
+            f"engine `{name}` documented in docs/ARCHITECTURE.md but not "
+            "registered in repro.engine")
+    for name in sorted(set(registered) & set(documented)):
+        for flag in ENGINE_FLAG_COLUMNS:
+            live, documented_value = registered[name][flag], \
+                documented[name].get(flag)
+            if documented_value != live:
+                problems.append(
+                    f"engine `{name}`: docs table says {flag}="
+                    f"{'yes' if documented_value else 'no'} but the "
+                    f"registry says {'yes' if live else 'no'}")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="check_docs",
-        description="lint markdown links, CLI examples, and the probe table")
+        description="lint markdown links, CLI examples, the probe table, "
+                    "and the engine registry table")
     parser.add_argument("--quiet", action="store_true",
                         help="print only failures")
     args = parser.parse_args(argv)
@@ -252,6 +316,7 @@ def main(argv=None) -> int:
     problems = check_links(files)
     problems += check_cli_examples(files)
     problems += check_probe_table()
+    problems += check_engine_table()
     if problems:
         for problem in problems:
             print(f"FAIL {problem}")
@@ -259,7 +324,7 @@ def main(argv=None) -> int:
         return 1
     if not args.quiet:
         print(f"docs ok: {len(files)} markdown files, links + CLI examples "
-              "+ probe table all consistent")
+              "+ probe table + engine table all consistent")
     return 0
 
 
