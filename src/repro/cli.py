@@ -5,8 +5,12 @@ Usage::
     python -m repro asm prog.s [-o prog.hex] [--base 0x0]
     python -m repro dis prog.hex [--base 0x0]
     python -m repro run prog.s [--functional] [--engine NAME]
+    python -m repro run --scenario examples/scenarios/dhrystone.json
     python -m repro experiments [PATTERN ...] [--engine NAME]
     python -m repro bench [PATTERN ...] [--quick]
+    python -m repro scenario validate FILE [FILE ...]
+    python -m repro scenario show FILE
+    python -m repro fuzz [--count N] [--seed S]
     python -m repro info [--json]
 
 Progress chatter goes through the ``repro`` logger to stderr (``-v`` /
@@ -62,13 +66,39 @@ def cmd_dis(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_cli_scenario(args: argparse.Namespace):
+    """Load ``--scenario FILE`` with CLI flags folded over file fields.
+
+    Returns ``None`` when no ``--scenario`` was given.  File problems
+    (missing path, malformed JSON, schema violations) raise
+    :class:`~repro.errors.ConfigurationError`, which :func:`main` turns
+    into a clean exit 2.
+    """
+    if not getattr(args, "scenario", None):
+        return None
+    from repro.scenario import Scenario
+
+    scenario = Scenario.from_file(args.scenario)
+    if getattr(args, "engine", None):
+        scenario = scenario.with_engine(name=args.engine)
+    if getattr(args, "functional", False):
+        scenario = scenario.with_engine(prefer_functional=True)
+    return scenario
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     import dataclasses
     import json
 
     from repro.engine import resolve_engine
-    from repro.sim import get_session
+    from repro.errors import ConfigurationError
+    from repro.sim import SimSession, get_session, set_session
 
+    scenario = _load_cli_scenario(args)
+    if scenario is not None:
+        # the scenario becomes the session config: its seed/engine apply
+        # and the config hash (hence every cached artifact) keys on it
+        set_session(SimSession.from_scenario(scenario))
     session = get_session()
     if args.engine and args.engine != session.config.engine:
         # engine changes no architectural result, so swapping it on the
@@ -77,7 +107,37 @@ def cmd_run(args: argparse.Namespace) -> int:
                                              engine=args.engine)
     engine = resolve_engine(args.engine)
 
-    program = assemble(_read_text(args.file), base=args.base)
+    if args.file is None:
+        if scenario is None:
+            raise ConfigurationError(
+                "repro run: provide a program file, or --scenario FILE")
+        if scenario.workload.kind == "bnn":
+            # BNN scenarios have no program to assemble: classify the
+            # scenario's seeded input batch through the accelerator's
+            # engine-dispatched path and report the summary
+            from repro.scenario.materialize import (
+                run_scenario,
+                scenario_signature,
+            )
+
+            summary = run_scenario(scenario, engine=session.config.engine)
+            if args.stats_json:
+                print(json.dumps(summary, indent=2, sort_keys=True))
+                return 0
+            _, detail = scenario_signature(scenario)
+            print(f"scenario: {scenario.name} ({detail}) "
+                  f"engine={summary['engine']}")
+            print(f"batch={summary['batch_size']} "
+                  f"total_cycles={summary['total_cycles']} "
+                  f"macs={summary['macs']}")
+            return 0
+        from repro.scenario.materialize import build_program
+
+        program = build_program(scenario)
+    else:
+        program = assemble(_read_text(args.file), base=args.base)
+    prefer_functional = args.functional or (
+        scenario is not None and scenario.engine.prefer_functional)
 
     tracer = None
     if args.trace or args.trace_jsonl or args.profile:
@@ -99,7 +159,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         # semantics (fast engines count retired instructions, the
         # accurate pipeline counts cycles)
         cpu, result = engine.run_program(program, limit=args.max_cycles,
-                                         prefer_functional=args.functional)
+                                         prefer_functional=prefer_functional)
     finally:
         if recorder is not None:
             recorder.__exit__(None, None, None)
@@ -180,16 +240,24 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     from repro.sim import ENGINE_ENV_VAR, SimConfig, SimSession, set_session
     from repro.viz import render_timeline
 
-    if args.cache_dir or args.engine:
-        base = SimConfig.from_env()
+    # fail fast: a bad REPRO_ENGINE aborts here with the registered list,
+    # before any experiment assembles programs or trains models
+    base = SimConfig.from_env()
+    scenario = _load_cli_scenario(args)
+    if scenario is not None:
+        set_session(SimSession(SimConfig.from_scenario(
+            scenario,
+            cache_dir=args.cache_dir or base.cache_dir)))
+        # parallel workers (-j) are separate processes; the environment
+        # variable carries the engine choice across the fork/spawn
+        os.environ[ENGINE_ENV_VAR] = scenario.engine.name
+    elif args.cache_dir or args.engine:
         set_session(SimSession(dataclasses.replace(
             base,
             cache_dir=args.cache_dir or base.cache_dir,
             engine=args.engine or base.engine,
         )))
     if args.engine:
-        # parallel workers (-j) are separate processes; the environment
-        # variable carries the engine choice across the fork/spawn
         os.environ[ENGINE_ENV_VAR] = args.engine
     if args.patterns and not select(args.patterns):
         logger.error("no experiments match %r", " ".join(args.patterns))
@@ -335,7 +403,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_bench_file,
     )
     from repro.metrics.bench import select as select_benchmarks
+    from repro.sim import SimConfig
 
+    # fail fast: surface a bad REPRO_ENGINE (with the registered-engine
+    # list) before any benchmark assembles its kernel
+    SimConfig.from_env()
+    scenario = _load_cli_scenario(args)
     if args.list:
         for name, spec in sorted(all_benchmarks().items()):
             print(f"{name}: {spec.help} [{spec.unit}]")
@@ -345,7 +418,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return 1
     doc = run_benchmarks(args.patterns or None, repeats=args.repeats,
                          warmup=args.warmup, quick=args.quick,
-                         with_experiments=not args.no_experiments)
+                         with_experiments=not args.no_experiments,
+                         scenario=scenario)
     if not args.no_write:
         path = write_bench_file(doc, args.out_dir)
         logger.info("bench: trajectory -> %s", path)
@@ -369,6 +443,56 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenario import Scenario
+    from repro.scenario.materialize import scenario_signature
+
+    if args.action == "validate":
+        for path in args.files:
+            scenario = Scenario.from_file(path)
+            kind, detail = scenario_signature(scenario)
+            print(f"ok: {path} — {scenario.name} "
+                  f"[{kind}: {detail}, engine={scenario.engine.name}, "
+                  f"hash {scenario.hash}]")
+        return 0
+    # show: one canonical JSON document on stdout
+    print(Scenario.from_file(args.file).to_json())
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenario.fuzz import fuzz
+    from repro.scenario.materialize import scenario_signature
+
+    def progress(result) -> None:
+        kind, detail = scenario_signature(result.scenario)
+        status = "ok" if result.ok else "MISMATCH"
+        logger.info("fuzz %s: %s (%s) %s", result.scenario.name, kind,
+                    detail, status)
+
+    results = fuzz(count=args.count, seed=args.seed,
+                   engines=args.engines or None,
+                   kinds=tuple(args.kind) if args.kind else ("bnn", "cpu"),
+                   on_result=progress)
+    failures = [result for result in results if not result.ok]
+    if args.json:
+        print(json.dumps([result.to_dict() for result in results],
+                         indent=2, sort_keys=True))
+    else:
+        engines = ", ".join(results[0].engines) if results else "-"
+        print(f"fuzz: {len(results)} scenarios x [{engines}] — "
+              f"{len(results) - len(failures)} agreed, "
+              f"{len(failures)} mismatched (seed {args.seed})")
+        for result in failures:
+            _, detail = scenario_signature(result.scenario)
+            print(f"  {result.scenario.name} ({detail}):")
+            for mismatch in result.mismatches:
+                print(f"    {mismatch}")
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -381,6 +505,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="only errors on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # resolved once: every subparser shares the same registry-fed tuple
+    # instead of re-importing the engine registry per --engine flag
+    engines = engine_choices()
+
     asm = sub.add_parser("asm", help="assemble a RISC-V source file")
     asm.add_argument("file")
     asm.add_argument("-o", "--output")
@@ -392,12 +520,19 @@ def build_parser() -> argparse.ArgumentParser:
     dis.add_argument("--base", type=_parse_base, default=0)
     dis.set_defaults(func=cmd_dis)
 
-    run = sub.add_parser("run", help="assemble and execute a program")
-    run.add_argument("file")
+    run = sub.add_parser("run", help="assemble and execute a program "
+                                     "(or a declarative scenario)")
+    run.add_argument("file", nargs="?",
+                     help="assembly source to run; optional with "
+                          "--scenario (the scenario's workload runs)")
+    run.add_argument("--scenario", metavar="FILE",
+                     help="scenario JSON driving the run (engine, seed, "
+                          "workload); explicit flags and the positional "
+                          "file override scenario fields")
     run.add_argument("--base", type=_parse_base, default=0)
     run.add_argument("--functional", action="store_true",
                      help="use the functional ISS instead of the pipeline")
-    run.add_argument("--engine", choices=engine_choices(),
+    run.add_argument("--engine", choices=engines,
                      help="execution engine: 'accurate' (default) keeps the "
                           "cycle-accurate pipeline / functional ISS, the "
                           "others swap in faster host-side backends with "
@@ -449,7 +584,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--metrics-dir", metavar="DIR",
                      help="write per-experiment metrics JSON plus an "
                           "aggregate OpenMetrics file into DIR")
-    exp.add_argument("--engine", choices=engine_choices(),
+    exp.add_argument("--scenario", metavar="FILE",
+                     help="scenario JSON configuring the session (engine, "
+                          "seed); --engine and --cache-dir override its "
+                          "fields")
+    exp.add_argument("--engine", choices=engines,
                      help="execution engine for the session (the fast "
                           "engines swap in batched BNN kernels; results "
                           "are identical)")
@@ -476,9 +615,44 @@ def build_parser() -> argparse.ArgumentParser:
                         help="measure only; do not write a BENCH file")
     benchp.add_argument("--no-experiments", action="store_true",
                         help="skip the paper-anchor experiment metrics")
+    benchp.add_argument("--scenario", metavar="FILE",
+                        help="scenario JSON configuring the bench session "
+                             "(engine, seed); recorded in the BENCH "
+                             "document")
     benchp.add_argument("--json", action="store_true",
                         help="print the BENCH document on stdout")
     benchp.set_defaults(func=cmd_bench)
+
+    scen = sub.add_parser("scenario",
+                          help="validate or canonicalize scenario JSON "
+                               "files")
+    scen_sub = scen.add_subparsers(dest="action", required=True)
+    scen_validate = scen_sub.add_parser(
+        "validate", help="validate scenario files against the schema")
+    scen_validate.add_argument("files", nargs="+", metavar="FILE")
+    scen_validate.set_defaults(func=cmd_scenario)
+    scen_show = scen_sub.add_parser(
+        "show", help="print one scenario's canonical JSON form")
+    scen_show.add_argument("file", metavar="FILE")
+    scen_show.set_defaults(func=cmd_scenario)
+
+    fuzz = sub.add_parser("fuzz",
+                          help="differentially fuzz random scenarios "
+                               "across every registered engine")
+    fuzz.add_argument("--count", type=int, default=25,
+                      help="number of random scenarios (default 25)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="fuzzer seed; the same seed replays the same "
+                           "scenario sequence (default 0)")
+    fuzz.add_argument("--engines", nargs="+", choices=engines,
+                      metavar="NAME",
+                      help="engines to compare (default: every "
+                           "registered engine; first is the oracle)")
+    fuzz.add_argument("--kind", nargs="+", choices=("bnn", "cpu"),
+                      help="restrict generated workload kinds")
+    fuzz.add_argument("--json", action="store_true",
+                      help="print per-scenario results as JSON")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     info = sub.add_parser("info", help="print the modelled chip specs")
     info.add_argument("--json", action="store_true",

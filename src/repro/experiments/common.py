@@ -53,6 +53,9 @@ class ExperimentResult:
     metrics: List[Metric] = field(default_factory=list)
     series: Dict[str, Sequence] = field(default_factory=dict)
     notes: str = ""
+    #: canonical scenario dict the result was produced under (filled in
+    #: by the runner from the session config; None for bare constructions)
+    scenario: Optional[Dict] = None
 
     def add(self, name: str, measured: float, paper: Optional[float] = None,
             unit: str = "") -> None:
@@ -87,6 +90,7 @@ class ExperimentResult:
             "metrics": [metric.to_dict() for metric in self.metrics],
             "series": sorted(self.series),
             "notes": self.notes,
+            "scenario": self.scenario,
         }
 
     def to_markdown(self) -> str:

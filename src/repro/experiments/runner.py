@@ -102,12 +102,16 @@ def run_experiment(name: str, use_cache: bool = True,
         result = build()
         cache_hit = False
     wall_time = round(time.perf_counter() - start, 6)
+    scenario_dict = session.config.effective_scenario.to_dict()
+    if result.scenario is None:
+        result.scenario = scenario_dict
     setattr(result, RUN_META_ATTR, {
         "name": name,
         "wall_time_s": wall_time,
         "cache_hit": cache_hit,
         "trace_path": traced_path,
         "engine": session.config.engine,
+        "scenario": scenario_dict,
     })
     session.stats.emit("experiment.finished", name=name,
                        worker=os.getpid(), wall_time_s=wall_time,

@@ -15,6 +15,7 @@ never pollute the caller's stats registry or artifact cache.
 
 from __future__ import annotations
 
+import dataclasses
 import shutil
 import tempfile
 import time
@@ -24,6 +25,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.logutil import get_logger
 from repro.metrics.model import RunManifest, summarize
+from repro.scenario.schema import EngineSpec, Scenario, WorkloadSpec
 
 #: schema tag written into every BENCH file
 BENCH_SCHEMA = "repro-bench/1"
@@ -77,7 +79,13 @@ class BenchSpec:
     ``func(quick)`` performs a single measured repetition and returns the
     work counters it completed (simulated cycles, inferences, words, ...);
     the harness times the call and derives ``work[work_key] / wall`` as
-    the benchmark's throughput.
+    the benchmark's throughput.  ``scenario`` is the declarative
+    full-size configuration the benchmark realizes (workload shape,
+    engine, batch size); workload-shaped benches build their kernels /
+    models from it, and its canonical dict rides along in the BENCH
+    document so trajectory files say exactly what was measured.
+    Harness-shaped benches (DMA copy, runner cache timing) have no
+    scenario.
     """
 
     name: str
@@ -85,19 +93,21 @@ class BenchSpec:
     work_key: str
     unit: str
     help: str = ""
+    scenario: Optional[Scenario] = None
 
 
 _REGISTRY: Dict[str, BenchSpec] = {}
 
 
-def bench(name: str, *, work_key: str, unit: str, help: str = ""):
+def bench(name: str, *, work_key: str, unit: str, help: str = "",
+          scenario: Optional[Scenario] = None):
     """Register the decorated function as the benchmark ``name``."""
 
     def decorator(func: Callable[[bool], Mapping[str, float]]):
         if name in _REGISTRY:
             raise ValueError(f"benchmark {name!r} registered twice")
         _REGISTRY[name] = BenchSpec(name=name, func=func, work_key=work_key,
-                                    unit=unit, help=help)
+                                    unit=unit, help=help, scenario=scenario)
         return func
 
     return decorator
@@ -114,76 +124,101 @@ def select(patterns: Optional[List[str]] = None) -> List[str]:
 
 
 # -- the registered benchmarks ------------------------------------------
-def _assemble(source: str):
-    from repro.isa import assemble
+def _sized_workload(scenario: Scenario, quick: bool,
+                    quick_iterations: int) -> Scenario:
+    """The scenario, with its iteration count dropped in quick mode."""
+    if not quick:
+        return scenario
+    return scenario.with_overrides(workload=dataclasses.replace(
+        scenario.workload, iterations=quick_iterations))
 
-    return assemble(source)
 
+def _register_cpu_bench(name: str, scenario: Scenario, *,
+                        quick_iterations: int, work_key: str,
+                        unit: str, help: str) -> None:
+    """Register one CPU-kernel bench declared by a :class:`Scenario`.
 
-def _register_dhrystone_bench(name: str, engine: str, *,
-                              prefer_functional: bool, work_key: str,
-                              unit: str, help: str) -> None:
-    """Register one Dhrystone bench driving the named registered engine.
-
-    The CPU benches are parametrized over the engine registry: each one
-    resolves its engine by name through :func:`repro.engine.get_engine`
-    and runs the same kernel through ``run_program``, so a new backend
-    gets benchmarked by adding one registration line here.
+    The CPU benches are parametrized over the engine registry through
+    the scenario's engine spec: each one assembles the scenario's kernel
+    (:func:`repro.scenario.materialize.build_program`) and runs it
+    through ``run_program``, so a new backend gets benchmarked by
+    registering one more scenario here.
     """
 
-    @bench(name, work_key=work_key, unit=unit, help=help)
+    @bench(name, work_key=work_key, unit=unit, help=help,
+           scenario=scenario)
     def _bench(quick: bool) -> Dict[str, float]:
         from repro.engine import get_engine
-        from repro.workloads.dhrystone import dhrystone_asm
+        from repro.scenario.materialize import build_program
 
-        program = _assemble(dhrystone_asm(iterations=5 if quick else 40))
-        _, result = get_engine(engine).run_program(
-            program, prefer_functional=prefer_functional)
+        sized = _sized_workload(scenario, quick, quick_iterations)
+        _, result = get_engine(scenario.engine.name).run_program(
+            build_program(sized),
+            prefer_functional=scenario.engine.prefer_functional)
         return {"cycles": result.stats.cycles,
                 "instructions": result.stats.instructions}
 
 
-_register_dhrystone_bench(
-    "cpu.pipeline.dhrystone", "accurate", prefer_functional=False,
-    work_key="cycles", unit="cycles/s",
+def _cpu_scenario(name: str, program: str, iterations: int, engine: str,
+                  prefer_functional: bool = False) -> Scenario:
+    return Scenario(
+        name=name,
+        workload=WorkloadSpec(kind="cpu", name=program, layer_sizes=(),
+                              iterations=iterations),
+        engine=EngineSpec(name=engine,
+                          prefer_functional=prefer_functional),
+        batch_size=1)
+
+
+_register_cpu_bench(
+    "cpu.pipeline.dhrystone",
+    _cpu_scenario("cpu.pipeline.dhrystone", "dhrystone", 40, "accurate"),
+    quick_iterations=5, work_key="cycles", unit="cycles/s",
     help="pipelined-CPU simulation speed on the Dhrystone kernel")
-_register_dhrystone_bench(
-    "cpu.functional.dhrystone", "accurate", prefer_functional=True,
-    work_key="instructions", unit="instr/s",
+_register_cpu_bench(
+    "cpu.functional.dhrystone",
+    _cpu_scenario("cpu.functional.dhrystone", "dhrystone", 40, "accurate",
+                  prefer_functional=True),
+    quick_iterations=5, work_key="instructions", unit="instr/s",
     help="functional-ISS simulation speed on the Dhrystone kernel "
          "(scalar baseline for the fast-path engine)")
-_register_dhrystone_bench(
-    "cpu.fastpath.dhrystone", "fast", prefer_functional=False,
-    work_key="instructions", unit="instr/s",
+_register_cpu_bench(
+    "cpu.fastpath.dhrystone",
+    _cpu_scenario("cpu.fastpath.dhrystone", "dhrystone", 40, "fast"),
+    quick_iterations=5, work_key="instructions", unit="instr/s",
     help="fast-path (basic-block) interpreter speed on the Dhrystone "
          "kernel, block compilation included (--engine fast)")
+_register_cpu_bench(
+    "cpu.pipeline.hotspot",
+    _cpu_scenario("cpu.pipeline.hotspot", "hotspot", 50, "accurate"),
+    quick_iterations=5, work_key="cycles", unit="cycles/s",
+    help="pipelined-CPU simulation speed on the hazard-heavy hotspot "
+         "kernel (examples/hotspot.s)")
 
 
-@bench("cpu.pipeline.hotspot", work_key="cycles", unit="cycles/s",
-       help="pipelined-CPU simulation speed on the hazard-heavy hotspot "
-            "kernel (examples/hotspot.s)")
-def _bench_hotspot(quick: bool) -> Dict[str, float]:
-    from repro.engine import get_engine
-
-    program = _assemble(hotspot_asm(passes=5 if quick else 50))
-    _, result = get_engine("accurate").run_program(program)
-    return {"cycles": result.stats.cycles,
-            "instructions": result.stats.instructions}
+#: the paper-shaped classifier every BNN bench infers (4 layers, 100
+#: neurons, 10 classes — the fabricated chip's array)
+def _bnn_scenario(name: str, engine: str, batch_size: int) -> Scenario:
+    return Scenario(
+        name=name,
+        workload=WorkloadSpec(kind="bnn", name="random",
+                              layer_sizes=(100, 100, 100, 10)),
+        engine=EngineSpec(name=engine),
+        seed=0, batch_size=batch_size)
 
 
 @bench("bnn.accelerator.infer", work_key="inferences", unit="inferences/s",
-       help="BNN accelerator functional+timing inference throughput")
+       help="BNN accelerator functional+timing inference throughput",
+       scenario=_bnn_scenario("bnn.accelerator.infer", "accurate", 200))
 def _bench_bnn_infer(quick: bool) -> Dict[str, float]:
-    import numpy as np
+    from repro.bnn import BNNAccelerator
+    from repro.scenario.materialize import build_inputs, build_model
 
-    from repro.bnn import BNNAccelerator, BNNModel
-
-    rng = np.random.default_rng(0)
-    model = BNNModel.random([100, 100, 100, 10], rng)
+    scenario = _REGISTRY["bnn.accelerator.infer"].scenario
+    model = build_model(scenario)
     accelerator = BNNAccelerator()
-    n = 20 if quick else 200
-    inputs = np.sign(rng.standard_normal((n, 100))).astype(np.int8)
-    inputs[inputs == 0] = 1
+    n = 20 if quick else scenario.batch_size
+    inputs = build_inputs(scenario, batch_size=n)
     cycles = 0
     for row in inputs:
         cycles += accelerator.infer(model, row).cycles
@@ -199,27 +234,26 @@ def _register_batch_infer_bench(name: str, engine: str, *, n_quick: int,
                                 n_full: int, help: str) -> None:
     """Register a whole-batch inference bench for one registered engine.
 
-    All batch benches share the model and input recipe, so their numbers
-    are directly comparable across engines (fast vs parallel).
+    All batch benches share the scenario's model and input recipe, so
+    their numbers are directly comparable across engines (fast vs
+    parallel).
     """
+    scenario = _bnn_scenario(name, engine, n_full)
 
-    @bench(name, work_key="inferences", unit="inferences/s", help=help)
+    @bench(name, work_key="inferences", unit="inferences/s", help=help,
+           scenario=scenario)
     def _bench(quick: bool) -> Dict[str, float]:
-        import numpy as np
-
-        from repro.bnn import BNNAccelerator, BNNModel
+        from repro.bnn import BNNAccelerator
+        from repro.scenario.materialize import build_inputs, build_model
 
         global _BATCHED_MODEL
         if _BATCHED_MODEL is None:
-            _BATCHED_MODEL = BNNModel.random([100, 100, 100, 10],
-                                             np.random.default_rng(0))
-        rng = np.random.default_rng(1)
+            _BATCHED_MODEL = build_model(scenario)
         accelerator = BNNAccelerator()
-        n = n_quick if quick else n_full
-        inputs = np.sign(rng.standard_normal((n, 100))).astype(np.int8)
-        inputs[inputs == 0] = 1
+        n = n_quick if quick else scenario.batch_size
+        inputs = build_inputs(scenario, batch_size=n)
         _, timing = accelerator.infer_batch(_BATCHED_MODEL, inputs,
-                                            engine=engine)
+                                            engine=scenario.engine.name)
         return {"inferences": n, "simulated_cycles": timing.total_cycles}
 
 
@@ -285,15 +319,27 @@ def _bench_runner_warm(quick: bool) -> Dict[str, float]:
 # -- harness -------------------------------------------------------------
 def run_benchmark(spec: BenchSpec, repeats: int = DEFAULT_REPEATS,
                   warmup: int = DEFAULT_WARMUP,
-                  quick: bool = False) -> Dict[str, Any]:
-    """Measure one benchmark: warmup + N timed repeats, median/min/IQR."""
-    from repro.sim import use_session
+                  quick: bool = False,
+                  session_scenario: Optional[Scenario] = None
+                  ) -> Dict[str, Any]:
+    """Measure one benchmark: warmup + N timed repeats, median/min/IQR.
+
+    ``session_scenario`` (``repro bench --scenario``) configures the
+    throwaway measurement session — engine default and seed — without
+    touching the caller's session; caching stays off either way.
+    """
+    from repro.sim import SimConfig, SimSession, use_session
 
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    if session_scenario is not None:
+        session = SimSession(SimConfig.from_scenario(
+            session_scenario, cache_enabled=False))
+    else:
+        session = SimSession(SimConfig(cache_enabled=False))
     times: List[float] = []
     work: Mapping[str, float] = {}
-    with use_session(cache_enabled=False):
+    with use_session(session):
         for _ in range(warmup):
             spec.func(quick)
         for _ in range(repeats):
@@ -313,6 +359,7 @@ def run_benchmark(spec: BenchSpec, repeats: int = DEFAULT_REPEATS,
         "repeats": repeats,
         "warmup": warmup,
         "quick": quick,
+        "scenario": spec.scenario.to_dict() if spec.scenario else None,
         "work": {key: float(value) for key, value in sorted(work.items())},
         "work_key": spec.work_key,
         "wall_s": wall,
@@ -343,8 +390,15 @@ def run_benchmarks(patterns: Optional[List[str]] = None, *,
                    repeats: int = DEFAULT_REPEATS,
                    warmup: int = DEFAULT_WARMUP,
                    quick: bool = False,
-                   with_experiments: bool = True) -> Dict[str, Any]:
-    """Run the selected benchmarks and build the BENCH document."""
+                   with_experiments: bool = True,
+                   scenario: Optional[Scenario] = None) -> Dict[str, Any]:
+    """Run the selected benchmarks and build the BENCH document.
+
+    Every registered benchmark's own declarative scenario lands in its
+    result entry; ``scenario`` (``repro bench --scenario FILE``)
+    additionally configures the measurement sessions and is recorded at
+    the document's top level.
+    """
     if quick:
         repeats, warmup = min(repeats, 2), 0
     names = select(patterns)
@@ -352,7 +406,8 @@ def run_benchmarks(patterns: Optional[List[str]] = None, *,
     for index, name in enumerate(names):
         logger.info("bench %d/%d %s ...", index + 1, len(names), name)
         results[name] = run_benchmark(_REGISTRY[name], repeats=repeats,
-                                      warmup=warmup, quick=quick)
+                                      warmup=warmup, quick=quick,
+                                      session_scenario=scenario)
         logger.info("bench %s: median %.4fs (%s %.0f %s)", name,
                     results[name]["wall_s"]["median"], "median",
                     results[name]["throughput"]["median"],
@@ -367,6 +422,7 @@ def run_benchmarks(patterns: Optional[List[str]] = None, *,
         "quick": quick,
         "repeats": repeats,
         "warmup": warmup,
+        "scenario": scenario.to_dict() if scenario else None,
         "benchmarks": results,
         "experiments": experiments,
     }

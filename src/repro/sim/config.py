@@ -14,9 +14,10 @@ import inspect
 import json
 import os
 from pathlib import Path
-from typing import Any, Mapping, Tuple
+from typing import Any, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.scenario.schema import Scenario
 
 #: environment variable overriding the artifact-cache root directory
 CACHE_ENV_VAR = "REPRO_CACHE_DIR"
@@ -81,13 +82,14 @@ def source_fingerprint(obj: Any) -> str:
 class SimConfig:
     """Configuration of one simulation session.
 
-    ``seed`` and ``params`` identify the simulated configuration and feed
-    the deterministic :attr:`hash`; ``cache_dir``/``cache_enabled`` only
-    say where artifacts are stored and are deliberately excluded from it.
-    ``engine`` names a backend registered in :mod:`repro.engine`
-    (``accurate``, ``fast``, ``parallel``, ...); every engine produces
-    identical architectural results (the equivalence suites pin this), so
-    the engine is excluded from the hash too.
+    ``seed``, ``params`` and ``scenario`` identify the simulated
+    configuration and feed the deterministic :attr:`hash`;
+    ``cache_dir``/``cache_enabled`` only say where artifacts are stored
+    and are deliberately excluded from it.  ``engine`` names a backend
+    registered in :mod:`repro.engine` (``accurate``, ``fast``,
+    ``parallel``, ...); every engine produces identical architectural
+    results (the equivalence suites pin this), so the engine — and the
+    scenario's engine spec — are excluded from the hash too.
     """
 
     cache_dir: str = DEFAULT_CACHE_DIR
@@ -95,6 +97,7 @@ class SimConfig:
     seed: int = 0
     params: Tuple[Tuple[str, Any], ...] = ()
     engine: str = DEFAULT_ENGINE
+    scenario: Optional[Scenario] = None
 
     def __post_init__(self):
         # imported lazily: repro.engine loads provider modules that import
@@ -102,19 +105,51 @@ class SimConfig:
         from repro.engine import ensure_known
 
         ensure_known(self.engine)
+        if self.scenario is not None and \
+                not isinstance(self.scenario, Scenario):
+            raise ConfigurationError(
+                f"SimConfig.scenario: expected a Scenario, "
+                f"got {self.scenario!r}")
 
     @classmethod
     def from_env(cls, environ: Mapping[str, str] | None = None) -> "SimConfig":
         """Build a config from ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` /
-        ``REPRO_ENGINE``."""
+        ``REPRO_ENGINE``.
+
+        The engine name is validated here, against the live registry,
+        before anything else is constructed — so ``repro run``/``bench``
+        with a bad ``REPRO_ENGINE`` fail fast with the registered-engine
+        list instead of deep inside program assembly.
+        """
         env = os.environ if environ is None else environ
         disabled = env.get(NO_CACHE_ENV_VAR, "").lower() not in ("", "0", "false")
+        engine = env.get(ENGINE_ENV_VAR, DEFAULT_ENGINE)
         try:
-            return cls(cache_dir=env.get(CACHE_ENV_VAR, DEFAULT_CACHE_DIR),
-                       cache_enabled=not disabled,
-                       engine=env.get(ENGINE_ENV_VAR, DEFAULT_ENGINE))
+            from repro.engine import ensure_known
+
+            ensure_known(engine)
         except ConfigurationError as exc:
             raise ConfigurationError(f"{ENGINE_ENV_VAR}: {exc}") from exc
+        return cls(cache_dir=env.get(CACHE_ENV_VAR, DEFAULT_CACHE_DIR),
+                   cache_enabled=not disabled, engine=engine)
+
+    @classmethod
+    def from_scenario(cls, scenario: Scenario,
+                      environ: Mapping[str, str] | None = None,
+                      **overrides: Any) -> "SimConfig":
+        """Build a config whose seed/engine/identity come from a scenario.
+
+        Cache location settings still come from the environment (or
+        explicit ``overrides``); the scenario provides the seed, the
+        engine and the canonical identity folded into :attr:`hash`.
+        """
+        base = cls.from_env(environ)
+        fields = dict(cache_dir=base.cache_dir,
+                      cache_enabled=base.cache_enabled,
+                      seed=scenario.seed, engine=scenario.engine.name,
+                      scenario=scenario)
+        fields.update(overrides)
+        return cls(**fields)
 
     def with_params(self, **params: Any) -> "SimConfig":
         """A copy with extra named parameters folded into the hash."""
@@ -131,6 +166,32 @@ class SimConfig:
         return Path(self.cache_dir).expanduser()
 
     @property
+    def effective_scenario(self) -> Scenario:
+        """The attached scenario, or a minimal one mirroring this config.
+
+        Always returns a :class:`~repro.scenario.schema.Scenario`, so
+        run metadata and reports can record the canonical scenario dict
+        whether or not the run was scenario-driven.
+        """
+        if self.scenario is not None:
+            return self.scenario
+        from repro.scenario.schema import EngineSpec
+
+        return Scenario(name="session-default", seed=self.seed,
+                        engine=EngineSpec(name=self.engine))
+
+    @property
     def hash(self) -> str:
-        """Deterministic identity of the simulated configuration."""
-        return config_hash({"seed": self.seed, "params": self.params})
+        """Deterministic identity of the simulated configuration.
+
+        The scenario joins the payload through its engine-free
+        :meth:`~repro.scenario.schema.Scenario.identity_dict` — the hash
+        changes whenever any scenario field changes, but stays stable
+        across engine swaps so cached artifacts are reusable (the PR-6
+        contract).  Configs without a scenario hash exactly as before,
+        keeping existing cached artifacts valid.
+        """
+        payload = {"seed": self.seed, "params": self.params}
+        if self.scenario is not None:
+            payload["scenario"] = self.scenario.identity_dict()
+        return config_hash(payload)

@@ -33,6 +33,21 @@ class SimSession:
         #: tracing is off; installed by :func:`repro.trace.install_tracer`)
         self.tracer = None
 
+    @classmethod
+    def from_scenario(cls, scenario, **config_overrides) -> "SimSession":
+        """A session configured from a declarative scenario.
+
+        ``scenario`` is a :class:`repro.scenario.schema.Scenario` (or a
+        path to a scenario JSON file); its seed/engine/identity flow
+        into the session's :class:`SimConfig`, so the config hash — and
+        therefore every cached artifact — keys on the scenario.
+        """
+        from repro.scenario.schema import Scenario
+
+        if not isinstance(scenario, Scenario):
+            scenario = Scenario.from_file(scenario)
+        return cls(SimConfig.from_scenario(scenario, **config_overrides))
+
     @property
     def config_hash(self) -> str:
         return self.config.hash

@@ -243,3 +243,56 @@ class TestModelArtifactCache:
 
         assert len(calls) == 1
         assert accuracies[0] == accuracies[1]
+
+
+class TestScenarioRecording:
+    @pytest.fixture()
+    def fake(self, session):
+        @registry.experiment("_scenario_test")
+        def build():
+            return ExperimentResult("_scenario_test", "synthetic")
+
+        yield
+        registry.unregister("_scenario_test")
+
+    def test_run_meta_carries_canonical_scenario(self, session, fake):
+        meta = runner.run_meta(runner.run_experiment("_scenario_test"))
+        scenario = meta["scenario"]
+        assert scenario == session.config.effective_scenario.to_dict()
+        assert scenario["engine"]["name"] == session.config.engine
+
+    def test_result_scenario_lands_in_reports(self, session, fake):
+        result = runner.run_experiment("_scenario_test")
+        assert result.scenario == \
+            session.config.effective_scenario.to_dict()
+        entry = json.loads(runner.render_json([result]))[0]
+        assert entry["scenario"]["seed"] == session.config.seed
+        assert entry["run"]["scenario"] == entry["scenario"]
+
+    def test_scenario_session_flows_into_meta(self, tmp_path, fake,
+                                              session):
+        from repro.scenario import Scenario
+
+        scenario = Scenario(name="meta-scenario", seed=9)
+        mine = SimSession(SimConfig.from_scenario(
+            scenario, environ={}, cache_dir=str(tmp_path)))
+        previous = set_session(mine)
+        try:
+            meta = runner.run_meta(
+                runner.run_experiment("_scenario_test"))
+        finally:
+            set_session(previous)
+        assert meta["scenario"]["name"] == "meta-scenario"
+        assert meta["scenario"]["seed"] == 9
+
+    def test_metrics_documents_carry_scenario(self, session, fake,
+                                              tmp_path):
+        result = runner.run_experiment("_scenario_test")
+        runner.write_experiment_metrics([result], tmp_path / "metrics")
+        document = json.loads(
+            (tmp_path / "metrics" / "_scenario_test.metrics.json")
+            .read_text())
+        assert document["run"]["scenario"]["name"] == \
+            session.config.effective_scenario.name
+        assert document["result"]["scenario"]["name"] == \
+            session.config.effective_scenario.name

@@ -98,3 +98,56 @@ class TestBenchDocument:
 
     def test_bench_filename_is_utc_stamp(self):
         assert bench_filename(0.0) == "BENCH_19700101-000000.json"
+
+
+class TestBenchScenarios:
+    def test_registered_workload_benches_declare_scenarios(self):
+        benches = all_benchmarks()
+        for name in REQUIRED:
+            spec = benches[name]
+            if name.startswith(("cpu.", "bnn.")):
+                assert spec.scenario is not None, name
+                assert spec.scenario.name == name
+            else:
+                assert spec.scenario is None, name
+
+    def test_result_carries_scenario_dict(self):
+        spec = all_benchmarks()["cpu.fastpath.dhrystone"]
+        result = run_benchmark(spec, repeats=1, warmup=0, quick=True)
+        recorded = result["scenario"]
+        assert recorded == spec.scenario.to_dict()
+        assert recorded["engine"]["name"] == "fast"
+        assert recorded["workload"]["name"] == "dhrystone"
+
+    def test_scenarioless_spec_records_none(self):
+        spec = BenchSpec(name="bare", func=lambda quick: {"n": 1},
+                         work_key="n", unit="n/s")
+        result = run_benchmark(spec, repeats=1, warmup=0)
+        assert result["scenario"] is None
+
+    def test_document_records_session_scenario(self):
+        from repro.scenario import Scenario
+
+        scenario = Scenario(name="bench-doc")
+        doc = run_benchmarks(["dma"], repeats=1, quick=True,
+                             with_experiments=False, scenario=scenario)
+        assert doc["scenario"] == scenario.to_dict()
+        assert doc["benchmarks"]["dma.transfer"]["scenario"] is None
+
+    def test_session_scenario_configures_measurement_session(self):
+        from repro.scenario import Scenario
+        from repro.sim import get_session
+
+        observed = {}
+
+        def spy(quick):
+            observed["config"] = get_session().config
+            return {"n": 1}
+
+        spec = BenchSpec(name="spy", func=spy, work_key="n", unit="n/s")
+        scenario = Scenario(name="bench-session", seed=21)
+        run_benchmark(spec, repeats=1, warmup=0,
+                      session_scenario=scenario)
+        assert observed["config"].seed == 21
+        assert observed["config"].scenario == scenario
+        assert not observed["config"].cache_enabled

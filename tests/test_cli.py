@@ -340,3 +340,205 @@ class TestBenchCli:
     def test_bench_unknown_pattern_fails(self, capsys):
         assert main(["bench", "no-such-benchmark"]) == 1
         assert "no benchmarks match" in capsys.readouterr().err
+
+
+@pytest.fixture
+def bnn_scenario_file(tmp_path):
+    import json
+
+    path = tmp_path / "bnn.json"
+    path.write_text(json.dumps({
+        "name": "cli-bnn",
+        "workload": {"kind": "bnn", "layer_sizes": [33, 20, 4]},
+        "engine": {"name": "fast"},
+        "seed": 5,
+        "batch_size": 6,
+    }))
+    return str(path)
+
+
+@pytest.fixture
+def cpu_scenario_file(tmp_path):
+    import json
+
+    path = tmp_path / "cpu.json"
+    path.write_text(json.dumps({
+        "name": "cli-cpu",
+        "workload": {"kind": "cpu", "name": "dhrystone", "iterations": 2},
+        "batch_size": 1,
+    }))
+    return str(path)
+
+
+class TestScenarioCli:
+    def test_validate_reports_ok_with_hash(self, bnn_scenario_file,
+                                           cpu_scenario_file, capsys):
+        assert main(["scenario", "validate", bnn_scenario_file,
+                     cpu_scenario_file]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok: ") == 2
+        assert "cli-bnn" in out and "cli-cpu" in out
+        assert "engine=fast" in out and "hash " in out
+
+    def test_validate_bad_field_exits_2(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"workload": {"kind": "gpu"}}))
+        assert main(["scenario", "validate", str(path)]) == 2
+        assert "scenario.workload.kind" in capsys.readouterr().err
+
+    def test_validate_missing_file_exits_2(self, capsys):
+        assert main(["scenario", "validate", "/nonexistent.json"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_validate_malformed_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{oops")
+        assert main(["scenario", "validate", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_show_prints_canonical_json(self, bnn_scenario_file, capsys):
+        import json
+
+        from repro.scenario import Scenario
+
+        assert main(["scenario", "show", bnn_scenario_file]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document == Scenario.from_file(bnn_scenario_file).to_dict()
+        assert document["batch_policy"] == "fixed"  # default filled in
+
+
+class TestRunScenario:
+    @pytest.fixture(autouse=True)
+    def _fresh_session(self):
+        from repro.sim import reset_session
+
+        reset_session()
+        yield
+        reset_session()
+
+    def test_run_bnn_scenario(self, bnn_scenario_file, capsys):
+        assert main(["run", "--scenario", bnn_scenario_file]) == 0
+        out = capsys.readouterr().out
+        assert "scenario: cli-bnn" in out
+        assert "engine=fast" in out
+        assert "batch=6" in out and "total_cycles=" in out
+
+    def test_run_bnn_scenario_stats_json(self, bnn_scenario_file, capsys):
+        import json
+
+        assert main(["run", "--scenario", bnn_scenario_file,
+                     "--stats-json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["name"] == "cli-bnn"
+        assert payload["batch_size"] == 6
+        assert len(payload["predictions"]) == 6
+
+    def test_run_cpu_scenario(self, cpu_scenario_file, capsys):
+        assert main(["run", "--scenario", cpu_scenario_file]) == 0
+        out = capsys.readouterr().out
+        assert "stop: halt" in out
+
+    def test_run_scenario_engine_flag_overrides_file(self,
+                                                     bnn_scenario_file,
+                                                     capsys):
+        assert main(["run", "--scenario", bnn_scenario_file,
+                     "--engine", "parallel"]) == 0
+        assert "engine=parallel" in capsys.readouterr().out
+
+    def test_run_scenario_installs_session_config(self, bnn_scenario_file):
+        from repro.sim import get_session
+
+        assert main(["run", "--scenario", bnn_scenario_file]) == 0
+        config = get_session().config
+        assert config.seed == 5
+        assert config.engine == "fast"
+        assert config.scenario is not None
+
+    def test_run_without_file_or_scenario_exits_2(self, capsys):
+        assert main(["run"]) == 2
+        assert "provide a program file" in capsys.readouterr().err
+
+    def test_run_missing_scenario_file_exits_2(self, capsys):
+        assert main(["run", "--scenario", "/nonexistent.json"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_positional_file_wins_over_scenario_workload(
+            self, source_file, bnn_scenario_file, capsys):
+        # the file runs on the scenario's engine, not the bnn workload
+        assert main(["run", source_file, "--scenario",
+                     bnn_scenario_file]) == 0
+        out = capsys.readouterr().out
+        assert "stop: halt" in out
+        assert "instructions=4" in out
+
+    def test_experiments_scenario_flag(self, bnn_scenario_file, tmp_path,
+                                       capsys, monkeypatch):
+        import json
+        import os
+
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        try:
+            assert main(["experiments", "--scenario", bnn_scenario_file,
+                         "--cache-dir", str(tmp_path), "--json",
+                         "fig07"]) == 0
+            assert os.environ.get("REPRO_ENGINE") == "fast"
+            entries = json.loads(capsys.readouterr().out)
+            assert entries[0]["run"]["scenario"]["name"] == "cli-bnn"
+            assert entries[0]["scenario"]["name"] == "cli-bnn"
+        finally:
+            os.environ.pop("REPRO_ENGINE", None)
+
+    def test_bench_scenario_flag(self, cpu_scenario_file, capsys):
+        import json
+
+        assert main(["bench", "dma", "--quick", "--no-experiments",
+                     "--repeats", "1", "--no-write", "--json",
+                     "--scenario", cpu_scenario_file]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["scenario"]["name"] == "cli-cpu"
+
+    def test_bench_benchmarks_carry_their_scenarios(self, capsys):
+        import json
+
+        assert main(["bench", "cpu.fastpath", "--quick",
+                     "--no-experiments", "--repeats", "1", "--no-write",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        recorded = doc["benchmarks"]["cpu.fastpath.dhrystone"]["scenario"]
+        assert recorded["workload"]["name"] == "dhrystone"
+        assert recorded["engine"]["name"] == "fast"
+
+    def test_bench_bad_engine_env_fails_fast(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "warp")
+        assert main(["bench", "--list"]) == 2
+        message = capsys.readouterr().err
+        assert "REPRO_ENGINE" in message and "warp" in message
+
+
+class TestFuzzCli:
+    def test_fuzz_small_run_agrees(self, capsys):
+        assert main(["fuzz", "--count", "3", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz: 3 scenarios" in out
+        assert "3 agreed, 0 mismatched (seed 0)" in out
+
+    def test_fuzz_json_document(self, capsys):
+        import json
+
+        assert main(["fuzz", "--count", "2", "--seed", "4", "--kind",
+                     "cpu", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert len(entries) == 2
+        assert all(entry["ok"] for entry in entries)
+        assert entries[0]["scenario"]["name"] == "fuzz-4-0"
+
+    def test_fuzz_engine_restriction(self, capsys):
+        assert main(["fuzz", "--count", "2", "--seed", "0", "--kind",
+                     "cpu", "--engines", "accurate", "fast"]) == 0
+        assert "[accurate, fast]" in capsys.readouterr().out
+
+    def test_fuzz_rejects_unknown_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--count", "1", "--engines", "warp"])

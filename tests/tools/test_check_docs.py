@@ -176,3 +176,48 @@ class TestEngineTableCheck:
         # accurate documented with a wrong flag
         assert any("`accurate`" in p and "timing_accurate" in p
                    for p in problems)
+
+
+class TestScenarioTableCheck:
+    def test_repo_tables_in_sync(self, check_docs):
+        assert check_docs.check_scenario_tables() == []
+
+    def test_missing_document_reported(self, check_docs, tmp_path,
+                                       monkeypatch):
+        monkeypatch.setattr(check_docs, "SCENARIOS_MD",
+                            tmp_path / "SCENARIOS.md")
+        problems = check_docs.check_scenario_tables()
+        assert problems and "missing" in problems[0]
+
+    def test_missing_table_reported(self, check_docs, tmp_path,
+                                    monkeypatch):
+        sparse = tmp_path / "SCENARIOS.md"
+        sparse.write_text("prose without any field tables\n")
+        monkeypatch.setattr(check_docs, "SCENARIOS_MD", sparse)
+        problems = check_docs.check_scenario_tables()
+        assert len(problems) == len(check_docs.SCENARIO_TABLES)
+        assert all("not found" in p for p in problems)
+
+    def test_stale_table_reported(self, check_docs, tmp_path, monkeypatch):
+        real = (REPO_ROOT / "docs" / "SCENARIOS.md").read_text()
+        # drop a real field and add a phantom one in the workload table
+        stale = real.replace("| `iterations` |",
+                             "| `warp_factor` |", 1)
+        target = tmp_path / "SCENARIOS.md"
+        target.write_text(stale)
+        monkeypatch.setattr(check_docs, "SCENARIOS_MD", target)
+        problems = check_docs.check_scenario_tables()
+        assert any("WorkloadSpec.iterations" in p and "missing" in p
+                   for p in problems)
+        assert any("warp_factor" in p and "no such field" in p
+                   for p in problems)
+
+    def test_parser_stops_at_table_end(self, check_docs):
+        fields = check_docs.documented_scenario_fields(
+            "### Top-level `Scenario` fields\n\n"
+            "| field | type |\n|---|---|\n"
+            "| `name` | string |\n| `seed` | int |\n\n"
+            "prose | with a stray pipe and `fake` backticks\n"
+            "| `not_in_table` | nope |\n",
+            "### Top-level `Scenario` fields")
+        assert fields == {"name", "seed"}

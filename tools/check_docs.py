@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Documentation lint: links, CLI examples, probe table, engine table.
+"""Documentation lint: links, CLI examples, probe/engine/scenario tables.
 
-Four checks, each cheap enough for every CI run:
+Five checks, each cheap enough for every CI run:
 
 1. **Relative links** — every ``[text](target)`` in a tracked markdown file
    whose target is not an external URL or a pure anchor must point at an
@@ -18,6 +18,10 @@ Four checks, each cheap enough for every CI run:
    docs/ARCHITECTURE.md must list exactly the engines registered in
    ``repro.engine`` with their live capability flags, so registering a
    new backend (or changing flags) forces the docs to follow.
+5. **Scenario field tables** — every field table in docs/SCENARIOS.md
+   must list exactly the fields of the matching dataclass in
+   ``repro.scenario.schema``, so adding or removing a scenario
+   dimension forces the schema reference to follow.
 
 Exit status: 0 when everything passes, 1 with a per-finding report
 otherwise.  Run from anywhere: paths resolve relative to the repo root.
@@ -303,11 +307,72 @@ def check_engine_table() -> List[str]:
     return problems
 
 
+# -- check 5: scenario field tables --------------------------------------
+SCENARIOS_MD = REPO_ROOT / "docs" / "SCENARIOS.md"
+
+#: (docs/SCENARIOS.md table anchor, repro.scenario.schema class name)
+SCENARIO_TABLES = (
+    ("### Top-level `Scenario` fields", "Scenario"),
+    ("### `workload` fields (`WorkloadSpec`)", "WorkloadSpec"),
+    ("### `engine` fields (`EngineSpec`)", "EngineSpec"),
+    ("### `device` fields (`DevicePoint`)", "DevicePoint"),
+)
+
+_FIELD_ROW_RE = re.compile(r"^\|\s*`([a-z_]+)`\s*\|")
+
+
+def documented_scenario_fields(text: str, anchor: str) -> Set[str]:
+    """Field names listed in the table right after ``anchor``."""
+    if anchor not in text:
+        return set()
+    names = set()
+    for line in text.split(anchor, 1)[1].splitlines():
+        match = _FIELD_ROW_RE.match(line.strip())
+        if match:
+            names.add(match.group(1))
+        elif names and not line.strip().startswith("|"):
+            break
+    return names
+
+
+def check_scenario_tables() -> List[str]:
+    import dataclasses
+
+    sys.path.insert(0, str(SRC))
+    try:
+        from repro.scenario import schema
+    finally:
+        sys.path.pop(0)
+    if not SCENARIOS_MD.exists():
+        return ["docs/SCENARIOS.md: missing (scenario schema reference)"]
+    text = SCENARIOS_MD.read_text()
+    problems = []
+    for anchor, class_name in SCENARIO_TABLES:
+        documented = documented_scenario_fields(text, anchor)
+        if not documented:
+            problems.append(
+                f"docs/SCENARIOS.md: field table '{anchor}' not found")
+            continue
+        live = {field.name
+                for field in dataclasses.fields(getattr(schema, class_name))}
+        for name in sorted(live - documented):
+            problems.append(
+                f"scenario field `{class_name}.{name}` exists in the "
+                f"schema but is missing from the docs/SCENARIOS.md table "
+                f"'{anchor}'")
+        for name in sorted(documented - live):
+            problems.append(
+                f"scenario field `{name}` documented under '{anchor}' in "
+                f"docs/SCENARIOS.md but {class_name} has no such field")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="check_docs",
         description="lint markdown links, CLI examples, the probe table, "
-                    "and the engine registry table")
+                    "the engine registry table, and the scenario field "
+                    "tables")
     parser.add_argument("--quiet", action="store_true",
                         help="print only failures")
     args = parser.parse_args(argv)
@@ -317,6 +382,7 @@ def main(argv=None) -> int:
     problems += check_cli_examples(files)
     problems += check_probe_table()
     problems += check_engine_table()
+    problems += check_scenario_tables()
     if problems:
         for problem in problems:
             print(f"FAIL {problem}")
@@ -324,7 +390,8 @@ def main(argv=None) -> int:
         return 1
     if not args.quiet:
         print(f"docs ok: {len(files)} markdown files, links + CLI examples "
-              "+ probe table + engine table all consistent")
+              "+ probe table + engine table + scenario tables all "
+              "consistent")
     return 0
 
 
