@@ -174,11 +174,20 @@ def _as_sign_batch(model: BNNModel, x_signs: np.ndarray) -> np.ndarray:
     return x
 
 
+def encode_batch(model: BNNModel, x_signs: np.ndarray) -> np.ndarray:
+    """Validate a sign batch against ``model`` and bit-pack its rows.
+
+    The one input-encoding step of the fast path, shared by the serial
+    kernels and the parallel engine's shard workers so both sides encode
+    identically (same validation, same packing).
+    """
+    return pack_sign_rows(_as_sign_batch(model, x_signs))
+
+
 def batched_scores(model: BNNModel, x_signs: np.ndarray) -> np.ndarray:
     """Integer class scores ``(batch, n_classes)``, bit-identical to the
     scalar path (``np.stack([model.scores(x) for x in x_signs])``)."""
-    x = _as_sign_batch(model, x_signs)
-    return packed_model(model).scores(pack_sign_rows(x))
+    return packed_model(model).scores(encode_batch(model, x_signs))
 
 
 def batched_predict(model: BNNModel, x_signs: np.ndarray) -> np.ndarray:

@@ -13,8 +13,11 @@ Exactness is free: chunks are concatenated in submission order and each
 chunk runs the very same packed kernels, so scores are **bit-identical**
 to the ``fast`` and ``accurate`` engines (the three-way differential
 suite pins this).  Worker processes never touch the parent's
-:class:`~repro.sim.StatsRegistry`; cycle/MAC/probe accounting stays in
-the accelerator timing model, engine-independent.
+:class:`~repro.sim.StatsRegistry`; cycle/MAC accounting stays in the
+accelerator timing model, engine-independent.  The parent-side shard
+loop *does* emit ``bnn.parallel.shard``/``merge``/``fallback`` probe
+events so the fan-out cost (pickle + IPC + queue wait) is observable —
+the ``repro.obs`` layer and the trace bridge consume them.
 
 Tuning knobs: ``REPRO_PARALLEL_WORKERS`` caps the pool size (default:
 host CPU count), and batches below :data:`MIN_PARALLEL_BATCH` rows (or
@@ -26,7 +29,9 @@ from __future__ import annotations
 
 import atexit
 import itertools
+import logging
 import os
+import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Tuple
@@ -36,13 +41,15 @@ import numpy as np
 from repro.bnn.batched import (
     PackedModel,
     batched_scores,
-    pack_sign_rows,
+    encode_batch,
     _as_sign_batch,
 )
 from repro.bnn.model import BNNModel
 from repro.cpu.fastpath import FastEngine
 from repro.engine import EngineCapabilities, register_engine
 from repro.errors import ConfigurationError
+
+logger = logging.getLogger(__name__)
 
 #: environment variable capping the shard pool size (default: CPU count)
 PARALLEL_WORKERS_ENV_VAR = "REPRO_PARALLEL_WORKERS"
@@ -104,12 +111,21 @@ def chunk_bounds(n_rows: int, workers: int,
 _WORKER_PACKED: Dict[str, PackedModel] = {}
 
 
-def _score_chunk(token: str, model: BNNModel, rows: np.ndarray) -> np.ndarray:
+def _score_chunk(token: str, model: BNNModel,
+                 rows: np.ndarray) -> Tuple[np.ndarray, float, float]:
+    """Score one shard; returns ``(scores, worker_start_s, compute_s)``.
+
+    ``worker_start_s`` is the worker's ``perf_counter`` on entry — on
+    Linux that is CLOCK_MONOTONIC, system-wide, so the parent can
+    subtract its own submit timestamp to measure queue wait.
+    """
+    worker_start = time.perf_counter()
     packed = _WORKER_PACKED.get(token)
     if packed is None:
         packed = PackedModel.from_model(model)
         _WORKER_PACKED[token] = packed
-    return packed.scores(pack_sign_rows(rows))
+    scores = packed.scores(encode_batch(model, rows))
+    return scores, worker_start, time.perf_counter() - worker_start
 
 
 # -- parent side ----------------------------------------------------------
@@ -153,6 +169,24 @@ def shutdown_pool() -> None:
 atexit.register(shutdown_pool)
 
 
+#: the serial fallback logs once per process, not once per batch
+_FALLBACK_LOGGED = False
+
+
+def _note_fallback(n_rows: int, reason: str) -> None:
+    """Surface a serial fallback: probe event always, log line once."""
+    global _FALLBACK_LOGGED
+    from repro.sim import get_session
+
+    get_session().stats.emit("bnn.parallel.fallback",
+                             rows=int(n_rows), reason=reason)
+    if not _FALLBACK_LOGGED:
+        _FALLBACK_LOGGED = True
+        logger.info(
+            "parallel engine taking the serial fallback (%s, batch=%d); "
+            "further fallbacks are probe-only", reason, n_rows)
+
+
 def parallel_scores(model: BNNModel, x_signs: np.ndarray, *,
                     workers: Optional[int] = None,
                     min_batch: int = MIN_PARALLEL_BATCH) -> np.ndarray:
@@ -161,18 +195,51 @@ def parallel_scores(model: BNNModel, x_signs: np.ndarray, *,
     Bit-identical to :func:`~repro.bnn.batched.batched_scores`; falls
     back to the serial kernels when the batch is below ``min_batch``,
     only one worker is available, or the chunker cannot produce at least
-    two chunks.
+    two chunks.  A fallback emits a ``bnn.parallel.fallback`` probe (and
+    a once-per-process log line); the sharded path emits one
+    ``bnn.parallel.shard`` event per chunk carrying its serialize /
+    queue-wait / compute wall seconds, plus a closing
+    ``bnn.parallel.merge`` — the obs layer and the trace bridge turn
+    these into per-worker attribution.
     """
+    from repro.sim import get_session
+
     x = _as_sign_batch(model, x_signs)
     n_workers = default_workers() if workers is None else workers
     bounds = chunk_bounds(len(x), n_workers)
-    if n_workers <= 1 or len(x) < min_batch or len(bounds) <= 1:
+    if n_workers <= 1:
+        _note_fallback(len(x), "one usable worker")
         return batched_scores(model, x)
+    if len(x) < min_batch:
+        _note_fallback(len(x), f"batch below min_batch={min_batch}")
+        return batched_scores(model, x)
+    if len(bounds) <= 1:
+        _note_fallback(len(x), "batch fits a single chunk")
+        return batched_scores(model, x)
+    stats = get_session().stats
     token = _model_token(model)
     pool = _get_pool(n_workers)
-    futures = [pool.submit(_score_chunk, token, model, x[start:stop])
-               for start, stop in bounds]
-    return np.concatenate([future.result() for future in futures], axis=0)
+    futures = []
+    for start, stop in bounds:
+        submit_start = time.perf_counter()
+        future = pool.submit(_score_chunk, token, model, x[start:stop])
+        submit_end = time.perf_counter()
+        futures.append((future, submit_start, submit_end, stop - start))
+    chunks = []
+    for shard, (future, submit_start, submit_end, rows) in \
+            enumerate(futures):
+        scores, worker_start, compute_s = future.result()
+        chunks.append(scores)
+        stats.emit("bnn.parallel.shard", shard=shard, rows=int(rows),
+                   serialize_s=submit_end - submit_start,
+                   queue_wait_s=max(0.0, worker_start - submit_end),
+                   compute_s=compute_s)
+    merge_start = time.perf_counter()
+    merged = np.concatenate(chunks, axis=0)
+    stats.emit("bnn.parallel.merge", shards=len(chunks),
+               rows=int(len(merged)),
+               merge_s=time.perf_counter() - merge_start)
+    return merged
 
 
 def parallel_predict(model: BNNModel, x_signs: np.ndarray, *,
@@ -200,7 +267,8 @@ class ParallelEngine(FastEngine):
                    "across host processes (serial fallback for small "
                    "batches)")
     capabilities = EngineCapabilities(
-        timing_accurate=False, functional=True, batched=True, sharded=True)
+        timing_accurate=False, functional=True, batched=True, sharded=True,
+        phase_attribution=True)
 
     def scores(self, model: BNNModel, x_signs: np.ndarray) -> np.ndarray:
         return parallel_scores(model, x_signs)

@@ -11,6 +11,7 @@ Usage::
     python -m repro scenario validate FILE [FILE ...]
     python -m repro scenario show FILE
     python -m repro fuzz [--count N] [--seed S]
+    python -m repro attribute --scenario FILE [--engine NAME ...]
     python -m repro info [--json]
 
 Progress chatter goes through the ``repro`` logger to stderr (``-v`` /
@@ -386,8 +387,10 @@ def cmd_info(args: argparse.Namespace) -> int:
     print("execution engines (active marked *):")
     for entry in engine_table():
         marker = "*" if entry["name"] == active else " "
-        flags = ", ".join(sorted(flag for flag, value
-                                 in entry["capabilities"].items() if value))
+        # every capability flag, yes/no, in declaration order — so the
+        # absence of a capability is as visible as its presence
+        flags = ", ".join(f"{flag}={'yes' if value else 'no'}"
+                          for flag, value in entry["capabilities"].items())
         print(f"  {marker} {entry['name']:<9}: {entry['description']}")
         print(f"    {'':>9}  [{flags}]")
     _ = args
@@ -440,6 +443,83 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if doc["experiments"]:
         print(f"(+ {len(doc['experiments'])} paper-anchor experiment "
               f"metrics recorded)")
+    return 0
+
+
+def cmd_attribute(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        attribute_chained,
+        attribute_scenario,
+        attribution_document,
+        render_attribution,
+    )
+    from repro.scenario import Scenario
+    from repro.sim import SimSession, get_session, set_session
+
+    scenario = Scenario.from_file(args.scenario)
+    set_session(SimSession.from_scenario(scenario))
+    session = get_session()
+
+    tracer = None
+    if args.trace:
+        from repro.trace import install_tracer
+
+        tracer = install_tracer(session, capacity=None)
+    recorder = None
+    if args.metrics_out or args.metrics_json:
+        from repro.metrics import MetricsRecorder
+
+        recorder = MetricsRecorder(session)
+        recorder.__enter__()
+
+    # --engine repeats for A/B; default is the scenario's own engine
+    engines = args.engine or [scenario.engine.name]
+    runs = []
+    try:
+        for name in engines:
+            runs.append(attribute_scenario(scenario, engine=name))
+            if args.chained:
+                runs.append(attribute_chained(scenario, engine=name))
+    finally:
+        if recorder is not None:
+            recorder.__exit__(None, None, None)
+        if tracer is not None:
+            from repro.trace import uninstall_tracer
+
+            uninstall_tracer(session)
+
+    document = attribution_document(runs, scenario)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        logger.info("attribution: %d runs -> %s", len(runs), args.out)
+    if tracer is not None and args.trace:
+        from repro.trace import write_chrome_trace
+
+        payload = write_chrome_trace(tracer, args.trace)
+        logger.info("trace: %d events -> %s",
+                    payload["otherData"]["n_events"], args.trace)
+    if recorder is not None:
+        collection = recorder.collection
+        for attribution in runs:
+            collection.add_phase_attribution(attribution)
+        from repro.metrics import write_json, write_openmetrics
+
+        if args.metrics_out:
+            write_openmetrics(collection, args.metrics_out)
+            logger.info("metrics: %d series -> %s", len(collection),
+                        args.metrics_out)
+        if args.metrics_json:
+            write_json(collection, args.metrics_json)
+            logger.info("metrics: %d series -> %s", len(collection),
+                        args.metrics_json)
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(render_attribution(runs), end="")
     return 0
 
 
@@ -653,6 +733,38 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--json", action="store_true",
                       help="print per-scenario results as JSON")
     fuzz.set_defaults(func=cmd_fuzz)
+
+    att = sub.add_parser("attribute",
+                         help="split a scenario run into the six obs "
+                              "phases (simulated cycles + host wall time)")
+    att.add_argument("--scenario", metavar="FILE", required=True,
+                     help="scenario JSON naming the workload to attribute")
+    att.add_argument("--engine", action="append", choices=engines,
+                     metavar="NAME",
+                     help="engine to attribute; repeat for an A/B "
+                          "comparison across engines (default: the "
+                          "scenario's engine)")
+    att.add_argument("--chained", action="store_true",
+                     help="also attribute a two-core chained end-to-end "
+                          "inference (bnn scenarios with >= 2 layers)")
+    att.add_argument("--json", action="store_true",
+                     help="print the attribution document as JSON instead "
+                          "of markdown tables")
+    att.add_argument("--out", metavar="PATH",
+                     help="also write the attribution JSON document to "
+                          "PATH")
+    att.add_argument("--trace", metavar="PATH",
+                     help="write a Chrome/Perfetto trace of the attributed "
+                          "runs (obs.* phase tracks + bnn.parallel.* "
+                          "shard lanes)")
+    att.add_argument("--metrics-out", metavar="PATH",
+                     help="write OpenMetrics gauges/histograms of the "
+                          "attribution (per-phase cycles, wall seconds, "
+                          "fractions, shard samples)")
+    att.add_argument("--metrics-json", metavar="PATH",
+                     help="write the same metrics as a stable-ordered "
+                          "JSON document")
+    att.set_defaults(func=cmd_attribute)
 
     info = sub.add_parser("info", help="print the modelled chip specs")
     info.add_argument("--json", action="store_true",

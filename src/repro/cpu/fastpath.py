@@ -453,7 +453,8 @@ class FastEngine(BatchedBNNHalf, ExecutionEngine):
     description = ("basic-block interpreter (single-cycle timing) and "
                    "bit-packed whole-batch XNOR-popcount BNN kernels")
     capabilities = EngineCapabilities(
-        timing_accurate=False, functional=True, batched=True, sharded=False)
+        timing_accurate=False, functional=True, batched=True, sharded=False,
+        phase_attribution=True)
 
     def create_cpu(self, program: Program,
                    memory: Optional[DataMemory] = None,

@@ -25,7 +25,8 @@ class AccurateEngine(ExecutionEngine):
     description = ("cycle-accurate 5-stage pipeline (or functional ISS) "
                    "and scalar int32-matmul BNN inference")
     capabilities = EngineCapabilities(
-        timing_accurate=True, functional=True, batched=False, sharded=False)
+        timing_accurate=True, functional=True, batched=False, sharded=False,
+        phase_attribution=True)
 
     # -- CPU half ---------------------------------------------------------
     def create_cpu(self, program, memory=None, env=None, *,

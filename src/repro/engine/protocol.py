@@ -14,11 +14,14 @@ An *execution engine* is one named backend that can run RV32I programs
   traffic, per-mnemonic histograms and stop reasons match the
   functional golden model.  Only the *meaning of cycle counts* may
   differ, and :attr:`EngineCapabilities.timing_accurate` says which.
-* **BNN entry points never touch the session stats.**  Cycle/MAC/probe
+* **BNN entry points never touch the session counters.**  Cycle/MAC
   accounting lives in the accelerator timing model
   (:meth:`~repro.bnn.accelerator.BNNAccelerator.batch_timing`) and is
   engine-independent; an engine's ``scores``/``predict``/
-  ``hidden_forward`` are pure functions of the model and inputs.
+  ``hidden_forward`` compute pure functions of the model and inputs.
+  Engines *may* emit probe events describing their own host-side
+  execution (the ``parallel`` engine's ``bnn.parallel.*`` shard
+  attribution) — events are observability, not accounting.
 
 Concrete engines subclass :class:`ExecutionEngine` and register with
 :func:`~repro.engine.registry.register_engine`; callers resolve them
@@ -64,12 +67,16 @@ class EngineCapabilities:
       XNOR-popcount kernels instead of the scalar int32 matmul.
     * ``sharded`` — batched inference additionally fans out across host
       processes (with a serial fallback for small batches).
+    * ``phase_attribution`` — the engine's runs can be split into the
+      six-phase ``repro.obs`` vocabulary with exact sum-to-total cycle
+      accounting (``repro attribute`` refuses engines without it).
     """
 
     timing_accurate: bool
     functional: bool
     batched: bool
     sharded: bool = False
+    phase_attribution: bool = False
 
     def as_dict(self) -> Dict[str, bool]:
         """JSON-ready flag mapping (declaration order)."""

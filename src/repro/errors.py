@@ -37,3 +37,7 @@ class ConfigurationError(ReproError):
 
 class TrainingError(ReproError):
     """Neural network training failed to make progress or diverged."""
+
+
+class ObservabilityError(ReproError):
+    """A phase attribution violated its sum-to-total invariant."""

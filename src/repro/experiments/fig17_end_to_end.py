@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.core import SchedulerConfig, compare_end_to_end, items_for_fraction
 from repro.experiments.common import ExperimentResult
+from repro.obs import PHASES, phase_fractions, timeline_phase_cycles
 from repro.experiments.models import (
     PAPER_IMAGE_CPU_FRACTION,
     PAPER_MOTION_CPU_FRACTION,
@@ -109,6 +110,14 @@ def run() -> ExperimentResult:
         result.add(f"{name} single-NCPU degradation (paper fraction)",
                    single.single_core_degradation * 100,
                    paper=paper_degradation * 100, unit="%")
+        # where the dual-NCPU end-to-end cycles go, in the shared obs
+        # phase vocabulary (engine-independent scheduler output, so these
+        # fractions gate like any other deterministic anchor)
+        fractions = phase_fractions(
+            timeline_phase_cycles(comparison.ncpu_dual))
+        for phase in PHASES:
+            result.add(f"{name} ncpu2 phase fraction {phase}",
+                       fractions[phase] * 100, unit="%")
 
     saving = energy_saving_from_speedup(improvements["image"],
                                         PAPER_IMAGE_CPU_FRACTION)

@@ -327,6 +327,14 @@ def run_benchmark(spec: BenchSpec, repeats: int = DEFAULT_REPEATS,
     ``session_scenario`` (``repro bench --scenario``) configures the
     throwaway measurement session — engine default and seed — without
     touching the caller's session; caching stays off either way.
+
+    The returned entry keeps the raw per-repeat wall samples next to the
+    summary (``wall_s["samples"]``) so attribution variance and warmup
+    effects stay debuggable after the fact, and — for benches declared
+    by a scenario — a ``repro.obs`` phase ``attribution`` block of one
+    *full-size* scenario run.  Attribution cycles are simulation
+    outputs, identical on every machine and independent of ``quick``,
+    so the regression gate holds their ratios to tight tolerances.
     """
     from repro.sim import SimConfig, SimSession, use_session
 
@@ -339,6 +347,7 @@ def run_benchmark(spec: BenchSpec, repeats: int = DEFAULT_REPEATS,
         session = SimSession(SimConfig(cache_enabled=False))
     times: List[float] = []
     work: Mapping[str, float] = {}
+    attribution: Optional[Dict[str, Any]] = None
     with use_session(session):
         for _ in range(warmup):
             spec.func(quick)
@@ -346,7 +355,12 @@ def run_benchmark(spec: BenchSpec, repeats: int = DEFAULT_REPEATS,
             start = time.perf_counter()
             work = spec.func(quick)
             times.append(time.perf_counter() - start)
+        if spec.scenario is not None:
+            from repro.obs import attribute_scenario
+
+            attribution = attribute_scenario(spec.scenario).as_dict()
     wall = summarize(times)
+    wall["samples"] = [float(value) for value in times]
     work_units = float(work.get(spec.work_key, 0))
     throughput = {
         "unit": spec.unit,
@@ -364,6 +378,7 @@ def run_benchmark(spec: BenchSpec, repeats: int = DEFAULT_REPEATS,
         "work_key": spec.work_key,
         "wall_s": wall,
         "throughput": throughput,
+        "attribution": attribution,
     }
 
 

@@ -59,6 +59,13 @@ def extract_metrics(bench_doc: Mapping[str, Any]) -> Dict[str, float]:
         throughput = result.get("throughput", {})
         if "median" in throughput:
             metrics[f"bench:{name}:throughput"] = float(throughput["median"])
+        # per-phase cycle fractions are simulation outputs (deterministic
+        # across machines), so they gate like experiment anchors
+        attribution = result.get("attribution") or {}
+        fractions = attribution.get("cycle_fractions") or {}
+        for phase in sorted(fractions):
+            metrics[f"bench:{name}:cycle_fraction:{phase}"] = \
+                float(fractions[phase])
     for key, value in sorted(bench_doc.get("experiments", {}).items()):
         metrics[f"experiment:{key}"] = float(value)
     return metrics
@@ -90,6 +97,18 @@ def validate_bench_doc(doc: Mapping[str, Any]) -> Dict[str, Any]:
             if stat not in result["wall_s"]:
                 raise ValueError(f"benchmark {name!r} wall_s missing "
                                  f"{stat!r}")
+        if not isinstance(result["wall_s"].get("samples"), list):
+            raise ValueError(f"benchmark {name!r} wall_s missing its raw "
+                             "per-repeat 'samples'")
+        attribution = result.get("attribution")
+        if attribution is not None:
+            from repro.errors import ObservabilityError
+            from repro.obs import validate_attribution_dict
+
+            try:
+                validate_attribution_dict(attribution)
+            except ObservabilityError as exc:
+                raise ValueError(f"benchmark {name!r}: {exc}") from exc
     return {"benchmarks": len(benchmarks),
             "experiments": len(doc.get("experiments", {}))}
 

@@ -271,6 +271,55 @@ class MetricsCollection:
             self.gauge(sanitize_metric_name(name), value, labels=labels,
                        help=f"stats registry gauge {name}")
 
+    def add_phase_attribution(self, attribution) -> None:
+        """Fold one :class:`repro.obs.RunAttribution` into the collection.
+
+        Per phase: cycle and wall-second gauges plus a cycle-fraction
+        gauge, all labelled by scenario/engine/kind/phase.  Per-shard
+        wall samples of the parallel engine become histograms so fan-out
+        variance is scrape-visible, and ``repro_obs_serial_fallback``
+        records whether the sharded path actually ran.
+        """
+        from repro.obs import PHASES
+
+        labels = {"scenario": attribution.scenario,
+                  "engine": attribution.engine,
+                  "kind": attribution.kind}
+        self.gauge("repro_obs_total_cycles", attribution.total_cycles,
+                   labels=labels, unit="cycles",
+                   help="total simulated cycles of the attributed run")
+        self.gauge("repro_obs_total_wall_seconds", attribution.total_wall_s,
+                   labels=labels, unit="seconds",
+                   help="total host wall time of the attributed run")
+        self.gauge("repro_obs_serial_fallback",
+                   1.0 if attribution.serial_fallback else 0.0,
+                   labels=labels,
+                   help="1 when the parallel engine took its serial "
+                        "fallback during the run")
+        cycle_fractions = attribution.cycle_fractions()
+        for phase in PHASES:
+            phase_labels = dict(labels, phase=phase)
+            self.gauge("repro_obs_phase_cycles",
+                       attribution.cycles[phase], labels=phase_labels,
+                       unit="cycles",
+                       help="simulated cycles attributed to this phase")
+            self.gauge("repro_obs_phase_wall_seconds",
+                       attribution.wall_s[phase], labels=phase_labels,
+                       unit="seconds",
+                       help="host wall time attributed to this phase")
+            self.gauge("repro_obs_phase_cycle_fraction",
+                       cycle_fractions[phase], labels=phase_labels,
+                       help="this phase's share of total simulated cycles")
+        if attribution.workers:
+            for piece in ("serialize_s", "queue_wait_s", "compute_s"):
+                self.histogram(
+                    f"repro_obs_shard_{piece[:-2]}_seconds",
+                    [float(sample.get(piece, 0.0))
+                     for sample in attribution.workers],
+                    labels=labels, unit="seconds",
+                    help=f"per-shard {piece[:-2]} wall time of the "
+                         "parallel engine")
+
 
 class MetricsRecorder:
     """Snapshot-on-enter / diff-on-exit collection around a simulation.

@@ -1,0 +1,156 @@
+"""The canonical phase vocabulary and the wall-clock phase recorder.
+
+Every run the toolkit can attribute — a CPU kernel, a whole-batch BNN
+inference, a chained two-core inference, a scheduler end-to-end
+timeline — is split into the same six phases, measured on two planes:
+
+* **simulated cycles** (what the modelled chip spends), attributed
+  exactly from the timing model's own identities, and
+* **host wall time** (what the simulation costs us), attributed from
+  disjoint measured regions with the unmeasured remainder in
+  ``overhead``.
+
+Both planes obey the same invariant: the six buckets sum to the run's
+total (cycles exactly; wall time within one clock tick).  The phase
+names — not the per-plane meanings — are the shared vocabulary; the
+per-run-kind meanings are tabulated in ``docs/OBSERVABILITY.md`` and the
+name list there is linted against :data:`PHASES` by
+``tools/check_docs.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.errors import ObservabilityError
+
+#: the six canonical phases, in report order
+INIT = "init"
+MEMORY_IO = "memory_io"
+PREPROCESS = "preprocess"
+INFERENCE = "inference"
+POSTPROCESS = "postprocess"
+OVERHEAD = "overhead"
+
+PHASES = (INIT, MEMORY_IO, PREPROCESS, INFERENCE, POSTPROCESS, OVERHEAD)
+
+#: one-line meaning of each phase (docs/OBSERVABILITY.md table source)
+PHASE_DESCRIPTIONS: Dict[str, str] = {
+    INIT: "setup before any data is touched: engine resolution, model "
+          "construction, pipeline fill",
+    MEMORY_IO: "data movement: weight streaming, DMA transfers, "
+               "load/store traffic",
+    PREPROCESS: "preparing inputs for the kernel: batch generation, "
+                "sign binarization, program assembly",
+    INFERENCE: "the workload's main kernel: classification compute or "
+               "retired non-memory instructions",
+    POSTPROCESS: "consuming results: argmax/prediction extraction, "
+                 "summary building",
+    OVERHEAD: "everything unattributed: stalls, flushes, queue waits, "
+              "harness remainder",
+}
+
+#: wall-time invariant slack — one host clock tick (perf_counter is
+#: nanosecond-class; a microsecond absorbs float summation error too)
+WALL_TICK_S = 1e-6
+
+
+def empty_phases(value=0) -> Dict[str, int]:
+    """A fresh ``{phase: value}`` mapping covering all six phases."""
+    return {phase: value for phase in PHASES}
+
+
+def check_cycle_attribution(cycles: Mapping[str, int],
+                            total_cycles: int, context: str = "") -> None:
+    """Raise unless the cycle buckets sum *exactly* to ``total_cycles``."""
+    _check_keys(cycles, context)
+    attributed = sum(int(cycles[phase]) for phase in PHASES)
+    if attributed != int(total_cycles):
+        raise ObservabilityError(
+            f"{context or 'attribution'}: phase cycles sum to "
+            f"{attributed}, not the run total {total_cycles}")
+
+
+def check_wall_attribution(wall_s: Mapping[str, float],
+                           total_wall_s: float, context: str = "",
+                           tick_s: float = WALL_TICK_S) -> None:
+    """Raise unless the wall buckets sum to the total within one tick."""
+    _check_keys(wall_s, context)
+    attributed = sum(float(wall_s[phase]) for phase in PHASES)
+    if abs(attributed - float(total_wall_s)) > tick_s:
+        raise ObservabilityError(
+            f"{context or 'attribution'}: phase wall time sums to "
+            f"{attributed:.9f}s, not the measured total "
+            f"{total_wall_s:.9f}s (tick {tick_s}s)")
+
+
+def _check_keys(buckets: Mapping, context: str) -> None:
+    missing = [phase for phase in PHASES if phase not in buckets]
+    extra = sorted(set(buckets) - set(PHASES))
+    if missing or extra:
+        raise ObservabilityError(
+            f"{context or 'attribution'}: phase buckets must cover exactly "
+            f"{list(PHASES)} (missing {missing}, unknown {extra})")
+
+
+class PhaseRecorder:
+    """Accumulates host wall time into the six phase buckets.
+
+    Wrap the whole run in :meth:`run` and each attributable region in
+    :meth:`measure`; regions must be disjoint (nesting the same recorder
+    would double-count).  :meth:`wall_phases` then returns all six
+    buckets with the unmeasured remainder — harness glue between the
+    measured regions — under ``overhead``, so the buckets sum to
+    :attr:`total_wall_s` by construction (within float rounding, which
+    :data:`WALL_TICK_S` absorbs).
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock = clock if clock is not None else time.perf_counter
+        self._buckets: Dict[str, float] = {phase: 0.0 for phase in PHASES}
+        self._total: Optional[float] = None
+        self._depth = 0
+
+    @contextmanager
+    def run(self):
+        """Measure the run's total wall time around the whole body."""
+        start = self._clock()
+        try:
+            yield self
+        finally:
+            self._total = self._clock() - start
+
+    @contextmanager
+    def measure(self, phase: str):
+        """Attribute the body's wall time to ``phase``."""
+        if phase not in PHASES:
+            raise ObservabilityError(
+                f"unknown phase {phase!r}; the vocabulary is {list(PHASES)}")
+        if self._depth:
+            raise ObservabilityError(
+                "PhaseRecorder regions must not nest (phases are disjoint)")
+        self._depth += 1
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self._buckets[phase] += self._clock() - start
+            self._depth -= 1
+
+    @property
+    def total_wall_s(self) -> float:
+        """Measured total wall time of the :meth:`run` block."""
+        if self._total is None:
+            raise ObservabilityError(
+                "PhaseRecorder.run() has not completed; no total to report")
+        return self._total
+
+    def wall_phases(self) -> Dict[str, float]:
+        """All six buckets; the unmeasured remainder lands in overhead."""
+        total = self.total_wall_s
+        buckets = dict(self._buckets)
+        measured = sum(buckets.values())
+        buckets[OVERHEAD] += max(0.0, total - measured)
+        return buckets

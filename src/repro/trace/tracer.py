@@ -43,6 +43,8 @@ CPU_TRACK = "cpu.pipeline"
 BNN_TRACK = "bnn"
 #: default track of the DMA engine
 DMA_TRACK = "dma"
+#: track of the parallel engine's per-shard wall-time spans
+PARALLEL_TRACK = "bnn.parallel"
 
 #: default ring-buffer capacity (events); None = unbounded
 DEFAULT_CAPACITY = 1 << 20
@@ -253,6 +255,31 @@ class ProbeBridge:
                      else CPU_TRACK)
             tracer.instant(event, track=track, ts=payload.get("cycles"),
                            cat="cpu", **dict(payload))
+        elif event == "bnn.parallel.shard":
+            # wall seconds -> microsecond ticks on a per-shard lane, so
+            # Perfetto shows serialize / queue-wait / compute end to end
+            track = f"{PARALLEL_TRACK}.shard{payload.get('shard', 0)}"
+            for piece in ("serialize", "queue_wait", "compute"):
+                tracer.lay(piece, track=track,
+                           dur=float(payload.get(f"{piece}_s", 0.0)) * 1e6,
+                           cat="parallel", rows=payload.get("rows", 0))
+        elif event == "bnn.parallel.merge":
+            tracer.lay("merge", track=PARALLEL_TRACK,
+                       dur=float(payload.get("merge_s", 0.0)) * 1e6,
+                       cat="parallel", shards=payload.get("shards", 0),
+                       rows=payload.get("rows", 0))
+        elif event == "bnn.parallel.fallback":
+            tracer.instant(event, track=PARALLEL_TRACK,
+                           ts=tracer.cursor(PARALLEL_TRACK), cat="parallel",
+                           rows=payload.get("rows", 0),
+                           reason=payload.get("reason", ""))
+        elif event == "obs.phase":
+            track = f"obs.{payload.get('engine', 'run')}"
+            tracer.lay(payload.get("phase", "phase"), track=track,
+                       dur=float(payload.get("cycles", 0)), cat="obs",
+                       wall_s=payload.get("wall_s", 0.0),
+                       kind=payload.get("kind", ""),
+                       scenario=payload.get("scenario", ""))
 
     def _bnn_spans(self, event: str, payload: Mapping[str, Any]) -> None:
         """Per-layer spans for one accelerator batch/inference."""

@@ -124,6 +124,15 @@ class TestCapabilities:
         assert get_engine("parallel").capabilities.sharded
         assert not get_engine("fast").capabilities.sharded
 
+    def test_builtin_engines_attribute_phases(self):
+        for name in ("accurate", "fast", "parallel"):
+            assert get_engine(name).capabilities.phase_attribution
+
+    def test_phase_attribution_defaults_off(self):
+        caps = EngineCapabilities(timing_accurate=False, functional=True,
+                                  batched=False, sharded=False)
+        assert caps.phase_attribution is False
+
     def test_every_registered_engine_is_functional(self):
         for name in engine_names():
             assert get_engine(name).capabilities.functional
@@ -131,7 +140,7 @@ class TestCapabilities:
     def test_as_dict_keys(self):
         caps = get_engine("parallel").capabilities.as_dict()
         assert set(caps) == {"timing_accurate", "functional", "batched",
-                             "sharded"}
+                             "sharded", "phase_attribution"}
         assert all(isinstance(value, bool) for value in caps.values())
 
 
@@ -142,7 +151,8 @@ class TestEngineTable:
         for entry in table:
             assert entry["description"]
             assert set(entry["capabilities"]) == {
-                "timing_accurate", "functional", "batched", "sharded"}
+                "timing_accurate", "functional", "batched", "sharded",
+                "phase_attribution"}
 
 
 class TestProtocols:

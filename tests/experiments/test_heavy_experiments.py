@@ -122,3 +122,53 @@ class TestFig19:
     def test_cost_ratios_anchored(self, result):
         for op in ("add", "sub", "and", "xor"):
             assert abs(result.metric(f"{op} NALU/digital area").deviation) < 0.01
+
+
+class TestFig17PhaseFractions:
+    """The dual-NCPU phase split is engine-independent scheduler output."""
+
+    @pytest.fixture(scope="class")
+    def fast_result(self):
+        import os
+
+        from repro.sim import reset_session
+
+        old = os.environ.get("REPRO_ENGINE")
+        os.environ["REPRO_ENGINE"] = "fast"
+        reset_session()
+        try:
+            yield fig17_end_to_end.run()
+        finally:
+            if old is None:
+                os.environ.pop("REPRO_ENGINE", None)
+            else:
+                os.environ["REPRO_ENGINE"] = old
+            reset_session()
+
+    def test_fractions_cover_each_timeline(self, fast_result):
+        from repro.obs import PHASES
+
+        for case in ("image", "motion"):
+            total = sum(
+                fast_result.metric(
+                    f"{case} ncpu2 phase fraction {phase}").measured
+                for phase in PHASES)
+            assert total == pytest.approx(100.0)
+
+    def test_fractions_stable_against_gated_baseline(self, fast_result):
+        """REPRO_ENGINE=fast must reproduce the committed phase split."""
+        import json
+        from pathlib import Path
+
+        from repro.obs import PHASES
+
+        baseline = json.loads(
+            (Path(__file__).resolve().parents[2] / "benchmarks" /
+             "baseline.json").read_text())["metrics"]
+        for case in ("image", "motion"):
+            for phase in PHASES:
+                name = f"{case} ncpu2 phase fraction {phase}"
+                pinned = baseline[f"experiment:fig17:{name}"]["value"]
+                measured = fast_result.metric(name).measured
+                assert measured == pytest.approx(pinned, rel=1e-3,
+                                                 abs=1e-9), name

@@ -151,3 +151,40 @@ class TestBenchScenarios:
         assert observed["config"].seed == 21
         assert observed["config"].scenario == scenario
         assert not observed["config"].cache_enabled
+
+
+class TestBenchAttribution:
+    def test_raw_samples_recorded_per_repeat(self):
+        spec = BenchSpec(name="fake", func=lambda quick: {"n": 1},
+                         work_key="n", unit="n/s")
+        result = run_benchmark(spec, repeats=3, warmup=0)
+        samples = result["wall_s"]["samples"]
+        assert len(samples) == 3
+        assert all(value > 0 for value in samples)
+        assert result["wall_s"]["min"] == min(samples)
+
+    def test_scenario_backed_bench_embeds_attribution(self):
+        from repro.obs import validate_attribution_dict
+
+        spec = all_benchmarks()["bnn.batched.infer"]
+        result = run_benchmark(spec, repeats=1, warmup=0, quick=True)
+        attribution = result["attribution"]
+        assert attribution is not None
+        validate_attribution_dict(attribution)
+        assert attribution["scenario"] == spec.scenario.name
+        # the attribution run reflects the full-size workload
+        assert attribution["total_cycles"] > 0
+
+    def test_scenarioless_bench_has_no_attribution(self):
+        spec = BenchSpec(name="bare", func=lambda quick: {"n": 1},
+                         work_key="n", unit="n/s")
+        result = run_benchmark(spec, repeats=1, warmup=0)
+        assert result["attribution"] is None
+
+    def test_document_with_attribution_survives_validation(self):
+        doc = run_benchmarks(["bnn.batched"], repeats=1, warmup=0,
+                             quick=True, with_experiments=False)
+        assert validate_bench_doc(doc)["benchmarks"] == 1
+        result = doc["benchmarks"]["bnn.batched.infer"]
+        assert isinstance(result["wall_s"]["samples"], list)
+        assert result["attribution"]["kind"] == "bnn"

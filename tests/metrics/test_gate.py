@@ -43,7 +43,7 @@ def make_bench_doc(wall: float = 0.1, throughput: float = 1000.0) -> dict:
             "cpu.pipeline.dhrystone": {
                 "wall_s": {"median": wall, "min": wall, "max": wall,
                            "iqr": 0.0, "p25": wall, "p75": wall,
-                           "count": 1, "sum": wall},
+                           "count": 1, "sum": wall, "samples": [wall]},
                 "throughput": {"unit": "cycles/s", "median": throughput,
                                "best": throughput},
                 "work": {"cycles": wall * throughput},
@@ -62,7 +62,15 @@ def bench_doc_from_baseline(baseline: dict) -> dict:
         if name.startswith("experiment:"):
             doc["experiments"][name[len("experiment:"):]] = entry["value"]
         elif name.startswith("bench:"):
-            bench_name, field = name[len("bench:"):].rsplit(":", 1)
+            rest = name[len("bench:"):]
+            if ":cycle_fraction:" in rest:
+                bench_name, phase = rest.split(":cycle_fraction:", 1)
+                slot = doc["benchmarks"].setdefault(
+                    bench_name, {"wall_s": {}, "throughput": {}, "work": {}})
+                slot.setdefault("attribution", {}).setdefault(
+                    "cycle_fractions", {})[phase] = entry["value"]
+                continue
+            bench_name, field = rest.rsplit(":", 1)
             slot = doc["benchmarks"].setdefault(
                 bench_name, {"wall_s": {}, "throughput": {}, "work": {}})
             if field == "wall_s":
@@ -223,3 +231,69 @@ class TestCheckRegressionTool:
         reference = baseline_from_bench(copy.deepcopy(doc))
         assert written["metrics"] == reference["metrics"]
         capsys.readouterr()
+
+
+class TestAttributionGate:
+    def attributed_doc(self):
+        from repro.obs import attribute_scenario
+        from repro.scenario import Scenario, WorkloadSpec
+        from repro.sim import use_session
+
+        scenario = Scenario(
+            name="gate-bnn",
+            workload=WorkloadSpec(kind="bnn", name="random",
+                                  layer_sizes=(40, 20, 10)),
+            batch_size=8)
+        with use_session(cache_enabled=False):
+            attribution = attribute_scenario(scenario, engine="fast")
+        doc = make_bench_doc()
+        doc["benchmarks"]["cpu.pipeline.dhrystone"]["attribution"] = \
+            attribution.as_dict()
+        return doc
+
+    def test_extract_metrics_flattens_cycle_fractions(self):
+        from repro.obs import PHASES
+
+        metrics = extract_metrics(self.attributed_doc())
+        for phase in PHASES:
+            name = f"bench:cpu.pipeline.dhrystone:cycle_fraction:{phase}"
+            assert name in metrics
+            assert 0.0 <= metrics[name] <= 1.0
+
+    def test_validate_accepts_attributed_doc(self):
+        from repro.metrics import validate_bench_doc
+
+        assert validate_bench_doc(self.attributed_doc())["benchmarks"] == 1
+
+    def test_validate_rejects_drifted_attribution(self):
+        from repro.metrics import validate_bench_doc
+
+        doc = self.attributed_doc()
+        doc["benchmarks"]["cpu.pipeline.dhrystone"]["attribution"][
+            "cycles"]["inference"] += 1
+        with pytest.raises(ValueError,
+                           match="cpu.pipeline.dhrystone"):
+            validate_bench_doc(doc)
+
+    def test_validate_rejects_missing_samples(self):
+        from repro.metrics import validate_bench_doc
+
+        doc = make_bench_doc()
+        del doc["benchmarks"]["cpu.pipeline.dhrystone"]["wall_s"]["samples"]
+        with pytest.raises(ValueError, match="samples"):
+            validate_bench_doc(doc)
+
+    def test_baseline_seeds_fractions_as_tight_anchors(self):
+        baseline = baseline_from_bench(self.attributed_doc())
+        entry = baseline["metrics"][
+            "bench:cpu.pipeline.dhrystone:cycle_fraction:inference"]
+        assert entry["direction"] == "near"
+        assert entry["tolerance"] == 0.001
+
+    def test_committed_baseline_gates_cycle_fractions(self):
+        baseline = load_baseline(BASELINE_PATH)
+        fraction_names = [name for name in baseline["metrics"]
+                          if ":cycle_fraction:" in name]
+        assert fraction_names  # >= 1 attribution-ratio entry is required
+        assert all(baseline["metrics"][name]["direction"] == "near"
+                   for name in fraction_names)

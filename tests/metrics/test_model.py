@@ -173,3 +173,70 @@ class TestRecorder:
                 pass
             wall = recorder.collection.get("repro_run_wall_seconds")
             assert wall is not None and wall.value >= 0
+
+
+class TestPhaseAttributionExport:
+    def run_attribution(self, engine="fast", **scenario_overrides):
+        from repro.obs import attribute_scenario
+        from repro.scenario import Scenario, WorkloadSpec
+        from repro.sim import use_session
+
+        defaults = dict(
+            name="om-bnn",
+            workload=WorkloadSpec(kind="bnn", name="random",
+                                  layer_sizes=(40, 20, 10)),
+            batch_size=8)
+        defaults.update(scenario_overrides)
+        with use_session(cache_enabled=False):
+            return attribute_scenario(Scenario(**defaults), engine=engine)
+
+    def test_per_phase_gauges_labelled(self):
+        from repro.obs import PHASES
+
+        attribution = self.run_attribution()
+        collection = MetricsCollection(make_manifest())
+        collection.add_phase_attribution(attribution)
+        run_labels = {"scenario": "om-bnn", "engine": "fast", "kind": "bnn"}
+        assert collection.get("repro_obs_total_cycles", run_labels).value \
+            == attribution.total_cycles
+        assert collection.get("repro_obs_serial_fallback",
+                              run_labels).value in (0.0, 1.0)
+        for phase in PHASES:
+            labels = dict(run_labels, phase=phase)
+            assert collection.get("repro_obs_phase_cycles", labels).value \
+                == attribution.cycles[phase]
+            assert collection.get("repro_obs_phase_wall_seconds",
+                                  labels).value >= 0.0
+        fractions = [
+            collection.get("repro_obs_phase_cycle_fraction",
+                           dict(run_labels, phase=phase)).value
+            for phase in PHASES]
+        assert sum(fractions) == pytest.approx(1.0)
+
+    def test_no_shard_histograms_without_workers(self):
+        attribution = self.run_attribution()
+        assert attribution.workers == []
+        collection = MetricsCollection(make_manifest())
+        collection.add_phase_attribution(attribution)
+        names = {series.name for series in collection.series()}
+        assert not any(name.startswith("repro_obs_shard_")
+                       for name in names)
+
+    def test_shard_histograms_for_sharded_runs(self, monkeypatch):
+        from repro.bnn.parallel import (
+            PARALLEL_WORKERS_ENV_VAR,
+            shutdown_pool,
+        )
+
+        monkeypatch.setenv(PARALLEL_WORKERS_ENV_VAR, "2")
+        try:
+            attribution = self.run_attribution(
+                engine="parallel", name="om-sharded", batch_size=512)
+            collection = MetricsCollection(make_manifest())
+            collection.add_phase_attribution(attribution)
+        finally:
+            shutdown_pool()
+        assert attribution.workers
+        names = {series.name for series in collection.series()}
+        for piece in ("serialize", "queue_wait", "compute"):
+            assert f"repro_obs_shard_{piece}_seconds" in names

@@ -1,0 +1,111 @@
+"""Per-worker attribution probes of the ``parallel`` engine."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.bnn import BNNModel, binarize_sign
+from repro.bnn.batched import batched_scores
+from repro.bnn.parallel import (
+    PARALLEL_WORKERS_ENV_VAR,
+    parallel_scores,
+    shutdown_pool,
+)
+from repro.obs import ShardCollector, attribute_scenario
+from repro.scenario import Scenario, WorkloadSpec
+from repro.sim import use_session
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pool_teardown():
+    yield
+    shutdown_pool()
+
+
+@pytest.fixture()
+def fresh_fallback_log(monkeypatch):
+    import repro.bnn.parallel as parallel
+
+    monkeypatch.setattr(parallel, "_FALLBACK_LOGGED", False)
+    # a prior CLI invocation may have claimed the "repro" logger with a
+    # stderr handler and propagate=False; caplog needs propagation
+    monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+
+
+def make_model(sizes=(40, 24, 10), seed=0):
+    return BNNModel.random(list(sizes), np.random.default_rng(seed))
+
+
+def make_inputs(model, n, seed=1):
+    rng = np.random.default_rng(seed)
+    return binarize_sign(rng.standard_normal((n, model.input_size)))
+
+
+class TestShardProbes:
+    def test_sharded_run_emits_per_worker_attribution(self):
+        model = make_model()
+        inputs = make_inputs(model, 300)
+        with use_session(cache_enabled=False) as session:
+            with ShardCollector(session.stats) as collector:
+                scores = parallel_scores(model, inputs, workers=2,
+                                         min_batch=1)
+        # 300 rows / min-chunk 128 -> exactly two shards
+        assert len(collector.shards) == 2
+        assert not collector.fallback
+        assert sum(s["rows"] for s in collector.shards) == 300
+        for index, sample in enumerate(collector.shards):
+            assert sample["shard"] == index
+            for key in ("serialize_s", "queue_wait_s", "compute_s"):
+                assert sample[key] >= 0.0
+        assert collector.merge["shards"] == 2
+        assert collector.merge["rows"] == 300
+        np.testing.assert_array_equal(scores, batched_scores(model, inputs))
+
+    def test_attribute_scenario_collects_shards(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_WORKERS_ENV_VAR, "2")
+        scenario = Scenario(
+            name="obs-sharded",
+            workload=WorkloadSpec(kind="bnn", name="random",
+                                  layer_sizes=(32, 16, 10)),
+            batch_size=512)
+        with use_session(cache_enabled=False):
+            attribution = attribute_scenario(scenario, engine="parallel")
+        attribution.check()
+        assert not attribution.serial_fallback
+        assert len(attribution.workers) >= 2
+        assert sum(s["rows"] for s in attribution.workers) == 512
+
+
+class TestFallbackProbe:
+    def test_small_batch_emits_fallback_with_reason(self, caplog,
+                                                    fresh_fallback_log):
+        model = make_model()
+        events = []
+        with use_session(cache_enabled=False) as session:
+            session.stats.subscribe(
+                "bnn.parallel.fallback",
+                lambda event, payload: events.append(dict(payload)))
+            with caplog.at_level(logging.INFO, logger="repro.bnn.parallel"):
+                parallel_scores(model, make_inputs(model, 8), workers=2)
+        assert len(events) == 1
+        assert events[0]["rows"] == 8
+        assert "min_batch" in events[0]["reason"]
+        assert len([r for r in caplog.records
+                    if "serial fallback" in r.getMessage()]) == 1
+
+    def test_log_line_fires_once_but_probe_every_time(self, caplog,
+                                                      fresh_fallback_log):
+        model = make_model()
+        events = []
+        with use_session(cache_enabled=False) as session:
+            session.stats.subscribe(
+                "bnn.parallel.fallback",
+                lambda event, payload: events.append(dict(payload)))
+            with caplog.at_level(logging.INFO, logger="repro.bnn.parallel"):
+                parallel_scores(model, make_inputs(model, 8), workers=2)
+                parallel_scores(model, make_inputs(model, 8), workers=1)
+        assert len(events) == 2
+        assert events[1]["reason"] == "one usable worker"
+        assert len([r for r in caplog.records
+                    if "serial fallback" in r.getMessage()]) == 1

@@ -237,6 +237,8 @@ class TestInfoAndExperiments:
         by_name = {e["name"]: e for e in engines["registered"]}
         assert by_name["accurate"]["capabilities"]["timing_accurate"]
         assert by_name["parallel"]["capabilities"]["sharded"]
+        for name in ("accurate", "fast", "parallel"):
+            assert by_name[name]["capabilities"]["phase_attribution"]
 
     def test_info_text_lists_engines(self, capsys):
         assert main(["info"]) == 0
@@ -542,3 +544,93 @@ class TestFuzzCli:
     def test_fuzz_rejects_unknown_engine(self, capsys):
         with pytest.raises(SystemExit):
             main(["fuzz", "--count", "1", "--engines", "warp"])
+
+
+class TestAttributeCli:
+    @pytest.fixture(autouse=True)
+    def _fresh_session(self):
+        from repro.sim import reset_session
+
+        reset_session()
+        yield
+        reset_session()
+
+    def test_markdown_golden_structure(self, bnn_scenario_file, capsys):
+        from repro.obs import PHASES, attribute_scenario
+        from repro.scenario import Scenario
+        from repro.sim import use_session
+
+        scenario = Scenario.from_file(bnn_scenario_file)
+        with use_session(cache_enabled=False):
+            expected = attribute_scenario(scenario, engine="fast")
+        assert main(["attribute", "--scenario", bnn_scenario_file]) == 0
+        out = capsys.readouterr().out
+        assert "### cli-bnn — engine `fast` (bnn)" in out
+        assert "| phase | cycles | cycles % | wall s | wall % |" in out
+        # the cycle column is deterministic: golden against a direct run
+        for phase in PHASES:
+            assert f"| {phase} | {expected.cycles[phase]} |" in out
+        assert f"| **total** | {expected.total_cycles} |" in out
+
+    def test_json_document_validates(self, bnn_scenario_file, capsys):
+        import json
+
+        from repro.obs import ATTRIBUTION_SCHEMA, validate_attribution_dict
+
+        assert main(["attribute", "--scenario", bnn_scenario_file,
+                     "--engine", "accurate", "--engine", "fast",
+                     "--engine", "parallel", "--chained", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == ATTRIBUTION_SCHEMA
+        assert document["scenario"]["name"] == "cli-bnn"
+        # 3 engines x (plain + chained)
+        assert len(document["runs"]) == 6
+        for entry in document["runs"]:
+            validate_attribution_dict(entry)
+        kinds = {(e["engine"], e["kind"]) for e in document["runs"]}
+        assert ("parallel", "chained") in kinds
+        # same workload -> identical cycle totals across engines, per kind
+        for kind in ("bnn", "chained"):
+            totals = {e["total_cycles"] for e in document["runs"]
+                      if e["kind"] == kind}
+            assert len(totals) == 1
+
+    def test_ab_summary_rendered_for_multiple_engines(
+            self, bnn_scenario_file, capsys):
+        assert main(["attribute", "--scenario", bnn_scenario_file,
+                     "--engine", "accurate", "--engine", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "### A/B summary" in out
+        assert "`accurate`" in out and "`fast`" in out
+
+    def test_out_trace_and_metrics_files(self, bnn_scenario_file, tmp_path,
+                                         capsys):
+        import json
+
+        from repro.metrics import validate_openmetrics_file
+        from repro.obs import validate_attribution_dict
+        from repro.trace import validate_chrome_trace
+
+        out = tmp_path / "attr.json"
+        trace = tmp_path / "attr_trace.json"
+        om = tmp_path / "attr.om"
+        assert main(["attribute", "--scenario", bnn_scenario_file,
+                     "--out", str(out), "--trace", str(trace),
+                     "--metrics-out", str(om)]) == 0
+        capsys.readouterr()
+        document = json.loads(out.read_text())
+        for entry in document["runs"]:
+            validate_attribution_dict(entry)
+        payload = json.loads(trace.read_text())
+        validate_chrome_trace(payload)
+        names = {event.get("name") for event in payload["traceEvents"]}
+        assert "inference" in names  # obs.phase spans made it to the trace
+        summary = validate_openmetrics_file(om)
+        parsed = [name for _, name, _, _ in summary["parsed"]]
+        assert "repro_obs_phase_cycles" in parsed
+        assert "repro_obs_total_cycles" in parsed
+
+    def test_unknown_engine_rejected_by_parser(self, bnn_scenario_file):
+        with pytest.raises(SystemExit):
+            main(["attribute", "--scenario", bnn_scenario_file,
+                  "--engine", "warp"])

@@ -221,3 +221,54 @@ class TestScenarioTableCheck:
             "| `not_in_table` | nope |\n",
             "### Top-level `Scenario` fields")
         assert fields == {"name", "seed"}
+
+
+class TestPhaseTableCheck:
+    def test_repo_table_in_sync(self, check_docs):
+        assert check_docs.check_phase_table() == []
+
+    def test_missing_document_reported(self, check_docs, tmp_path,
+                                       monkeypatch):
+        monkeypatch.setattr(check_docs, "OBSERVABILITY_MD",
+                            tmp_path / "OBSERVABILITY.md")
+        problems = check_docs.check_phase_table()
+        assert problems and "missing" in problems[0]
+
+    def test_missing_table_reported(self, check_docs, tmp_path,
+                                    monkeypatch):
+        sparse = tmp_path / "OBSERVABILITY.md"
+        sparse.write_text("prose without the phase table\n")
+        monkeypatch.setattr(check_docs, "OBSERVABILITY_MD", sparse)
+        problems = check_docs.check_phase_table()
+        assert problems and "not found" in problems[0]
+
+    def test_stale_table_reported(self, check_docs, tmp_path, monkeypatch):
+        real = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text()
+        stale = real.replace("| `memory_io` |", "| `warp_io` |", 1)
+        target = tmp_path / "OBSERVABILITY.md"
+        target.write_text(stale)
+        monkeypatch.setattr(check_docs, "OBSERVABILITY_MD", target)
+        problems = check_docs.check_phase_table()
+        assert any("`memory_io`" in p and "missing" in p for p in problems)
+        assert any("`warp_io`" in p and "no such phase" in p
+                   for p in problems)
+
+    def test_reordered_table_reported(self, check_docs, tmp_path,
+                                      monkeypatch):
+        from repro.obs import PHASES
+
+        rows = "".join(f"| `{phase}` | x |\n" for phase in reversed(PHASES))
+        shuffled = tmp_path / "OBSERVABILITY.md"
+        shuffled.write_text("### Phase vocabulary\n\n"
+                            "| phase | meaning |\n|---|---|\n" + rows)
+        monkeypatch.setattr(check_docs, "OBSERVABILITY_MD", shuffled)
+        problems = check_docs.check_phase_table()
+        assert problems and "order differs" in problems[0]
+
+    def test_parser_preserves_order(self, check_docs):
+        names = check_docs.documented_phases(
+            "### Phase vocabulary\n\n"
+            "| phase | meaning |\n|---|---|\n"
+            "| `init` | a |\n| `inference` | b |\n\n"
+            "prose | with a stray pipe\n| `not_in_table` | nope |\n")
+        assert names == ["init", "inference"]

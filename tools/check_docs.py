@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation lint: links, CLI examples, probe/engine/scenario tables.
 
-Five checks, each cheap enough for every CI run:
+Six checks, each cheap enough for every CI run:
 
 1. **Relative links** — every ``[text](target)`` in a tracked markdown file
    whose target is not an external URL or a pure anchor must point at an
@@ -22,6 +22,10 @@ Five checks, each cheap enough for every CI run:
    must list exactly the fields of the matching dataclass in
    ``repro.scenario.schema``, so adding or removing a scenario
    dimension forces the schema reference to follow.
+6. **Phase vocabulary table** — the "### Phase vocabulary" table in
+   docs/OBSERVABILITY.md must list exactly ``repro.obs.PHASES`` in
+   order, so renaming or adding an attribution phase forces the
+   observability reference to follow.
 
 Exit status: 0 when everything passes, 1 with a per-finding report
 otherwise.  Run from anywhere: paths resolve relative to the repo root.
@@ -252,7 +256,8 @@ def check_probe_table() -> List[str]:
 ENGINE_TABLE_ANCHOR = "### Engine registry"
 
 #: capability columns of the docs table, in order
-ENGINE_FLAG_COLUMNS = ("timing_accurate", "functional", "batched", "sharded")
+ENGINE_FLAG_COLUMNS = ("timing_accurate", "functional", "batched", "sharded",
+                       "phase_attribution")
 
 _ENGINE_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_-]+)`\s*\|(.+)\|\s*$")
 
@@ -367,6 +372,57 @@ def check_scenario_tables() -> List[str]:
     return problems
 
 
+# -- check 6: observability phase table ----------------------------------
+OBSERVABILITY_MD = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+
+PHASE_TABLE_ANCHOR = "### Phase vocabulary"
+
+_PHASE_ROW_RE = re.compile(r"^\|\s*`([a-z_]+)`\s*\|")
+
+
+def documented_phases(text: str) -> List[str]:
+    """Phase names (in table order) listed after the phase anchor."""
+    if PHASE_TABLE_ANCHOR not in text:
+        return []
+    names: List[str] = []
+    for line in text.split(PHASE_TABLE_ANCHOR, 1)[1].splitlines():
+        match = _PHASE_ROW_RE.match(line.strip())
+        if match:
+            names.append(match.group(1))
+        elif names and not line.strip().startswith("|"):
+            break
+    return names
+
+
+def check_phase_table() -> List[str]:
+    sys.path.insert(0, str(SRC))
+    try:
+        from repro.obs import PHASES
+    finally:
+        sys.path.pop(0)
+    if not OBSERVABILITY_MD.exists():
+        return ["docs/OBSERVABILITY.md: missing (phase attribution "
+                "reference)"]
+    documented = documented_phases(OBSERVABILITY_MD.read_text())
+    if not documented:
+        return [f"docs/OBSERVABILITY.md: phase table "
+                f"('{PHASE_TABLE_ANCHOR}') not found"]
+    problems = []
+    for name in [phase for phase in PHASES if phase not in documented]:
+        problems.append(
+            f"phase `{name}` is in repro.obs.PHASES but missing from the "
+            "docs/OBSERVABILITY.md phase vocabulary table")
+    for name in [phase for phase in documented if phase not in PHASES]:
+        problems.append(
+            f"phase `{name}` documented in docs/OBSERVABILITY.md but "
+            "repro.obs.PHASES has no such phase")
+    if not problems and documented != list(PHASES):
+        problems.append(
+            "docs/OBSERVABILITY.md phase table order differs from "
+            f"repro.obs.PHASES ({documented} vs {list(PHASES)})")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="check_docs",
@@ -383,6 +439,7 @@ def main(argv=None) -> int:
     problems += check_probe_table()
     problems += check_engine_table()
     problems += check_scenario_tables()
+    problems += check_phase_table()
     if problems:
         for problem in problems:
             print(f"FAIL {problem}")
@@ -390,8 +447,8 @@ def main(argv=None) -> int:
         return 1
     if not args.quiet:
         print(f"docs ok: {len(files)} markdown files, links + CLI examples "
-              "+ probe table + engine table + scenario tables all "
-              "consistent")
+              "+ probe table + engine table + scenario tables + phase "
+              "table all consistent")
     return 0
 
 
