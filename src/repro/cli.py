@@ -11,6 +11,8 @@ Usage::
     python -m repro scenario validate FILE [FILE ...]
     python -m repro scenario show FILE
     python -m repro fuzz [--count N] [--seed S]
+    python -m repro serve [--scenario FILE] [--rate RPS] [--requests N]
+    python -m repro loadgen [--arrival poisson] [--rate RPS] [--json]
     python -m repro attribute --scenario FILE [--engine NAME ...]
     python -m repro info [--json]
 
@@ -573,6 +575,134 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _serve_scenario_from_args(args: argparse.Namespace):
+    """The serve scenario: file (or default) with serve flags folded in."""
+    from repro.scenario import Scenario
+
+    scenario = (Scenario.from_file(args.scenario) if args.scenario
+                else Scenario(name="serve"))
+    if getattr(args, "engine", None):
+        scenario = scenario.with_engine(name=args.engine)
+    return scenario.with_serve(
+        arrival=args.arrival, rate_rps=args.rate, requests=args.requests,
+        burst_factor=args.burst_factor, batch_window_ms=args.batch_window,
+        max_batch=args.max_batch, max_queue_depth=args.max_queue_depth,
+        timeout_ms=args.timeout, latency_budget_ms=args.budget,
+        slo_target=args.slo_target)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import (
+        add_serve_metrics,
+        render_slo_report,
+        serve_scenario,
+        validate_slo_report,
+        write_slo_report,
+    )
+    from repro.sim import SimSession, get_session, set_session
+
+    scenario = _serve_scenario_from_args(args)
+    set_session(SimSession.from_scenario(scenario))
+    session = get_session()
+
+    tracer = None
+    if args.trace or args.trace_jsonl:
+        from repro.trace import install_tracer
+
+        # unbounded: a wrapped ring buffer would silently lose request
+        # lanes (the dropped count would say so, but keep them all)
+        tracer = install_tracer(session, capacity=None)
+    recorder = None
+    if args.metrics_out or args.metrics_json:
+        from repro.metrics import MetricsRecorder
+
+        recorder = MetricsRecorder(session)
+        recorder.__enter__()
+
+    try:
+        report, server = serve_scenario(scenario, session=session,
+                                        with_server=True)
+    finally:
+        if recorder is not None:
+            recorder.__exit__(None, None, None)
+        if tracer is not None:
+            from repro.trace import uninstall_tracer
+
+            uninstall_tracer(session)
+
+    validate_slo_report(report)
+    spec = scenario.serve
+    if args.out:
+        write_slo_report(report, args.out)
+        logger.info("serve: SLO report -> %s", args.out)
+    if tracer is not None:
+        from repro.trace import write_chrome_trace, write_jsonl
+
+        if args.trace:
+            payload = write_chrome_trace(tracer, args.trace)
+            logger.info("trace: %d events -> %s",
+                        payload["otherData"]["n_events"], args.trace)
+        if args.trace_jsonl:
+            count = write_jsonl(tracer, args.trace_jsonl)
+            logger.info("trace: %d events -> %s", count, args.trace_jsonl)
+    if recorder is not None:
+        from repro.metrics import write_json, write_openmetrics
+
+        collection = recorder.collection
+        add_serve_metrics(
+            collection, server.recorder,
+            budget_s=spec.latency_budget_ms / 1e3, wall_s=server.wall_s,
+            labels={"engine": server.engine.name,
+                    "arrival": spec.arrival},
+            trace_dropped=tracer.dropped if tracer is not None else 0)
+        if args.metrics_out:
+            write_openmetrics(collection, args.metrics_out)
+            logger.info("metrics: %d series -> %s", len(collection),
+                        args.metrics_out)
+        if args.metrics_json:
+            write_json(collection, args.metrics_json)
+            logger.info("metrics: %d series -> %s", len(collection),
+                        args.metrics_json)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_slo_report(report), end="")
+    met = report["slo"]["met"]
+    if args.check_slo and not met:
+        logger.error("serve: SLO MISSED (attainment %.4f < target %.4f)",
+                     report["slo"]["attainment"], report["slo"]["target"])
+        return 1
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import arrival_offsets, summarize_offsets
+
+    offsets = arrival_offsets(args.arrival, args.rate, args.requests,
+                              seed=args.seed,
+                              burst_factor=args.burst_factor)
+    summary = summarize_offsets(offsets)
+    if args.json:
+        print(json.dumps({"schema": "repro-loadgen/1",
+                          "arrival": args.arrival, "rate_rps": args.rate,
+                          "seed": args.seed,
+                          "burst_factor": args.burst_factor,
+                          "summary": summary, "offsets_s": offsets},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"loadgen: {args.arrival} x{args.requests} at {args.rate:g} rps "
+          f"(seed {args.seed})")
+    print(f"  duration={summary['duration_s']:.4f}s "
+          f"achieved={summary['mean_rate_rps']:.1f} rps "
+          f"gaps=[{summary['min_gap_s'] * 1e3:.3f}, "
+          f"{summary['max_gap_s'] * 1e3:.3f}] ms")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -733,6 +863,84 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--json", action="store_true",
                       help="print per-scenario results as JSON")
     fuzz.set_defaults(func=cmd_fuzz)
+
+    serve = sub.add_parser("serve",
+                           help="serve a BNN scenario under an open-loop "
+                                "arrival schedule and report SLO "
+                                "attainment")
+    serve.add_argument("--scenario", metavar="FILE",
+                       help="scenario JSON with an optional 'serve' block "
+                            "(default: the built-in paper-shaped BNN "
+                            "scenario); serve flags below override its "
+                            "fields")
+    serve.add_argument("--engine", choices=engines,
+                       help="execution engine batches dispatch to "
+                            "(default: the scenario's engine)")
+    serve.add_argument("--requests", type=int,
+                       help="number of requests to drive")
+    serve.add_argument("--rate", type=float, metavar="RPS",
+                       help="mean arrival rate in requests/second")
+    serve.add_argument("--arrival", choices=("poisson", "uniform",
+                                             "bursty"),
+                       help="arrival process (default poisson)")
+    serve.add_argument("--burst-factor", type=float, metavar="F",
+                       help="bursty ON-window rate multiplier")
+    serve.add_argument("--batch-window", type=float, metavar="MS",
+                       help="batching window: max wait after the first "
+                            "request of a batch")
+    serve.add_argument("--max-batch", type=int, metavar="N",
+                       help="max requests coalesced into one engine batch")
+    serve.add_argument("--max-queue-depth", type=int, metavar="N",
+                       help="queue depth beyond which requests are shed")
+    serve.add_argument("--timeout", type=float, metavar="MS",
+                       help="queue age beyond which requests time out")
+    serve.add_argument("--budget", type=float, metavar="MS",
+                       help="per-request latency budget the SLO gates on")
+    serve.add_argument("--slo-target", type=float, metavar="FRACTION",
+                       help="required fraction of requests within budget")
+    serve.add_argument("--check-slo", action="store_true",
+                       help="exit 1 when the SLO target is missed")
+    serve.add_argument("--out", metavar="PATH",
+                       help="write the SLO report JSON document to PATH")
+    serve.add_argument("--json", action="store_true",
+                       help="print the SLO report JSON on stdout instead "
+                            "of markdown")
+    serve.add_argument("--trace", metavar="PATH",
+                       help="write a Chrome/Perfetto trace with "
+                            "per-request lifecycle lanes (serve.reqNN), "
+                            "batch spans and queue-depth counters")
+    serve.add_argument("--trace-jsonl", metavar="PATH",
+                       help="write the raw event stream as JSONL")
+    serve.add_argument("--metrics-out", metavar="PATH",
+                       help="write OpenMetrics text exposition: latency "
+                            "quantiles, per-phase quantiles, admission "
+                            "counters, queue gauges")
+    serve.add_argument("--metrics-json", metavar="PATH",
+                       help="write the same metrics as a stable-ordered "
+                            "JSON document")
+    serve.set_defaults(func=cmd_serve)
+
+    load = sub.add_parser("loadgen",
+                          help="preview a deterministic open-loop arrival "
+                               "schedule (no server)")
+    load.add_argument("--arrival", choices=("poisson", "uniform", "bursty"),
+                      default="poisson",
+                      help="arrival process (default poisson)")
+    load.add_argument("--rate", type=float, default=500.0, metavar="RPS",
+                      help="mean arrival rate in requests/second "
+                           "(default 500)")
+    load.add_argument("--requests", type=int, default=64,
+                      help="schedule length (default 64)")
+    load.add_argument("--seed", type=int, default=0,
+                      help="schedule seed; same tuple replays the same "
+                           "offsets (default 0)")
+    load.add_argument("--burst-factor", type=float, default=4.0,
+                      metavar="F",
+                      help="bursty ON-window rate multiplier (default 4)")
+    load.add_argument("--json", action="store_true",
+                      help="print the schedule (offsets + summary) as "
+                           "JSON")
+    load.set_defaults(func=cmd_loadgen)
 
     att = sub.add_parser("attribute",
                          help="split a scenario run into the six obs "

@@ -86,6 +86,11 @@ class BenchSpec:
     document so trajectory files say exactly what was measured.
     Harness-shaped benches (DMA copy, runner cache timing) have no
     scenario.
+
+    ``slo`` is the serve-layer hook: called once after the timed repeats,
+    it returns the benchmark's SLO summary block (p50/p99 latency,
+    throughput, attainment) which rides in the result entry and feeds
+    the ``serve:*`` regression-gate metrics.
     """
 
     name: str
@@ -94,20 +99,23 @@ class BenchSpec:
     unit: str
     help: str = ""
     scenario: Optional[Scenario] = None
+    slo: Optional[Callable[[], Optional[Dict[str, Any]]]] = None
 
 
 _REGISTRY: Dict[str, BenchSpec] = {}
 
 
 def bench(name: str, *, work_key: str, unit: str, help: str = "",
-          scenario: Optional[Scenario] = None):
+          scenario: Optional[Scenario] = None,
+          slo: Optional[Callable[[], Optional[Dict[str, Any]]]] = None):
     """Register the decorated function as the benchmark ``name``."""
 
     def decorator(func: Callable[[bool], Mapping[str, float]]):
         if name in _REGISTRY:
             raise ValueError(f"benchmark {name!r} registered twice")
         _REGISTRY[name] = BenchSpec(name=name, func=func, work_key=work_key,
-                                    unit=unit, help=help, scenario=scenario)
+                                    unit=unit, help=help, scenario=scenario,
+                                    slo=slo)
         return func
 
     return decorator
@@ -267,6 +275,63 @@ _register_batch_infer_bench(
          "parallel; serial fallback below the sharding threshold)")
 
 
+#: the serve bench's scenario: the paper-shaped classifier offered at a
+#: Poisson 2 krps with a 2 ms coalescing window on the fast engine
+def _serve_scenario() -> Scenario:
+    from repro.scenario.schema import ServeSpec
+
+    return Scenario(
+        name="serve.e2e.latency",
+        workload=WorkloadSpec(kind="bnn", name="random",
+                              layer_sizes=(100, 100, 100, 10)),
+        engine=EngineSpec(name="fast"),
+        seed=0, batch_size=64,
+        serve=ServeSpec(arrival="poisson", rate_rps=2000.0, requests=256,
+                        batch_window_ms=2.0, max_batch=32,
+                        timeout_ms=250.0, latency_budget_ms=50.0,
+                        slo_target=0.99))
+
+
+_SERVE_LAST_REPORT: Optional[Dict[str, Any]] = None
+
+
+def _serve_slo_block() -> Optional[Dict[str, Any]]:
+    """The gateable SLO summary of the serve bench's last repeat."""
+    if _SERVE_LAST_REPORT is None:
+        return None
+    doc = _SERVE_LAST_REPORT
+    latency = doc.get("latency_ms") or {}
+    return {
+        "p50_ms": latency.get("p50"),
+        "p99_ms": latency.get("p99"),
+        "throughput_rps": doc.get("throughput_rps", 0.0),
+        "attainment": doc["slo"]["attainment"],
+        "shed": doc["requests"]["shed"],
+        "timeout": doc["requests"]["timeout"],
+    }
+
+
+@bench("serve.e2e.latency", work_key="requests", unit="requests/s",
+       help="end-to-end served-request latency under open-loop Poisson "
+            "load (dynamic batching, --engine fast)",
+       scenario=_serve_scenario(), slo=_serve_slo_block)
+def _bench_serve(quick: bool) -> Dict[str, float]:
+    import dataclasses as _dc
+
+    from repro.serve import serve_scenario
+
+    global _SERVE_LAST_REPORT
+    scenario = _REGISTRY["serve.e2e.latency"].scenario
+    if quick:
+        scenario = scenario.with_overrides(serve=_dc.replace(
+            scenario.serve, requests=64))
+    doc = serve_scenario(scenario)
+    _SERVE_LAST_REPORT = doc
+    return {"requests": doc["requests"]["submitted"],
+            "completed": doc["requests"]["completed"],
+            "simulated_cycles": doc["batches"]["sim_cycles"]}
+
+
 @bench("dma.transfer", work_key="words", unit="words/s",
        help="DMA engine functional copy throughput (L2 <-> SRAM model)")
 def _bench_dma(quick: bool) -> Dict[str, float]:
@@ -348,6 +413,7 @@ def run_benchmark(spec: BenchSpec, repeats: int = DEFAULT_REPEATS,
     times: List[float] = []
     work: Mapping[str, float] = {}
     attribution: Optional[Dict[str, Any]] = None
+    slo: Optional[Dict[str, Any]] = None
     with use_session(session):
         for _ in range(warmup):
             spec.func(quick)
@@ -359,6 +425,8 @@ def run_benchmark(spec: BenchSpec, repeats: int = DEFAULT_REPEATS,
             from repro.obs import attribute_scenario
 
             attribution = attribute_scenario(spec.scenario).as_dict()
+        if spec.slo is not None:
+            slo = spec.slo()
     wall = summarize(times)
     wall["samples"] = [float(value) for value in times]
     work_units = float(work.get(spec.work_key, 0))
@@ -379,6 +447,7 @@ def run_benchmark(spec: BenchSpec, repeats: int = DEFAULT_REPEATS,
         "wall_s": wall,
         "throughput": throughput,
         "attribution": attribution,
+        "slo": slo,
     }
 
 

@@ -66,6 +66,16 @@ def extract_metrics(bench_doc: Mapping[str, Any]) -> Dict[str, float]:
         for phase in sorted(fractions):
             metrics[f"bench:{name}:cycle_fraction:{phase}"] = \
                 float(fractions[phase])
+        # serve benches carry an SLO block: latency quantiles, throughput
+        # and budget attainment gate as ``serve:*`` metrics
+        slo = result.get("slo") or {}
+        short = name[len("serve."):] if name.startswith("serve.") else name
+        for key in sorted(slo):
+            value = slo[key]
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                continue
+            metrics[f"serve:{short}:{key}"] = float(value)
     for key, value in sorted(bench_doc.get("experiments", {}).items()):
         metrics[f"experiment:{key}"] = float(value)
     return metrics
@@ -109,6 +119,19 @@ def validate_bench_doc(doc: Mapping[str, Any]) -> Dict[str, Any]:
                 validate_attribution_dict(attribution)
             except ObservabilityError as exc:
                 raise ValueError(f"benchmark {name!r}: {exc}") from exc
+        slo = result.get("slo")
+        if slo is not None:
+            if not isinstance(slo, Mapping):
+                raise ValueError(f"benchmark {name!r}: 'slo' must be an "
+                                 "object")
+            for key, value in slo.items():
+                if isinstance(value, bool) or \
+                        not isinstance(value, (int, float)):
+                    raise ValueError(f"benchmark {name!r}: slo[{key!r}] "
+                                     "must be numeric")
+            if "attainment" in slo and not 0.0 <= slo["attainment"] <= 1.0:
+                raise ValueError(f"benchmark {name!r}: slo attainment "
+                                 f"{slo['attainment']!r} outside [0, 1]")
     return {"benchmarks": len(benchmarks),
             "experiments": len(doc.get("experiments", {}))}
 
@@ -196,6 +219,20 @@ def baseline_from_bench(bench_doc: Mapping[str, Any], *,
         elif name.endswith(":throughput"):
             entry = {"value": value, "tolerance": throughput_tolerance,
                      "direction": "higher"}
+        elif name.startswith("serve:"):
+            # serve latencies are host wall time under load -> generous,
+            # lower is better; rates/attainment gate higher-is-better
+            if name.endswith("_ms"):
+                entry = {"value": value, "tolerance": wall_tolerance,
+                         "direction": "lower"}
+            elif name.endswith(":throughput_rps") or \
+                    name.endswith(":attainment"):
+                entry = {"value": value,
+                         "tolerance": throughput_tolerance,
+                         "direction": "higher"}
+            else:  # shed/timeout counters: more of them is a regression
+                entry = {"value": value, "tolerance": wall_tolerance,
+                         "direction": "lower"}
         else:
             entry = {"value": value, "tolerance": experiment_tolerance,
                      "direction": "near"}

@@ -115,16 +115,29 @@ class PhaseRecorder:
 
     @contextmanager
     def run(self):
-        """Measure the run's total wall time around the whole body."""
+        """Measure the run's total wall time around the whole body.
+
+        Exception-safe: a raising body still closes the total (clamped
+        >= 0 against non-monotonic clocks), so :meth:`wall_phases`
+        stays usable for the partial run.
+        """
         start = self._clock()
         try:
             yield self
         finally:
-            self._total = self._clock() - start
+            self._total = max(0.0, self._clock() - start)
 
     @contextmanager
     def measure(self, phase: str):
-        """Attribute the body's wall time to ``phase``."""
+        """Attribute the body's wall time to ``phase``.
+
+        A raising region still closes — its elapsed time is accumulated
+        and the nesting depth is restored first, so a recovered caller
+        can keep measuring subsequent regions.  Durations are clamped
+        >= 0, which keeps the overhead remainder of
+        :meth:`wall_phases` non-negative even under a clock that steps
+        backwards.
+        """
         if phase not in PHASES:
             raise ObservabilityError(
                 f"unknown phase {phase!r}; the vocabulary is {list(PHASES)}")
@@ -136,8 +149,8 @@ class PhaseRecorder:
         try:
             yield
         finally:
-            self._buckets[phase] += self._clock() - start
             self._depth -= 1
+            self._buckets[phase] += max(0.0, self._clock() - start)
 
     @property
     def total_wall_s(self) -> float:

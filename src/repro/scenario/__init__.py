@@ -14,22 +14,26 @@ the schema stays cheap to import from :mod:`repro.sim.config`.
 """
 
 from repro.scenario.schema import (
+    ARRIVAL_PROCESSES,
     BATCH_POLICIES,
     CPU_PROGRAMS,
     WORKLOAD_KINDS,
     DevicePoint,
     EngineSpec,
     Scenario,
+    ServeSpec,
     WorkloadSpec,
     load_scenario,
 )
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
     "BATCH_POLICIES",
     "CPU_PROGRAMS",
     "DevicePoint",
     "EngineSpec",
     "Scenario",
+    "ServeSpec",
     "WORKLOAD_KINDS",
     "WorkloadSpec",
     "load_scenario",

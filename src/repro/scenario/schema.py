@@ -40,6 +40,9 @@ CPU_PROGRAMS = ("dhrystone", "hotspot")
 #: (``fixed``) or streamed row-by-row (``stream``)
 BATCH_POLICIES = ("fixed", "stream")
 
+#: arrival processes the serve-layer load generator can synthesize
+ARRIVAL_PROCESSES = ("poisson", "uniform", "bursty")
+
 #: schema bounds — generous, but finite so fuzzed scenarios stay cheap
 MAX_LAYERS = 8
 MAX_LAYER_WIDTH = 4096
@@ -252,6 +255,86 @@ class DevicePoint:
 
 
 @dataclasses.dataclass(frozen=True)
+class ServeSpec:
+    """How the serve layer offers this scenario's workload under load.
+
+    ``arrival``/``rate_rps``/``requests``/``burst_factor`` parameterize
+    the open-loop load generator (:mod:`repro.serve.loadgen`); the rest
+    are the batching/admission policy knobs of
+    :class:`repro.serve.NCPUServer`.  The block only matters to
+    ``repro serve`` / ``repro loadgen`` — architectural results do not
+    depend on it, so it is excluded from :meth:`Scenario.identity_dict`
+    exactly like the engine spec.
+    """
+
+    arrival: str = "poisson"
+    rate_rps: float = 500.0
+    requests: int = 64
+    burst_factor: float = 4.0
+    batch_window_ms: float = 2.0
+    max_batch: int = 16
+    max_queue_depth: int = 256
+    timeout_ms: float = 250.0
+    latency_budget_ms: float = 50.0
+    slo_target: float = 0.99
+
+    def __post_init__(self):
+        for name in ("rate_rps", "burst_factor", "batch_window_ms",
+                     "timeout_ms", "latency_budget_ms", "slo_target"):
+            value = getattr(self, name)
+            if isinstance(value, int) and not isinstance(value, bool):
+                object.__setattr__(self, name, float(value))
+        self.validate("serve")
+
+    def validate(self, path: str = "serve") -> None:
+        _require(self.arrival in ARRIVAL_PROCESSES, f"{path}.arrival",
+                 f"must be one of {', '.join(ARRIVAL_PROCESSES)}, "
+                 f"got {self.arrival!r}")
+        for name, low, high in (("rate_rps", 1e-3, 1e6),
+                                ("burst_factor", 1.0, 1000.0),
+                                ("timeout_ms", 1e-3, 600_000.0),
+                                ("latency_budget_ms", 1e-3, 600_000.0)):
+            value = getattr(self, name)
+            _require(isinstance(value, float), f"{path}.{name}",
+                     f"expected a number, got {value!r}")
+            _require(low <= value <= high, f"{path}.{name}",
+                     f"must be in [{low:g}, {high:g}], got {value}")
+        _require(isinstance(self.batch_window_ms, float),
+                 f"{path}.batch_window_ms",
+                 f"expected a number, got {self.batch_window_ms!r}")
+        _require(0.0 <= self.batch_window_ms <= 60_000.0,
+                 f"{path}.batch_window_ms",
+                 f"must be in [0, 60000] ms, got {self.batch_window_ms}")
+        _check_int(self.requests, f"{path}.requests", 1, MAX_BATCH_SIZE)
+        _check_int(self.max_batch, f"{path}.max_batch", 1, MAX_BATCH_SIZE)
+        _check_int(self.max_queue_depth, f"{path}.max_queue_depth", 1,
+                   MAX_BATCH_SIZE)
+        _require(isinstance(self.slo_target, float), f"{path}.slo_target",
+                 f"expected a number, got {self.slo_target!r}")
+        _require(0.0 < self.slo_target <= 1.0, f"{path}.slo_target",
+                 f"must be in (0, 1], got {self.slo_target}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"arrival": self.arrival, "rate_rps": self.rate_rps,
+                "requests": self.requests,
+                "burst_factor": self.burst_factor,
+                "batch_window_ms": self.batch_window_ms,
+                "max_batch": self.max_batch,
+                "max_queue_depth": self.max_queue_depth,
+                "timeout_ms": self.timeout_ms,
+                "latency_budget_ms": self.latency_budget_ms,
+                "slo_target": self.slo_target}
+
+    @classmethod
+    def from_dict(cls, data: Any, path: str = "serve") -> "ServeSpec":
+        data = _as_mapping(data, path)
+        _reject_unknown(cls, data, path)
+        fields = {field.name: data.get(field.name, getattr(cls, field.name))
+                  for field in dataclasses.fields(cls)}
+        return _construct(lambda: cls(**fields), path, "serve")
+
+
+@dataclasses.dataclass(frozen=True)
 class Scenario:
     """One fully-specified simulator run.
 
@@ -269,6 +352,7 @@ class Scenario:
     batch_policy: str = "fixed"
     device: DevicePoint = dataclasses.field(default_factory=DevicePoint)
     repeats: int = 1
+    serve: ServeSpec = dataclasses.field(default_factory=ServeSpec)
 
     def __post_init__(self):
         self.validate("scenario")
@@ -283,6 +367,8 @@ class Scenario:
                  f"expected an EngineSpec, got {self.engine!r}")
         _require(isinstance(self.device, DevicePoint), f"{path}.device",
                  f"expected a DevicePoint, got {self.device!r}")
+        _require(isinstance(self.serve, ServeSpec), f"{path}.serve",
+                 f"expected a ServeSpec, got {self.serve!r}")
         _check_int(self.seed, f"{path}.seed", 0, 2**63 - 1)
         _check_int(self.batch_size, f"{path}.batch_size", 1, MAX_BATCH_SIZE)
         _require(self.batch_policy in BATCH_POLICIES, f"{path}.batch_policy",
@@ -292,6 +378,7 @@ class Scenario:
         self.workload.validate(f"{path}.workload")
         self.engine.validate(f"{path}.engine")
         self.device.validate(f"{path}.device")
+        self.serve.validate(f"{path}.serve")
 
     # -- canonical forms --------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -305,17 +392,21 @@ class Scenario:
             "batch_policy": self.batch_policy,
             "device": self.device.to_dict(),
             "repeats": self.repeats,
+            "serve": self.serve.to_dict(),
         }
 
     def identity_dict(self) -> Dict[str, Any]:
-        """The canonical dict *minus the engine spec*.
+        """The canonical dict *minus the engine and serve specs*.
 
         This is what :attr:`repro.sim.config.SimConfig.hash` folds in:
         every registered engine produces bit-identical architectural
-        results, so cached artifacts stay valid across engine swaps.
+        results, so cached artifacts stay valid across engine swaps —
+        and the serve block only shapes *when* work arrives, never what
+        it computes, so serving-policy sweeps reuse the same artifacts.
         """
         identity = self.to_dict()
         del identity["engine"]
+        del identity["serve"]
         return identity
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -339,6 +430,8 @@ class Scenario:
             if "engine" in data else EngineSpec()
         device = DevicePoint.from_dict(data["device"], f"{path}.device") \
             if "device" in data else DevicePoint()
+        serve = ServeSpec.from_dict(data["serve"], f"{path}.serve") \
+            if "serve" in data else ServeSpec()
         return _construct(
             lambda: cls(name=data.get("name", cls.name),
                         workload=workload, engine=engine,
@@ -347,7 +440,8 @@ class Scenario:
                         batch_policy=data.get("batch_policy",
                                               cls.batch_policy),
                         device=device,
-                        repeats=data.get("repeats", cls.repeats)),
+                        repeats=data.get("repeats", cls.repeats),
+                        serve=serve),
             path, "scenario")
 
     @classmethod
@@ -388,6 +482,14 @@ class Scenario:
     def with_overrides(self, **fields: Any) -> "Scenario":
         """A copy with top-level scalar fields replaced."""
         return dataclasses.replace(self, **fields)
+
+    def with_serve(self, **fields: Any) -> "Scenario":
+        """A copy with serve-spec fields replaced (CLI flags override
+        files); ``None`` values mean "keep the scenario's own value"."""
+        updates = {name: value for name, value in fields.items()
+                   if value is not None}
+        return dataclasses.replace(
+            self, serve=dataclasses.replace(self.serve, **updates))
 
 
 def load_scenario(path) -> Scenario:

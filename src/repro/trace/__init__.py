@@ -47,7 +47,10 @@ from repro.trace.tracer import (
     CYCLE_EVENT,
     DEFAULT_CAPACITY,
     DMA_TRACK,
+    DROPPED_RECORDS_STAT,
     FLUSH_EVENT,
+    SERVE_REQUEST_LANES,
+    SERVE_TRACK,
     STALL_EVENT,
     ProbeBridge,
     TraceEvent,
@@ -65,12 +68,15 @@ __all__ = [
     "CpuProfile",
     "DEFAULT_CAPACITY",
     "DMA_TRACK",
+    "DROPPED_RECORDS_STAT",
     "FLUSH_EVENT",
     "HotSpot",
     "LayerStat",
     "PAPER_UTILIZATION",
     "ProbeBridge",
     "RunReport",
+    "SERVE_REQUEST_LANES",
+    "SERVE_TRACK",
     "STALL_EVENT",
     "TraceEvent",
     "Tracer",

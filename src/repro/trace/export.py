@@ -21,7 +21,7 @@ import json
 from collections import defaultdict
 from typing import Any, Dict, Iterable, List, Optional
 
-from repro.trace.tracer import CYCLE_EVENT, TraceEvent, events_of
+from repro.trace.tracer import CYCLE_EVENT, TraceEvent, Tracer, events_of
 
 #: pipeline stage order for the expanded per-stage lanes
 PIPELINE_STAGES = ("IF", "ID", "EX", "MEM", "WB")
@@ -123,16 +123,22 @@ def chrome_trace(source, expand_cycles: bool = True,
                          "pid": TRACE_PID, "tid": tid,
                          "args": {"sort_index": tid}})
 
+    other_data: Dict[str, Any] = {
+        "generator": GENERATOR,
+        "time_unit": f"cycles ({cycles_per_us:g} cycle(s) == 1 us)",
+        "n_events": len(body),
+        "tracks": [t for t, _ in sorted(tids.items(),
+                                        key=lambda kv: kv[1])],
+    }
+    # completeness metadata: a trace whose ring buffer wrapped (or whose
+    # sampler skipped cycles) must say so, or profiles silently lie
+    if isinstance(source, Tracer):
+        other_data["dropped_records"] = source.dropped
+        other_data["sampled_out"] = source.sampled_out
     return {
         "traceEvents": metadata + body,
         "displayTimeUnit": "ms",
-        "otherData": {
-            "generator": GENERATOR,
-            "time_unit": f"cycles ({cycles_per_us:g} cycle(s) == 1 us)",
-            "n_events": len(body),
-            "tracks": [t for t, _ in sorted(tids.items(),
-                                            key=lambda kv: kv[1])],
-        },
+        "otherData": other_data,
     }
 
 

@@ -28,7 +28,10 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
 
+from repro.logutil import get_logger
 from repro.sim import get_session
+
+logger = get_logger("trace")
 
 #: event name of the pipeline's per-cycle occupancy record
 CYCLE_EVENT = "cpu.cycle"
@@ -45,6 +48,14 @@ BNN_TRACK = "bnn"
 DMA_TRACK = "dma"
 #: track of the parallel engine's per-shard wall-time spans
 PARALLEL_TRACK = "bnn.parallel"
+#: track prefix of the serve layer's lanes (batcher, admission, queue)
+SERVE_TRACK = "serve"
+#: per-request serve lanes rotate over this many tracks, so a long load
+#: run stays readable in Perfetto (args carry the exact request id)
+SERVE_REQUEST_LANES = 16
+
+#: stats-registry counter that mirrors ring-buffer evictions
+DROPPED_RECORDS_STAT = "trace.dropped_records"
 
 #: default ring-buffer capacity (events); None = unbounded
 DEFAULT_CAPACITY = 1 << 20
@@ -106,9 +117,13 @@ class Tracer:
         self.clock = clock
         self.dropped = 0  # events evicted from the ring buffer
         self.sampled_out = 0  # cycle records skipped by sampling
+        #: stats registry mirroring drops as ``trace.dropped_records``
+        #: (attached by :func:`install_tracer`; optional for bare tracers)
+        self.stats = None
         self._events: deque = deque(maxlen=capacity)
         self._cursors: Dict[str, float] = {}
         self._cycle_seen = 0
+        self._warned_dropped = False
 
     # -- state ----------------------------------------------------------
     @property
@@ -128,6 +143,7 @@ class Tracer:
         self.dropped = 0
         self.sampled_out = 0
         self._cycle_seen = 0
+        self._warned_dropped = False
 
     def enable(self) -> None:
         self.enabled = True
@@ -138,6 +154,14 @@ class Tracer:
     def _append(self, event: TraceEvent) -> None:
         if self.capacity is not None and len(self._events) == self.capacity:
             self.dropped += 1
+            if self.stats is not None:
+                self.stats.incr(DROPPED_RECORDS_STAT)
+            if not self._warned_dropped:
+                self._warned_dropped = True
+                logger.warning(
+                    "trace ring buffer full (capacity %d): evicting oldest "
+                    "records; raise capacity (capacity=None for unbounded) "
+                    "or sample_every to keep the whole run", self.capacity)
         self._events.append(event)
 
     # -- emission -------------------------------------------------------
@@ -280,6 +304,53 @@ class ProbeBridge:
                        wall_s=payload.get("wall_s", 0.0),
                        kind=payload.get("kind", ""),
                        scenario=payload.get("scenario", ""))
+        elif event == "serve.request":
+            self._serve_request_spans(payload)
+        elif event == "serve.batch":
+            # wall seconds -> microsecond ticks, same convention as the
+            # parallel shard lanes, so serve and engine tracks line up
+            start = float(payload.get("assembled_s", 0.0)) * 1e6
+            end = float(payload.get("infer_done_s", start)) * 1e6
+            tracer.complete(f"batch x{payload.get('size', 0)}",
+                            track=f"{SERVE_TRACK}.batcher", start=start,
+                            dur=max(end - start, 0.0), cat="serve",
+                            batch=payload.get("batch", 0),
+                            size=payload.get("size", 0),
+                            cycles=payload.get("cycles", 0))
+            tracer.counter("queue_depth", track=f"{SERVE_TRACK}.queue",
+                           ts=end,
+                           value=float(payload.get("queue_depth", 0)),
+                           cat="serve")
+        elif event in ("serve.shed", "serve.timeout"):
+            tracer.instant(event, track=f"{SERVE_TRACK}.admission",
+                           ts=float(payload.get("t_s", 0.0)) * 1e6,
+                           cat="serve", **dict(payload))
+
+    def _serve_request_spans(self, payload: Mapping[str, Any]) -> None:
+        """One request's lifecycle chain as spans on a rotating lane.
+
+        The five lifecycle segments (enqueue → batch-assemble → dispatch
+        → engine-infer → respond) are laid with absolute wall-us
+        timestamps; lanes rotate over :data:`SERVE_REQUEST_LANES` tracks
+        so long load runs stay readable (the exact request id rides in
+        the span args).
+        """
+        tracer = self.tracer
+        index = int(payload.get("request", 0))
+        track = f"{SERVE_TRACK}.req{index % SERVE_REQUEST_LANES:02d}"
+        chain = (("enqueue", "submit_s", "enqueue_s"),
+                 ("batch_assemble", "enqueue_s", "assembled_s"),
+                 ("dispatch", "assembled_s", "dispatch_s"),
+                 ("engine_infer", "dispatch_s", "infer_done_s"),
+                 ("respond", "infer_done_s", "respond_s"))
+        for name, start_key, end_key in chain:
+            start = float(payload.get(start_key, 0.0)) * 1e6
+            end = float(payload.get(end_key, 0.0)) * 1e6
+            tracer.complete(name, track=track, start=start,
+                            dur=max(end - start, 0.0), cat="serve",
+                            request=index,
+                            batch=payload.get("batch"),
+                            status=payload.get("status", "ok"))
 
     def _bnn_spans(self, event: str, payload: Mapping[str, Any]) -> None:
         """Per-layer spans for one accelerator batch/inference."""
@@ -308,6 +379,10 @@ def install_tracer(session=None, **tracer_kwargs: Any) -> Tracer:
     session = session if session is not None else get_session()
     uninstall_tracer(session)
     tracer = Tracer(**tracer_kwargs)
+    # mirror ring-buffer evictions into the session stats, so dropped
+    # records are as visible as any other counter (metrics diffs pick up
+    # ``trace.dropped_records`` with no extra wiring)
+    tracer.stats = session.stats
     bridge = ProbeBridge(tracer)
     session.stats.subscribe("*", bridge)
     tracer._bridge = bridge

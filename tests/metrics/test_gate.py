@@ -61,6 +61,12 @@ def bench_doc_from_baseline(baseline: dict) -> dict:
     for name, entry in baseline["metrics"].items():
         if name.startswith("experiment:"):
             doc["experiments"][name[len("experiment:"):]] = entry["value"]
+        elif name.startswith("serve:"):
+            bench_name, key = name[len("serve:"):].rsplit(":", 1)
+            slot = doc["benchmarks"].setdefault(
+                f"serve.{bench_name}",
+                {"wall_s": {}, "throughput": {}, "work": {}})
+            slot.setdefault("slo", {})[key] = entry["value"]
         elif name.startswith("bench:"):
             rest = name[len("bench:"):]
             if ":cycle_fraction:" in rest:

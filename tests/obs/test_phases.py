@@ -127,3 +127,56 @@ class TestPhaseRecorder:
         recorder = PhaseRecorder(clock=FakeClock())
         with pytest.raises(ObservabilityError, match="not completed"):
             recorder.total_wall_s
+
+
+class TestPhaseRecorderExceptionPaths:
+    def test_raising_run_still_closes_the_total(self):
+        clock = FakeClock()
+        recorder = PhaseRecorder(clock=clock)
+        with pytest.raises(RuntimeError, match="boom"):
+            with recorder.run():
+                with recorder.measure(PREPROCESS):
+                    clock.advance(0.2)
+                clock.advance(0.3)
+                raise RuntimeError("boom")
+        assert recorder.total_wall_s == pytest.approx(0.5)
+        buckets = recorder.wall_phases()
+        assert buckets[PREPROCESS] == pytest.approx(0.2)
+        assert buckets[OVERHEAD] == pytest.approx(0.3)
+        check_wall_attribution(buckets, recorder.total_wall_s)
+
+    def test_raising_region_accumulates_and_restores_depth(self):
+        clock = FakeClock()
+        recorder = PhaseRecorder(clock=clock)
+        with recorder.run():
+            with pytest.raises(ValueError, match="mid-region"):
+                with recorder.measure(INFERENCE):
+                    clock.advance(0.4)
+                    raise ValueError("mid-region")
+            # a recovered caller can keep measuring afterwards
+            with recorder.measure(PREPROCESS):
+                clock.advance(0.1)
+        buckets = recorder.wall_phases()
+        assert buckets[INFERENCE] == pytest.approx(0.4)
+        assert buckets[PREPROCESS] == pytest.approx(0.1)
+        check_wall_attribution(buckets, recorder.total_wall_s)
+
+    def test_backwards_clock_clamps_to_zero(self):
+        clock = FakeClock()
+        recorder = PhaseRecorder(clock=clock)
+        with recorder.run():
+            with recorder.measure(INFERENCE):
+                clock.advance(-0.5)  # non-monotonic clock step
+            clock.advance(1.0)
+        assert recorder.wall_phases()[INFERENCE] == 0.0
+        # overhead remainder stays non-negative despite the step
+        assert recorder.wall_phases()[OVERHEAD] >= 0.0
+
+    def test_raising_run_with_backwards_clock_clamps_total(self):
+        clock = FakeClock()
+        recorder = PhaseRecorder(clock=clock)
+        with pytest.raises(RuntimeError):
+            with recorder.run():
+                clock.advance(-1.0)
+                raise RuntimeError("boom")
+        assert recorder.total_wall_s == 0.0

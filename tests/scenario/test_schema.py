@@ -183,12 +183,14 @@ class TestHashing:
         hashes.add(base.with_engine(prefer_functional=False).hash)
         assert hashes == {base.hash}
 
-    def test_identity_dict_excludes_engine_only(self):
+    def test_identity_dict_excludes_engine_and_serve_only(self):
         scenario = full_scenario()
         identity = scenario.identity_dict()
         assert "engine" not in identity
+        assert "serve" not in identity
         full = scenario.to_dict()
         del full["engine"]
+        del full["serve"]
         assert identity == full
 
 

@@ -188,3 +188,66 @@ class TestProbeBridge:
     def test_no_subscription_without_tracer(self):
         with use_session() as session:
             assert not session.stats._probes
+
+
+class TestDroppedRecordsStat:
+    def test_installed_tracer_mirrors_drops_into_session_stats(self):
+        from repro.trace import DROPPED_RECORDS_STAT
+
+        with use_session() as session:
+            tracer = install_tracer(session, capacity=2)
+            try:
+                for index in range(6):
+                    tracer.instant(f"e{index}", track="t", ts=index)
+            finally:
+                uninstall_tracer(session)
+            counters = session.stats.as_dict()["counters"]
+            assert tracer.dropped == 4
+            assert counters[DROPPED_RECORDS_STAT] == tracer.dropped
+
+    def test_bare_tracer_counts_drops_without_a_registry(self):
+        tracer = Tracer(capacity=1)
+        tracer.instant("a", track="t", ts=0)
+        tracer.instant("b", track="t", ts=1)  # must not raise: stats is None
+        assert tracer.stats is None
+        assert tracer.dropped == 1
+
+    def test_eviction_warns_exactly_once(self, caplog, monkeypatch):
+        import logging
+
+        # a prior CLI invocation may have claimed the "repro" logger with
+        # propagate=False; caplog needs propagation
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        tracer = Tracer(capacity=1)
+        with caplog.at_level(logging.WARNING, logger="repro.trace"):
+            for index in range(4):
+                tracer.instant(f"e{index}", track="t", ts=index)
+        warnings = [r for r in caplog.records
+                    if "ring buffer full" in r.message]
+        assert len(warnings) == 1
+
+    def test_clear_rearms_the_warning_and_zeroes_the_counter(
+            self, caplog, monkeypatch):
+        import logging
+
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        tracer = Tracer(capacity=1)
+        tracer.instant("a", track="t", ts=0)
+        tracer.instant("b", track="t", ts=1)
+        tracer.clear()
+        assert tracer.dropped == 0
+        with caplog.at_level(logging.WARNING, logger="repro.trace"):
+            tracer.instant("c", track="t", ts=2)
+            tracer.instant("d", track="t", ts=3)
+        assert tracer.dropped == 1
+        assert any("ring buffer full" in r.message for r in caplog.records)
+
+    def test_chrome_trace_metadata_carries_completeness_counters(self):
+        from repro.trace.export import chrome_trace
+
+        tracer = Tracer(capacity=2)
+        for index in range(5):
+            tracer.instant(f"e{index}", track="t", ts=index)
+        payload = chrome_trace(tracer)
+        assert payload["otherData"]["dropped_records"] == 3
+        assert payload["otherData"]["sampled_out"] == 0

@@ -321,6 +321,7 @@ SCENARIO_TABLES = (
     ("### `workload` fields (`WorkloadSpec`)", "WorkloadSpec"),
     ("### `engine` fields (`EngineSpec`)", "EngineSpec"),
     ("### `device` fields (`DevicePoint`)", "DevicePoint"),
+    ("### `serve` fields (`ServeSpec`)", "ServeSpec"),
 )
 
 _FIELD_ROW_RE = re.compile(r"^\|\s*`([a-z_]+)`\s*\|")
@@ -423,6 +424,52 @@ def check_phase_table() -> List[str]:
     return problems
 
 
+# -- check 7: serve metric table -----------------------------------------
+SERVING_MD = REPO_ROOT / "docs" / "SERVING.md"
+
+SERVE_METRIC_TABLE_ANCHOR = "## Serve metric families"
+
+_METRIC_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_]+)`\s*\|")
+
+
+def documented_serve_metrics(text: str) -> Set[str]:
+    """Metric family names listed after the serve metric anchor."""
+    if SERVE_METRIC_TABLE_ANCHOR not in text:
+        return set()
+    names = set()
+    for line in text.split(SERVE_METRIC_TABLE_ANCHOR, 1)[1].splitlines():
+        match = _METRIC_ROW_RE.match(line.strip())
+        if match:
+            names.add(match.group(1))
+        elif names and not line.strip().startswith("|"):
+            break
+    return names
+
+
+def check_serve_metric_table() -> List[str]:
+    sys.path.insert(0, str(SRC))
+    try:
+        from repro.serve.slo import SERVE_METRIC_HELP
+    finally:
+        sys.path.pop(0)
+    if not SERVING_MD.exists():
+        return ["docs/SERVING.md: missing (serve telemetry reference)"]
+    documented = documented_serve_metrics(SERVING_MD.read_text())
+    if not documented:
+        return [f"docs/SERVING.md: serve metric table "
+                f"('{SERVE_METRIC_TABLE_ANCHOR}') not found"]
+    problems = []
+    for name in sorted(set(SERVE_METRIC_HELP) - documented):
+        problems.append(
+            f"serve metric `{name}` is in repro.serve.SERVE_METRIC_HELP "
+            "but missing from the docs/SERVING.md metric table")
+    for name in sorted(documented - set(SERVE_METRIC_HELP)):
+        problems.append(
+            f"serve metric `{name}` documented in docs/SERVING.md but "
+            "repro.serve.SERVE_METRIC_HELP has no such family")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="check_docs",
@@ -440,6 +487,7 @@ def main(argv=None) -> int:
     problems += check_engine_table()
     problems += check_scenario_tables()
     problems += check_phase_table()
+    problems += check_serve_metric_table()
     if problems:
         for problem in problems:
             print(f"FAIL {problem}")
@@ -448,7 +496,7 @@ def main(argv=None) -> int:
     if not args.quiet:
         print(f"docs ok: {len(files)} markdown files, links + CLI examples "
               "+ probe table + engine table + scenario tables + phase "
-              "table all consistent")
+              "table + serve metric table all consistent")
     return 0
 
 
