@@ -19,10 +19,24 @@ loop *does* emit ``bnn.parallel.shard``/``merge``/``fallback`` probe
 events so the fan-out cost (pickle + IPC + queue wait) is observable —
 the ``repro.obs`` layer and the trace bridge consume them.
 
+Two shard transports exist.  The default **shared-memory** transport
+packs the whole batch once in the parent, copies the packed uint64 rows
+into a :class:`multiprocessing.shared_memory.SharedMemory` segment, and
+sends workers only ``(segment name, shape, start, stop)`` — each worker
+maps a zero-copy ndarray view over its ``[start:stop)`` row range, so
+input rows are never pickled.  When shared memory is unavailable (or
+disabled via ``REPRO_PARALLEL_SHM=0``) the original **pickling**
+transport ships each chunk's rows through the pool's pickle channel.
+Both transports run the same packed kernels and are bit-identical; every
+``bnn.parallel.shard``/``merge`` probe carries a ``transport`` field so
+the difference stays observable.  See ``docs/KERNELS.md`` for the wire
+protocol.
+
 Tuning knobs: ``REPRO_PARALLEL_WORKERS`` caps the pool size (default:
-host CPU count), and batches below :data:`MIN_PARALLEL_BATCH` rows (or
-hosts with one usable CPU) take the serial path.  See
-``docs/PERFORMANCE.md`` for when sharding pays off.
+host CPU count), ``REPRO_PARALLEL_SHM=0`` forces the pickling
+transport, and batches below :data:`MIN_PARALLEL_BATCH` rows (or hosts
+with one usable CPU) take the serial path.  See ``docs/PERFORMANCE.md``
+for when sharding pays off.
 """
 
 from __future__ import annotations
@@ -42,6 +56,7 @@ from repro.bnn.batched import (
     PackedModel,
     batched_scores,
     encode_batch,
+    pack_sign_rows,
     _as_sign_batch,
 )
 from repro.bnn.model import BNNModel
@@ -63,6 +78,28 @@ MIN_CHUNK_ROWS = 128
 
 #: chunks per worker; >1 smooths load imbalance across chunks
 CHUNKS_PER_WORKER = 2
+
+#: environment variable disabling the shared-memory shard transport
+#: (``0``/``false``/``no``/``off`` force the pickling transport)
+PARALLEL_SHM_ENV_VAR = "REPRO_PARALLEL_SHM"
+
+
+def _shared_memory_module():
+    """``multiprocessing.shared_memory`` or ``None`` when unavailable."""
+    try:
+        from multiprocessing import shared_memory
+    except ImportError:  # pragma: no cover - stdlib since 3.8
+        return None
+    return shared_memory
+
+
+def shm_default(environ=None) -> bool:
+    """Whether the shared-memory transport is enabled for this process."""
+    env = os.environ if environ is None else environ
+    raw = env.get(PARALLEL_SHM_ENV_VAR, "").strip().lower()
+    if raw in ("0", "false", "no", "off"):
+        return False
+    return _shared_memory_module() is not None
 
 
 def default_workers(environ=None) -> int:
@@ -128,6 +165,51 @@ def _score_chunk(token: str, model: BNNModel,
     return scores, worker_start, time.perf_counter() - worker_start
 
 
+def _attach_shm_untracked(name: str):
+    """Attach to an existing shared-memory segment without tracking it.
+
+    The parent owns the segment's lifetime (it unlinks after the merge),
+    but Python 3.11's ``SharedMemory`` registers every *attach* with the
+    resource tracker (bpo-38119), which makes worker trackers warn about
+    — or double-unregister — a segment they never owned.  Suppressing
+    the registration for the duration of the attach sidesteps both.
+    """
+    shared_memory = _shared_memory_module()
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _score_chunk_shm(token: str, model: BNNModel, shm_name: str,
+                     shape: Tuple[int, int], start: int,
+                     stop: int) -> Tuple[np.ndarray, float, float]:
+    """Score rows ``[start:stop)`` of the shared packed batch.
+
+    The zero-copy twin of :func:`_score_chunk`: the parent already
+    validated and bit-packed the whole batch into the named shared-memory
+    segment, so this worker only maps a uint64 view over its row range —
+    no input rows cross the pickle channel.
+    """
+    worker_start = time.perf_counter()
+    packed = _WORKER_PACKED.get(token)
+    if packed is None:
+        packed = PackedModel.from_model(model)
+        _WORKER_PACKED[token] = packed
+    shm = _attach_shm_untracked(shm_name)
+    try:
+        view = np.ndarray(shape, dtype=np.uint64, buffer=shm.buf)
+        scores = packed.scores(view[start:stop])
+        del view  # drop buffer exports so close() cannot raise
+    finally:
+        shm.close()
+    return scores, worker_start, time.perf_counter() - worker_start
+
+
 # -- parent side ----------------------------------------------------------
 #: stable per-model tokens (weak — dropping the model drops its token);
 #: the parent pid is folded in so forked children never collide
@@ -187,9 +269,60 @@ def _note_fallback(n_rows: int, reason: str) -> None:
             "further fallbacks are probe-only", reason, n_rows)
 
 
+def _collect_chunks(stats, futures, transport: str) -> List[np.ndarray]:
+    """Await shard futures in submission order, emitting one
+    ``bnn.parallel.shard`` probe per chunk."""
+    chunks = []
+    for shard, (future, submit_start, submit_end, rows) in \
+            enumerate(futures):
+        scores, worker_start, compute_s = future.result()
+        chunks.append(scores)
+        stats.emit("bnn.parallel.shard", shard=shard, rows=int(rows),
+                   transport=transport,
+                   serialize_s=submit_end - submit_start,
+                   queue_wait_s=max(0.0, worker_start - submit_end),
+                   compute_s=compute_s)
+    return chunks
+
+
+def _scatter_shm(pool, stats, token: str, model: BNNModel, x: np.ndarray,
+                 bounds: List[Tuple[int, int]]) -> List[np.ndarray]:
+    """Shared-memory scatter: pack once, ship only segment name + offsets.
+
+    The parent validates and bit-packs the whole batch, copies the
+    packed rows into a fresh shared-memory segment and submits
+    ``(name, shape, start, stop)`` per chunk.  The segment is closed and
+    unlinked after every shard result has been merged — workers hold
+    their own short-lived mappings.
+    """
+    shared_memory = _shared_memory_module()
+    packed = pack_sign_rows(x)  # x is already validated against model
+    shm = shared_memory.SharedMemory(create=True,
+                                     size=max(1, packed.nbytes))
+    try:
+        view = np.ndarray(packed.shape, dtype=np.uint64, buffer=shm.buf)
+        view[:] = packed
+        del view  # drop buffer exports so close() cannot raise
+        futures = []
+        for start, stop in bounds:
+            submit_start = time.perf_counter()
+            future = pool.submit(_score_chunk_shm, token, model, shm.name,
+                                 packed.shape, start, stop)
+            submit_end = time.perf_counter()
+            futures.append((future, submit_start, submit_end, stop - start))
+        return _collect_chunks(stats, futures, "shm")
+    finally:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
 def parallel_scores(model: BNNModel, x_signs: np.ndarray, *,
                     workers: Optional[int] = None,
-                    min_batch: int = MIN_PARALLEL_BATCH) -> np.ndarray:
+                    min_batch: int = MIN_PARALLEL_BATCH,
+                    use_shm: Optional[bool] = None) -> np.ndarray:
     """Integer class scores, sharded across host processes.
 
     Bit-identical to :func:`~repro.bnn.batched.batched_scores`; falls
@@ -197,10 +330,14 @@ def parallel_scores(model: BNNModel, x_signs: np.ndarray, *,
     only one worker is available, or the chunker cannot produce at least
     two chunks.  A fallback emits a ``bnn.parallel.fallback`` probe (and
     a once-per-process log line); the sharded path emits one
-    ``bnn.parallel.shard`` event per chunk carrying its serialize /
-    queue-wait / compute wall seconds, plus a closing
-    ``bnn.parallel.merge`` — the obs layer and the trace bridge turn
-    these into per-worker attribution.
+    ``bnn.parallel.shard`` event per chunk carrying its transport
+    (``shm``/``pickle``) and serialize / queue-wait / compute wall
+    seconds, plus a closing ``bnn.parallel.merge`` — the obs layer and
+    the trace bridge turn these into per-worker attribution.
+
+    ``use_shm`` forces the shard transport; ``None`` follows
+    :func:`shm_default` (shared memory when available, unless
+    ``REPRO_PARALLEL_SHM=0``).
     """
     from repro.sim import get_session
 
@@ -219,25 +356,25 @@ def parallel_scores(model: BNNModel, x_signs: np.ndarray, *,
     stats = get_session().stats
     token = _model_token(model)
     pool = _get_pool(n_workers)
-    futures = []
-    for start, stop in bounds:
-        submit_start = time.perf_counter()
-        future = pool.submit(_score_chunk, token, model, x[start:stop])
-        submit_end = time.perf_counter()
-        futures.append((future, submit_start, submit_end, stop - start))
-    chunks = []
-    for shard, (future, submit_start, submit_end, rows) in \
-            enumerate(futures):
-        scores, worker_start, compute_s = future.result()
-        chunks.append(scores)
-        stats.emit("bnn.parallel.shard", shard=shard, rows=int(rows),
-                   serialize_s=submit_end - submit_start,
-                   queue_wait_s=max(0.0, worker_start - submit_end),
-                   compute_s=compute_s)
+    if use_shm is None:
+        use_shm = shm_default()
+    use_shm = bool(use_shm) and _shared_memory_module() is not None
+    if use_shm:
+        transport = "shm"
+        chunks = _scatter_shm(pool, stats, token, model, x, bounds)
+    else:
+        transport = "pickle"
+        futures = []
+        for start, stop in bounds:
+            submit_start = time.perf_counter()
+            future = pool.submit(_score_chunk, token, model, x[start:stop])
+            submit_end = time.perf_counter()
+            futures.append((future, submit_start, submit_end, stop - start))
+        chunks = _collect_chunks(stats, futures, "pickle")
     merge_start = time.perf_counter()
     merged = np.concatenate(chunks, axis=0)
     stats.emit("bnn.parallel.merge", shards=len(chunks),
-               rows=int(len(merged)),
+               rows=int(len(merged)), transport=transport,
                merge_s=time.perf_counter() - merge_start)
     return merged
 

@@ -554,8 +554,14 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         logger.info("fuzz %s: %s (%s) %s", result.scenario.name, kind,
                     detail, status)
 
+    from repro.engine import ensure_known
+
+    engines = [name for token in (args.engines or [])
+               for name in token.split(",") if name]
+    for name in engines:
+        ensure_known(name)
     results = fuzz(count=args.count, seed=args.seed,
-                   engines=args.engines or None,
+                   engines=engines or None,
                    kinds=tuple(args.kind) if args.kind else ("bnn", "cpu"),
                    on_result=progress)
     failures = [result for result in results if not result.ok]
@@ -854,10 +860,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--seed", type=int, default=0,
                       help="fuzzer seed; the same seed replays the same "
                            "scenario sequence (default 0)")
-    fuzz.add_argument("--engines", nargs="+", choices=engines,
-                      metavar="NAME",
-                      help="engines to compare (default: every "
-                           "registered engine; first is the oracle)")
+    fuzz.add_argument("--engines", nargs="+", metavar="NAME",
+                      help="engines to compare, space- or comma-separated "
+                           "(default: every registered engine; first is "
+                           "the oracle)")
     fuzz.add_argument("--kind", nargs="+", choices=("bnn", "cpu"),
                       help="restrict generated workload kinds")
     fuzz.add_argument("--json", action="store_true",

@@ -5,17 +5,25 @@ It computes exactly the architectural state the golden-model
 :class:`~repro.cpu.functional.FunctionalCPU` computes — same registers,
 memory, events, :class:`~repro.cpu.env.ExecStats` (single-cycle timing) and
 stop reasons — but instead of decode/execute dispatch per step it compiles
-each **basic block** once into a list of specialised Python closures and
+each **superblock** once into a list of specialised Python closures and
 replays the list on every revisit:
 
 * every straight-line instruction becomes one closure over its decoded
   fields that mutates the register list in place (x0 writes are elided and
   constants like AUIPC results are folded at compile time),
-* the block's terminator (branch / jump / ``ebreak`` / ``trans_bnn`` /
-  ``trigger_bnn`` / decode error) is one closure returning the next PC and
-  an optional stop reason,
+* unconditional ``jal`` jumps are *folded into the body*: decoding
+  continues at the (always-taken) target, so call-heavy code compiles
+  into superblocks — precomputed decode traces spanning taken jumps —
+  instead of stopping at every ``call``/``j`` (formation stops when a
+  target was already decoded into the trace, on a decode error, or at
+  :data:`MAX_SUPERBLOCK_BODY` body instructions),
+* the block's terminator (conditional branch / ``jalr`` / ``ebreak`` /
+  ``trans_bnn`` / ``trigger_bnn`` / decode error / unfoldable ``jal``) is
+  one closure returning the next PC and an optional stop reason,
 * per-instruction statistics are committed in bulk per block, with the
-  per-mnemonic histogram flushed lazily at the end of the run.
+  per-mnemonic histogram flushed lazily at the end of the run; a per-op
+  PC table keeps partial commits (step limits, faults) landing on the
+  exact faulting PC even across folded jumps.
 
 ``trans_bnn``/``trigger_bnn`` events still record the exact pre-instruction
 cycle count, and exceptions (memory faults, decode errors) leave ``stats``
@@ -53,21 +61,30 @@ TERMINATORS = frozenset({
     "ebreak", "trans_bnn", "trigger_bnn",
 })
 
+#: cap on body instructions folded into one superblock; bounds compile
+#: time and memory for pathological jump chains
+MAX_SUPERBLOCK_BODY = 4096
+
 _BodyFn = Callable[[List[int]], None]
 _TermFn = Callable[[List[int]], Tuple[int, Optional[str]]]
 
 
 class _Block:
-    """One compiled basic block: straight-line body + one terminator."""
+    """One compiled superblock: jump-folded body + one terminator."""
 
-    __slots__ = ("start_pc", "term_pc", "body", "body_names", "n_body",
-                 "n_reads", "n_writes", "terminator", "counts")
+    __slots__ = ("start_pc", "term_pc", "pcs", "body", "body_names",
+                 "n_body", "n_reads", "n_writes", "terminator", "counts")
 
-    def __init__(self, start_pc: int, term_pc: int, body: List[_BodyFn],
-                 body_names: List[str], n_reads: int, n_writes: int,
-                 terminator: _TermFn, term_name: Optional[str]):
+    def __init__(self, start_pc: int, term_pc: int, pcs: List[int],
+                 body: List[_BodyFn], body_names: List[str], n_reads: int,
+                 n_writes: int, terminator: _TermFn,
+                 term_name: Optional[str]):
         self.start_pc = start_pc
         self.term_pc = term_pc
+        # pcs[k] is the PC of body op k; pcs[n_body] is the terminator's
+        # PC — with folded jumps the body is no longer straight-line, so
+        # partial commits resume from this table instead of start_pc + 4k
+        self.pcs = tuple(pcs) + (term_pc,)
         self.body = body
         self.body_names = body_names
         self.n_body = len(body)
@@ -293,11 +310,21 @@ class FastCPU:
         return term, name
 
     def _build(self, start_pc: int) -> _Block:
-        """Decode forward from ``start_pc`` until a terminator and compile."""
+        """Decode forward from ``start_pc`` until a terminator and compile.
+
+        Unconditional ``jal`` jumps are folded into the body (the link
+        register write becomes a body closure and decoding continues at
+        the target), growing basic blocks into superblocks.  Folding
+        stops — leaving ``jal`` as an ordinary terminator — when the
+        target was already decoded into this trace (a jump cycle), or
+        when the body reaches :data:`MAX_SUPERBLOCK_BODY`.
+        """
         body: List[_BodyFn] = []
         names: List[str] = []
+        pcs: List[int] = []
         n_reads = n_writes = 0
         pc = start_pc
+        visited = {start_pc}
         while True:
             try:
                 instr = decode(self.program.word_at(pc))
@@ -317,17 +344,34 @@ class FastCPU:
                     raise _t(*_a)
                 term_name = None
                 break
+            if instr.name == "jal":
+                tgt = (pc + instr.imm) & _MASK
+                if tgt not in visited and len(body) < MAX_SUPERBLOCK_BODY:
+                    rd = instr.rd
+                    fall = (pc + 4) & _MASK
+                    if rd:
+                        body.append(
+                            lambda r, _rd=rd, _f=fall: r.__setitem__(_rd, _f))
+                    else:
+                        body.append(lambda r: None)
+                    names.append("jal")
+                    pcs.append(pc)
+                    pc = tgt
+                    visited.add(pc)
+                    continue
             if instr.name in TERMINATORS:
                 term, term_name = self._compile_terminator(instr, pc)
                 break
             body.append(self._compile_body(instr, pc))
             names.append(instr.name)
+            pcs.append(pc)
             if instr.spec.is_load:
                 n_reads += 1
             elif instr.spec.is_store:
                 n_writes += 1
             pc += 4
-        block = _Block(start_pc, pc, body, names, n_reads, n_writes,
+            visited.add(pc)
+        block = _Block(start_pc, pc, pcs, body, names, n_reads, n_writes,
                        term, term_name)
         self._blocks[start_pc] = block
         return block
@@ -369,8 +413,8 @@ class FastCPU:
                     block = self._build(pc)
                 n_body = block.n_body
                 if remaining <= n_body:
-                    # step limit lands inside the body: straight-line, so
-                    # the PC advance is just 4 bytes per instruction
+                    # step limit lands inside the body: resume from the
+                    # per-op PC table (the body may span folded jumps)
                     executed = 0
                     try:
                         for fn in block.body[:remaining]:
@@ -378,7 +422,7 @@ class FastCPU:
                             executed += 1
                     finally:
                         self._commit_partial(block, executed)
-                        self.pc = pc + 4 * executed
+                        self.pc = block.pcs[executed]
                     break
                 executed = 0
                 try:
@@ -387,7 +431,7 @@ class FastCPU:
                         executed += 1
                 except BaseException:
                     self._commit_partial(block, executed)
-                    self.pc = pc + 4 * executed
+                    self.pc = block.pcs[executed]
                     raise
                 stats.instructions += n_body
                 stats.cycles += n_body

@@ -28,6 +28,7 @@ PROVIDER_MODULES = (
     "repro.engine.accurate",
     "repro.cpu.fastpath",
     "repro.bnn.parallel",
+    "repro.bnn.vectorized",
 )
 
 _REGISTRY: Dict[str, ExecutionEngine] = {}

@@ -197,6 +197,13 @@ _register_cpu_bench(
     help="fast-path (basic-block) interpreter speed on the Dhrystone "
          "kernel, block compilation included (--engine fast)")
 _register_cpu_bench(
+    "cpu.superblock",
+    _cpu_scenario("cpu.superblock", "dhrystone", 60, "fast"),
+    quick_iterations=5, work_key="instructions", unit="instr/s",
+    help="superblock (jal-folded trace) interpreter speed on the "
+         "call-heavy Dhrystone kernel, where jump folding actually "
+         "forms superblocks (--engine fast)")
+_register_cpu_bench(
     "cpu.pipeline.hotspot",
     _cpu_scenario("cpu.pipeline.hotspot", "hotspot", 50, "accurate"),
     quick_iterations=5, work_key="cycles", unit="cycles/s",
@@ -273,6 +280,56 @@ _register_batch_infer_bench(
     "bnn.parallel.infer", "parallel", n_quick=200, n_full=4000,
     help="process-sharded whole-batch inference throughput (--engine "
          "parallel; serial fallback below the sharding threshold)")
+
+
+#: prebuilt (engine, model, inputs) per kernel bench + batch size, so the
+#: kernel benches time *only* the scoring kernels on identical data
+_KERNEL_BENCH_STATE: Dict[Any, Any] = {}
+
+
+def _register_kernel_scores_bench(name: str, engine: str, *, n_quick: int,
+                                  n_full: int, help: str) -> None:
+    """Register a scoring-kernel bench for one registered engine.
+
+    Unlike :func:`_register_batch_infer_bench`, the model and inputs are
+    built (and the engine's packed/lowered caches warmed) *outside* the
+    timed region, and no accelerator timing model runs — the measured
+    call is exactly one ``engine.scores`` over the scenario's batch, so
+    kernel benches are directly comparable across engines
+    (``bnn.fast.infer`` vs ``bnn.numpy.infer``).
+    """
+    scenario = _bnn_scenario(name, engine, n_full)
+
+    @bench(name, work_key="inferences", unit="inferences/s", help=help,
+           scenario=scenario)
+    def _bench(quick: bool) -> Dict[str, float]:
+        from repro.engine import get_engine
+        from repro.scenario.materialize import build_inputs, build_model
+
+        n = n_quick if quick else scenario.batch_size
+        state = _KERNEL_BENCH_STATE.get((name, n))
+        if state is None:
+            global _BATCHED_MODEL
+            if _BATCHED_MODEL is None:
+                _BATCHED_MODEL = build_model(scenario)
+            engine_obj = get_engine(scenario.engine.name)
+            inputs = build_inputs(scenario, batch_size=n)
+            engine_obj.scores(_BATCHED_MODEL, inputs)  # warm lowering caches
+            state = (engine_obj, _BATCHED_MODEL, inputs)
+            _KERNEL_BENCH_STATE[(name, n)] = state
+        engine_obj, model, inputs = state
+        engine_obj.scores(model, inputs)
+        return {"inferences": n}
+
+
+_register_kernel_scores_bench(
+    "bnn.fast.infer", "fast", n_quick=200, n_full=2000,
+    help="bit-packed XNOR-popcount scoring kernel alone (--engine fast): "
+         "prebuilt model + inputs, no accelerator timing model")
+_register_kernel_scores_bench(
+    "bnn.numpy.infer", "numpy", n_quick=200, n_full=2000,
+    help="whole-batch vectorized scoring kernel alone (--engine numpy) "
+         "on the same prebuilt recipe as bnn.fast.infer")
 
 
 #: the serve bench's scenario: the paper-shaped classifier offered at a

@@ -209,8 +209,9 @@ class ShardCollector:
     def __call__(self, event: str, payload: Mapping[str, Any]) -> None:
         if event == "bnn.parallel.shard":
             self.shards.append({key: payload[key] for key in
-                                ("shard", "rows", "serialize_s",
-                                 "queue_wait_s", "compute_s")
+                                ("shard", "rows", "transport",
+                                 "serialize_s", "queue_wait_s",
+                                 "compute_s")
                                 if key in payload})
         elif event == "bnn.parallel.merge":
             self.merge = dict(payload)

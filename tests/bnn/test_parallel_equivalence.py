@@ -18,14 +18,16 @@ from repro.bnn import BNNAccelerator, BNNModel, binarize_sign
 from repro.bnn.batched import batched_scores
 from repro.bnn.parallel import (
     MIN_PARALLEL_BATCH,
+    PARALLEL_SHM_ENV_VAR,
     PARALLEL_WORKERS_ENV_VAR,
     chunk_bounds,
     default_workers,
     parallel_predict,
     parallel_scores,
+    shm_default,
     shutdown_pool,
 )
-from repro.engine import get_engine
+from repro.engine import engine_names, get_engine
 from repro.errors import ConfigurationError
 from repro.sim import use_session
 
@@ -129,6 +131,60 @@ class TestShardedEquivalence:
             model.hidden_forward_batch(x))
 
 
+class TestShardTransports:
+    """Both shard transports must be bit-identical and probed."""
+
+    def _run(self, use_shm):
+        model = make_model()
+        # 300 rows >= 2 * MIN_CHUNK_ROWS, so the chunker really shards
+        x = make_inputs(model, 300)
+        events = []
+        with use_session(cache_enabled=False) as session:
+            for event in ("bnn.parallel.shard", "bnn.parallel.merge"):
+                session.stats.subscribe(
+                    event, lambda name, payload: events.append(
+                        (name, dict(payload))))
+            scores = parallel_scores(model, x, workers=2, min_batch=1,
+                                     use_shm=use_shm)
+        np.testing.assert_array_equal(scores, batched_scores(model, x))
+        return events
+
+    def test_shared_memory_branch(self):
+        events = self._run(use_shm=True)
+        shards = [p for name, p in events if name == "bnn.parallel.shard"]
+        merges = [p for name, p in events if name == "bnn.parallel.merge"]
+        assert len(shards) >= 2 and len(merges) == 1
+        assert all(p["transport"] == "shm" for p in shards + merges)
+        assert sum(p["rows"] for p in shards) == 300
+
+    def test_pickling_fallback_branch(self):
+        events = self._run(use_shm=False)
+        shards = [p for name, p in events if name == "bnn.parallel.shard"]
+        merges = [p for name, p in events if name == "bnn.parallel.merge"]
+        assert len(shards) >= 2 and len(merges) == 1
+        assert all(p["transport"] == "pickle" for p in shards + merges)
+        assert sum(p["rows"] for p in shards) == 300
+
+    def test_env_var_disables_shared_memory(self):
+        assert shm_default({PARALLEL_SHM_ENV_VAR: "0"}) is False
+        assert shm_default({PARALLEL_SHM_ENV_VAR: "off"}) is False
+        assert shm_default({}) is True
+
+    def test_env_var_forces_pickling_end_to_end(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_SHM_ENV_VAR, "0")
+        events = self._run(use_shm=None)
+        shards = [p for name, p in events if name == "bnn.parallel.shard"]
+        assert shards and all(p["transport"] == "pickle" for p in shards)
+
+    def test_shm_unavailable_falls_back_to_pickling(self, monkeypatch):
+        import repro.bnn.parallel as par
+
+        monkeypatch.setattr(par, "_shared_memory_module", lambda: None)
+        events = self._run(use_shm=None)
+        shards = [p for name, p in events if name == "bnn.parallel.shard"]
+        assert shards and all(p["transport"] == "pickle" for p in shards)
+
+
 class TestSerialFallback:
     def test_small_batch_stays_serial(self, monkeypatch):
         import repro.bnn.parallel as par
@@ -166,8 +222,12 @@ class TestEngineAccounting:
             counters = session.stats.counters("bnn.")
         return list(predictions), timing.total_cycles, counters
 
-    def test_three_way_accounting_identical(self):
-        accurate = self._run("accurate")
-        fast = self._run("fast")
-        parallel = self._run("parallel")
-        assert accurate == fast == parallel
+    def test_every_registered_engine_accounting_identical(self):
+        """Auto-discovered four-way (accurate/fast/numpy/parallel today):
+        timing, predictions and ``bnn.*`` counters must be identical
+        under every registered engine, including any added later."""
+        names = engine_names()
+        assert {"accurate", "fast", "parallel", "numpy"} <= set(names)
+        oracle = self._run("accurate")
+        for name in names:
+            assert self._run(name) == oracle, name

@@ -1,0 +1,223 @@
+"""Differential equivalence of the ``numpy`` (vectorized) engine.
+
+The whole-batch ndarray kernels must be *bit-identical* to the scalar
+path and to every other registered engine — for both scoring strategies
+(float32 GEMM and 3-D packed XNOR-popcount), both popcount backends
+(``np.bitwise_count`` and the 16-bit LUT), and across odd topologies.
+The four-way engine sweep auto-discovers engines from the registry, so
+future backends are covered by construction.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.bnn.vectorized as vec
+from repro.bnn import BNNModel, binarize_sign
+from repro.bnn.batched import (
+    batched_hidden_forward,
+    batched_scores,
+    popcount64,
+)
+from repro.bnn.vectorized import (
+    GEMM_MAX_FAN_IN,
+    LUT_BITS,
+    STRATEGY_ENV_VAR,
+    NumpyEngine,
+    pick_strategy,
+    popcount64_lut16,
+    resolve_strategy,
+    vectorized_hidden_forward,
+    vectorized_model,
+    vectorized_predict,
+    vectorized_scores,
+)
+from repro.engine import engine_names, get_engine
+from repro.errors import ConfigurationError
+from repro.sim import use_session
+
+
+def make_model(sizes=(60, 40, 10), seed=0):
+    return BNNModel.random(list(sizes), np.random.default_rng(seed))
+
+
+def make_inputs(model, n, seed=1):
+    rng = np.random.default_rng(seed)
+    return binarize_sign(rng.standard_normal((n, model.input_size)))
+
+
+def _scalar_scores(model, x):
+    return np.stack([model.scores(row) for row in x])
+
+
+class TestPopcountLUT:
+    def test_matches_bitwise_count_semantics(self):
+        rng = np.random.default_rng(0)
+        words = rng.integers(0, 2**64, size=(13, 4), dtype=np.uint64)
+        np.testing.assert_array_equal(popcount64_lut16(words),
+                                      popcount64(words))
+
+    def test_extremes(self):
+        words = np.array([0, 1, 2**63, 2**64 - 1], dtype=np.uint64)
+        assert popcount64_lut16(words).tolist() == [0, 1, 1, 64]
+
+    def test_table_shape(self):
+        table = vec._popcount16_table()
+        assert table.shape == (1 << LUT_BITS,)
+        assert table.dtype == np.uint8
+        assert table[0] == 0 and table[-1] == LUT_BITS
+
+
+class TestStrategySelection:
+    def test_explicit_argument_wins(self):
+        assert resolve_strategy("packed") == "packed"
+
+    def test_env_var_respected(self):
+        assert resolve_strategy(None, {STRATEGY_ENV_VAR: "packed"}) == \
+            "packed"
+
+    def test_default_is_auto(self):
+        assert resolve_strategy(None, {}) == "auto"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_strategy("turbo")
+
+    def test_auto_prefers_gemm_within_exact_range(self):
+        assert pick_strategy(GEMM_MAX_FAN_IN - 1, "auto") == "gemm"
+
+    def test_auto_falls_back_to_packed_beyond_exact_range(self):
+        assert pick_strategy(GEMM_MAX_FAN_IN, "auto") == "packed"
+
+    def test_forced_strategy_ignores_fan_in(self):
+        assert pick_strategy(GEMM_MAX_FAN_IN, "gemm") == "gemm"
+
+
+class TestBitIdenticalScores:
+    @pytest.mark.parametrize("strategy", ["gemm", "packed"])
+    @pytest.mark.parametrize("topology", [
+        [100, 100, 100, 10],   # the chip's canonical network
+        [64, 64, 4],           # exact word multiples
+        [65, 64, 3],           # one bit past a word boundary
+        [33, 7, 5],            # nothing aligns
+        [1, 1, 1],             # degenerate
+        [130, 2],              # single layer, multi-word
+    ])
+    def test_scores_bit_identical(self, topology, strategy):
+        model = make_model(topology, seed=42)
+        x = make_inputs(model, 23, seed=2)
+        got = vectorized_scores(model, x, strategy=strategy)
+        assert got.dtype == np.int32
+        np.testing.assert_array_equal(got, batched_scores(model, x))
+        np.testing.assert_array_equal(got, _scalar_scores(model, x))
+
+    @pytest.mark.parametrize("strategy", ["gemm", "packed"])
+    def test_hidden_forward_bit_identical(self, strategy):
+        model = make_model((60, 40, 30, 10))
+        x = make_inputs(model, 11)
+        got = vectorized_hidden_forward(model, x, strategy=strategy)
+        np.testing.assert_array_equal(got, model.hidden_forward_batch(x))
+        np.testing.assert_array_equal(got, batched_hidden_forward(model, x))
+
+    def test_predict_matches(self):
+        model = make_model()
+        x = make_inputs(model, 41)
+        np.testing.assert_array_equal(vectorized_predict(model, x),
+                                      model.predict_batch(x))
+
+    def test_lut_backend_bit_identical(self, monkeypatch):
+        monkeypatch.setattr(vec, "_HAS_BITWISE_COUNT", False)
+        model = make_model((65, 33, 5), seed=9)
+        x = make_inputs(model, 17, seed=3)
+        np.testing.assert_array_equal(
+            vectorized_scores(model, x, strategy="packed"),
+            batched_scores(model, x))
+
+    def test_env_var_drives_default_strategy(self, monkeypatch):
+        monkeypatch.setenv(STRATEGY_ENV_VAR, "packed")
+        model = make_model()
+        x = make_inputs(model, 9)
+        np.testing.assert_array_equal(vectorized_scores(model, x),
+                                      batched_scores(model, x))
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_random_topologies_bit_identical(self, data):
+        sizes = data.draw(st.lists(st.integers(1, 130), min_size=2,
+                                   max_size=5))
+        batch = data.draw(st.integers(1, 8))
+        seed = data.draw(st.integers(0, 2**16))
+        strategy = data.draw(st.sampled_from(["gemm", "packed"]))
+        model = make_model(sizes, seed=seed)
+        x = make_inputs(model, batch, seed=seed + 1)
+        np.testing.assert_array_equal(
+            vectorized_scores(model, x, strategy=strategy),
+            _scalar_scores(model, x))
+
+
+class TestLoweringCache:
+    def test_lowering_is_cached_per_model(self):
+        model = make_model()
+        assert vectorized_model(model) is vectorized_model(model)
+
+    def test_distinct_models_get_distinct_lowerings(self):
+        m1, m2 = make_model(seed=0), make_model(seed=0)
+        assert vectorized_model(m1) is not vectorized_model(m2)
+
+
+class TestInputValidation:
+    def test_wrong_input_size_rejected(self):
+        model = make_model((30, 10))
+        with pytest.raises(ConfigurationError):
+            vectorized_scores(model, np.ones((4, 29), dtype=np.int8))
+
+    def test_non_sign_values_rejected(self):
+        model = make_model((30, 10))
+        bad = np.ones((2, 30), dtype=np.int8)
+        bad[0, 0] = 0
+        with pytest.raises(ConfigurationError):
+            vectorized_scores(model, bad)
+
+
+class TestRegisteredEngine:
+    def test_numpy_engine_registered_with_capabilities(self):
+        assert "numpy" in engine_names()
+        engine = get_engine("numpy")
+        assert isinstance(engine, NumpyEngine)
+        caps = engine.capabilities
+        assert caps.functional and caps.batched
+        assert caps.phase_attribution and not caps.timing_accurate
+
+    def test_all_registered_engines_bit_identical(self):
+        """The four-way (and beyond) sweep: every registered engine must
+        produce the oracle's scores, predictions and hidden activations
+        bit for bit — auto-discovered, so new engines join for free."""
+        model = make_model((100, 100, 100, 10), seed=5)
+        x = make_inputs(model, 29, seed=6)
+        oracle = get_engine("accurate")
+        scores = oracle.scores(model, x)
+        predictions = oracle.predict(model, x)
+        hidden = oracle.hidden_forward(model, x)
+        names = engine_names()
+        assert {"accurate", "fast", "parallel", "numpy"} <= set(names)
+        for name in names:
+            engine = get_engine(name)
+            np.testing.assert_array_equal(
+                engine.scores(model, x), scores, err_msg=name)
+            np.testing.assert_array_equal(
+                engine.predict(model, x), predictions, err_msg=name)
+            np.testing.assert_array_equal(
+                engine.hidden_forward(model, x), hidden, err_msg=name)
+
+    def test_session_engine_numpy_end_to_end(self):
+        from repro.bnn import BNNAccelerator
+
+        model = make_model()
+        x = make_inputs(model, 12)
+        with use_session(cache_enabled=False, engine="numpy"):
+            numpy_pred, numpy_timing = BNNAccelerator().infer_batch(model, x)
+        with use_session(cache_enabled=False, engine="accurate"):
+            ref_pred, ref_timing = BNNAccelerator().infer_batch(model, x)
+        np.testing.assert_array_equal(numpy_pred, ref_pred)
+        assert numpy_timing == ref_timing

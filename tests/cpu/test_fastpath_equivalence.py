@@ -213,6 +213,92 @@ class TestErrorPaths:
         assert functional.regs.snapshot() == fast.regs.snapshot()
 
 
+class TestSuperblocks:
+    """Unconditional ``jal`` folding must be invisible architecturally."""
+
+    # three calls into straight-line helpers, linked by unconditional
+    # jumps — the whole chain should fold into one superblock
+    CHAIN = """
+        addi a0, x0, 1
+        jal  ra, part2
+        addi a0, a0, 99        # skipped: jal always takes
+    part2:
+        addi a1, a0, 2
+        j    part3
+        addi a1, a1, 99        # skipped
+    part3:
+        addi a2, a1, 3
+        ebreak
+    """
+
+    def test_jal_chain_folds_into_one_superblock(self):
+        program = assemble(self.CHAIN)
+        functional, f_result, fast, q_result = _run_pair(program)
+        _assert_identical(functional, f_result, fast, q_result)
+        assert fast.cached_blocks == 1
+        block = fast._blocks[program.base]
+        assert block.counts["jal"] == 2  # both jumps folded into the body
+        assert len(block.pcs) == block.n_body + 1
+
+    def test_link_register_written_by_folded_jal(self):
+        program = assemble(self.CHAIN)
+        fast = FastCPU(program, memory=FlatMemory())
+        fast.run()
+        # ra holds the return address of the *first* jal (pc 4 -> ra 8)
+        assert fast.regs.read(1) == 8
+
+    def test_step_boundaries_across_folded_jumps(self):
+        program = assemble(self.CHAIN)
+        total = FunctionalCPU(program, memory=FlatMemory()) \
+            .run(max_steps=100).stats.instructions
+        for limit in range(total + 2):
+            functional, f_result, fast, q_result = _run_pair(
+                program, max_steps=limit)
+            _assert_identical(functional, f_result, fast, q_result)
+
+    def test_jal_cycle_terminates_compilation(self):
+        # a backward jal into the already-decoded trace must stop folding
+        # (else _build would never terminate) and still run correctly
+        source = """
+        top:
+            addi a0, a0, 1
+            j    top
+        """
+        program = assemble(source)
+        functional, f_result, fast, q_result = _run_pair(
+            program, max_steps=25)
+        _assert_identical(functional, f_result, fast, q_result)
+        assert q_result.stop_reason == "max_cycles"
+
+    def test_self_jump_terminates_compilation(self):
+        program = assemble("spin: j spin")
+        functional, f_result, fast, q_result = _run_pair(
+            program, max_steps=10)
+        _assert_identical(functional, f_result, fast, q_result)
+
+    def test_jal_off_the_program_raises_like_functional(self):
+        program = assemble("addi a0, x0, 1\nj 64")
+        functional = FunctionalCPU(program, memory=FlatMemory())
+        fast = FastCPU(program, memory=FlatMemory())
+        with pytest.raises(SimulationError) as f_exc:
+            functional.run(max_steps=100)
+        with pytest.raises(SimulationError) as q_exc:
+            fast.run(max_steps=100)
+        assert str(f_exc.value) == str(q_exc.value)
+        assert functional.stats.scalars() == fast.stats.scalars()
+        assert functional.stats.instr_counts == fast.stats.instr_counts
+        assert functional.pc == fast.pc
+
+    def test_body_cap_bounds_superblock_growth(self, monkeypatch):
+        import repro.cpu.fastpath as fp
+
+        monkeypatch.setattr(fp, "MAX_SUPERBLOCK_BODY", 2)
+        program = assemble(self.CHAIN)
+        functional, f_result, fast, q_result = _run_pair(program)
+        _assert_identical(functional, f_result, fast, q_result)
+        assert fast.cached_blocks > 1  # capped: the chain split into blocks
+
+
 class TestBlockCacheAndProbes:
     def test_blocks_compiled_once(self):
         program = assemble(TestStepLimits.SOURCE)

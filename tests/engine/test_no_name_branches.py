@@ -25,7 +25,14 @@ EXEMPT_DIRS = ("engine", "sim")
 def _engine_name_comparisons(text: str) -> list:
     names = "|".join(re.escape(name) for name in engine_names())
     quoted = rf"[\"']({names})[\"']"
-    pattern = re.compile(rf"(==|!=)\s*{quoted}|{quoted}\s*(==|!=)")
+    # equality comparisons against a name, either operand order, plus
+    # membership tests over literal name collections: both hard-code the
+    # engine roster and silently skip backends registered later.
+    pattern = re.compile(
+        rf"(==|!=)\s*{quoted}"
+        rf"|{quoted}\s*(==|!=)"
+        rf"|\bin\s*[\[\(\{{]\s*{quoted}"
+        rf"|\bin\s*\(?\s*{quoted}\s*,")
     return [match.group(0) for match in pattern.finditer(text)]
 
 
@@ -48,7 +55,13 @@ class TestNoEngineNameBranches:
         assert _engine_name_comparisons('if "accurate" != engine:')
         assert _engine_name_comparisons('engine=="parallel"')
 
+    def test_detector_catches_membership_tests(self):
+        assert _engine_name_comparisons('if engine in ("fast", "numpy"):')
+        assert _engine_name_comparisons("if engine in ['accurate']:")
+        assert _engine_name_comparisons('name in {"parallel", "fast"}')
+
     def test_detector_allows_registry_lookups(self):
         assert not _engine_name_comparisons('get_engine("fast")')
         assert not _engine_name_comparisons("resolve_engine('parallel')")
         assert not _engine_name_comparisons('engine: str = "accurate"')
+        assert not _engine_name_comparisons('choices=sorted(engine_names())')

@@ -542,8 +542,14 @@ class TestFuzzCli:
         assert "[accurate, fast]" in capsys.readouterr().out
 
     def test_fuzz_rejects_unknown_engine(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["fuzz", "--count", "1", "--engines", "warp"])
+        assert main(["fuzz", "--count", "1", "--engines", "warp"]) == 2
+        message = capsys.readouterr().err
+        assert "warp" in message and "numpy" in message
+
+    def test_fuzz_comma_separated_engines(self, capsys):
+        assert main(["fuzz", "--count", "2", "--seed", "0", "--kind",
+                     "cpu", "--engines", "accurate,fast"]) == 0
+        assert "[accurate, fast]" in capsys.readouterr().out
 
 
 class TestAttributeCli:

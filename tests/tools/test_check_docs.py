@@ -272,3 +272,74 @@ class TestPhaseTableCheck:
             "| `init` | a |\n| `inference` | b |\n\n"
             "prose | with a stray pipe\n| `not_in_table` | nope |\n")
         assert names == ["init", "inference"]
+
+class TestKernelHandbookCheck:
+    def test_repo_handbook_in_sync(self, check_docs):
+        assert check_docs.check_kernel_handbook() == []
+
+    def test_missing_document_reported(self, check_docs, tmp_path,
+                                       monkeypatch):
+        monkeypatch.setattr(check_docs, "KERNELS_MD",
+                            tmp_path / "KERNELS.md")
+        problems = check_docs.check_kernel_handbook()
+        assert problems and "missing" in problems[0]
+
+    def test_missing_tables_reported(self, check_docs, tmp_path,
+                                     monkeypatch):
+        sparse = tmp_path / "KERNELS.md"
+        sparse.write_text("prose without either table\n")
+        monkeypatch.setattr(check_docs, "KERNELS_MD", sparse)
+        problems = check_docs.check_kernel_handbook()
+        assert any("constants table" in p and "not found" in p
+                   for p in problems)
+        assert any("decision table" in p and "not found" in p
+                   for p in problems)
+
+    def test_drifted_constant_reported(self, check_docs, tmp_path,
+                                       monkeypatch):
+        real = (REPO_ROOT / "docs" / "KERNELS.md").read_text()
+        stale = real.replace(
+            "| `repro.bnn.batched.WORD_BITS` | 64 |",
+            "| `repro.bnn.batched.WORD_BITS` | 32 |", 1)
+        target = tmp_path / "KERNELS.md"
+        target.write_text(stale)
+        monkeypatch.setattr(check_docs, "KERNELS_MD", target)
+        problems = check_docs.check_kernel_handbook()
+        assert any("WORD_BITS" in p and "says 32" in p and "source says 64"
+                   in p for p in problems)
+
+    def test_unknown_constant_reported(self, check_docs, tmp_path,
+                                       monkeypatch):
+        real = (REPO_ROOT / "docs" / "KERNELS.md").read_text()
+        stale = real.replace(
+            "`repro.bnn.batched.WORD_BITS`",
+            "`repro.bnn.batched.WARP_BITS`", 1)
+        target = tmp_path / "KERNELS.md"
+        target.write_text(stale)
+        monkeypatch.setattr(check_docs, "KERNELS_MD", target)
+        problems = check_docs.check_kernel_handbook()
+        assert any("WARP_BITS" in p and "no such constant" in p
+                   for p in problems)
+
+    def test_stale_decision_table_reported(self, check_docs, tmp_path,
+                                           monkeypatch):
+        real = (REPO_ROOT / "docs" / "KERNELS.md").read_text()
+        stale = real.replace("| `numpy` |", "| `cuda` |", 1)
+        target = tmp_path / "KERNELS.md"
+        target.write_text(stale)
+        monkeypatch.setattr(check_docs, "KERNELS_MD", target)
+        problems = check_docs.check_kernel_handbook()
+        assert any("`numpy`" in p and "missing from" in p for p in problems)
+        assert any("`cuda`" in p and "not registered" in p for p in problems)
+
+    def test_constant_row_parser(self, check_docs):
+        rows = check_docs.documented_kernel_constants(
+            "## Kernel layout constants\n\n"
+            "| constant | value | meaning |\n|---|---|---|\n"
+            "| `repro.bnn.batched.WORD_BITS` | 64 | bits |\n"
+            "| `repro.cpu.fastpath.MAX_SUPERBLOCK_BODY` | 4096 | cap |\n\n"
+            "prose | stray pipe\n"
+            "| `repro.fake.NOT_IN_TABLE` | 1 | nope |\n")
+        assert rows == [
+            ("repro.bnn.batched", "WORD_BITS", 64),
+            ("repro.cpu.fastpath", "MAX_SUPERBLOCK_BODY", 4096)]

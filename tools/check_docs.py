@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation lint: links, CLI examples, probe/engine/scenario tables.
 
-Six checks, each cheap enough for every CI run:
+Eight checks, each cheap enough for every CI run:
 
 1. **Relative links** — every ``[text](target)`` in a tracked markdown file
    whose target is not an external URL or a pure anchor must point at an
@@ -26,6 +26,12 @@ Six checks, each cheap enough for every CI run:
    docs/OBSERVABILITY.md must list exactly ``repro.obs.PHASES`` in
    order, so renaming or adding an attribution phase forces the
    observability reference to follow.
+7. **Serve metric table** — the "## Serve metric families" table in
+   docs/SERVING.md must list exactly ``repro.serve.SERVE_METRIC_HELP``.
+8. **Kernel handbook** — the constants table in docs/KERNELS.md must
+   match the live source constants (each ``module.CONSTANT`` row is
+   imported and compared), and its engine decision table must cover
+   exactly the engines registered in ``repro.engine``.
 
 Exit status: 0 when everything passes, 1 with a per-finding report
 otherwise.  Run from anywhere: paths resolve relative to the repo root.
@@ -470,6 +476,104 @@ def check_serve_metric_table() -> List[str]:
     return problems
 
 
+# -- check 8: kernel handbook --------------------------------------------
+KERNELS_MD = REPO_ROOT / "docs" / "KERNELS.md"
+
+KERNEL_CONSTANTS_ANCHOR = "## Kernel layout constants"
+KERNEL_DECISION_ANCHOR = "## Engine decision table"
+
+_CONSTANT_ROW_RE = re.compile(
+    r"^\|\s*`([a-z_][\w.]*)\.([A-Z][A-Z0-9_]*)`\s*\|\s*(\d+)\s*\|")
+_DECISION_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_-]+)`\s*\|")
+
+
+def documented_kernel_constants(text: str) -> List[Tuple[str, str, int]]:
+    """``(module, constant, value)`` rows after the constants anchor."""
+    if KERNEL_CONSTANTS_ANCHOR not in text:
+        return []
+    rows: List[Tuple[str, str, int]] = []
+    for line in text.split(KERNEL_CONSTANTS_ANCHOR, 1)[1].splitlines():
+        match = _CONSTANT_ROW_RE.match(line.strip())
+        if match:
+            rows.append((match.group(1), match.group(2),
+                         int(match.group(3))))
+        elif rows and not line.strip().startswith("|"):
+            break
+    return rows
+
+
+def documented_decision_engines(text: str) -> Set[str]:
+    """Engine names listed in the decision table."""
+    if KERNEL_DECISION_ANCHOR not in text:
+        return set()
+    names = set()
+    for line in text.split(KERNEL_DECISION_ANCHOR, 1)[1].splitlines():
+        match = _DECISION_ROW_RE.match(line.strip())
+        if match and match.group(1) != "engine":
+            names.add(match.group(1))
+        elif names and not line.strip().startswith("|"):
+            break
+    return names
+
+
+def check_kernel_handbook() -> List[str]:
+    import importlib
+
+    sys.path.insert(0, str(SRC))
+    try:
+        from repro.engine import engine_names
+    finally:
+        sys.path.pop(0)
+    if not KERNELS_MD.exists():
+        return ["docs/KERNELS.md: missing (kernel handbook)"]
+    text = KERNELS_MD.read_text()
+    problems = []
+
+    rows = documented_kernel_constants(text)
+    if not rows:
+        problems.append(f"docs/KERNELS.md: constants table "
+                        f"('{KERNEL_CONSTANTS_ANCHOR}') not found")
+    sys.path.insert(0, str(SRC))
+    try:
+        for module_name, constant, documented_value in rows:
+            try:
+                module = importlib.import_module(module_name)
+            except ImportError:
+                problems.append(
+                    f"docs/KERNELS.md: constants table names module "
+                    f"`{module_name}` which does not import")
+                continue
+            live = getattr(module, constant, None)
+            if live is None:
+                problems.append(
+                    f"docs/KERNELS.md: `{module_name}.{constant}` is in "
+                    "the constants table but the module has no such "
+                    "constant")
+            elif int(live) != documented_value:
+                problems.append(
+                    f"kernel constant `{module_name}.{constant}`: "
+                    f"docs/KERNELS.md says {documented_value} but the "
+                    f"source says {int(live)}")
+    finally:
+        sys.path.pop(0)
+
+    documented = documented_decision_engines(text)
+    if not documented:
+        problems.append(f"docs/KERNELS.md: decision table "
+                        f"('{KERNEL_DECISION_ANCHOR}') not found")
+        return problems
+    registered = set(engine_names())
+    for name in sorted(registered - documented):
+        problems.append(
+            f"engine `{name}` is registered but missing from the "
+            "docs/KERNELS.md engine decision table")
+    for name in sorted(documented - registered):
+        problems.append(
+            f"engine `{name}` in the docs/KERNELS.md decision table but "
+            "not registered in repro.engine")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="check_docs",
@@ -488,6 +592,7 @@ def main(argv=None) -> int:
     problems += check_scenario_tables()
     problems += check_phase_table()
     problems += check_serve_metric_table()
+    problems += check_kernel_handbook()
     if problems:
         for problem in problems:
             print(f"FAIL {problem}")
@@ -496,7 +601,8 @@ def main(argv=None) -> int:
     if not args.quiet:
         print(f"docs ok: {len(files)} markdown files, links + CLI examples "
               "+ probe table + engine table + scenario tables + phase "
-              "table + serve metric table all consistent")
+              "table + serve metric table + kernel handbook all "
+              "consistent")
     return 0
 
 
