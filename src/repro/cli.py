@@ -6,8 +6,8 @@ Usage::
     python -m repro dis prog.hex [--base 0x0]
     python -m repro run prog.s [--functional] [--engine NAME]
     python -m repro run --scenario examples/scenarios/dhrystone.json
-    python -m repro experiments [PATTERN ...] [--engine NAME]
-    python -m repro bench [PATTERN ...] [--quick]
+    python -m repro experiments [PATTERN ...] [--engine NAME] [--profile NAME]
+    python -m repro bench [PATTERN ...] [--quick] [--profile NAME]
     python -m repro scenario validate FILE [FILE ...]
     python -m repro scenario show FILE
     python -m repro fuzz [--count N] [--seed S]
@@ -50,6 +50,13 @@ def engine_choices() -> tuple:
     return engine_names()
 
 
+def profile_choices() -> tuple:
+    """Registered device-profile names for ``--profile`` (sorted)."""
+    from repro.power import profile_names
+
+    return profile_names()
+
+
 def cmd_asm(args: argparse.Namespace) -> int:
     program = assemble(_read_text(args.file), base=args.base)
     lines = [f"{word:08x}" for word in program.words]
@@ -86,6 +93,8 @@ def _load_cli_scenario(args: argparse.Namespace):
         scenario = scenario.with_engine(name=args.engine)
     if getattr(args, "functional", False):
         scenario = scenario.with_engine(prefer_functional=True)
+    if getattr(args, "device_profile", None):
+        scenario = scenario.with_profile(name=args.device_profile)
     return scenario
 
 
@@ -108,6 +117,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         # live session keeps the stats registry and cache intact
         session.config = dataclasses.replace(session.config,
                                              engine=args.engine)
+    if (args.device_profile
+            and args.device_profile != session.config.profile):
+        # replace() re-runs __post_init__, so a typo'd name aborts here
+        # with the registered-profile list (exit 2)
+        session.config = dataclasses.replace(session.config,
+                                             profile=args.device_profile)
     engine = resolve_engine(args.engine)
 
     if args.file is None:
@@ -240,11 +255,18 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         run_selected,
         select,
     )
-    from repro.sim import ENGINE_ENV_VAR, SimConfig, SimSession, set_session
+    from repro.sim import (
+        ENGINE_ENV_VAR,
+        PROFILE_ENV_VAR,
+        SimConfig,
+        SimSession,
+        set_session,
+    )
     from repro.viz import render_timeline
 
-    # fail fast: a bad REPRO_ENGINE aborts here with the registered list,
-    # before any experiment assembles programs or trains models
+    # fail fast: a bad REPRO_ENGINE or REPRO_PROFILE aborts here with the
+    # registered list, before any experiment assembles programs or trains
+    # models
     base = SimConfig.from_env()
     scenario = _load_cli_scenario(args)
     if scenario is not None:
@@ -252,16 +274,20 @@ def cmd_experiments(args: argparse.Namespace) -> int:
             scenario,
             cache_dir=args.cache_dir or base.cache_dir)))
         # parallel workers (-j) are separate processes; the environment
-        # variable carries the engine choice across the fork/spawn
+        # variables carry the engine/profile choice across the fork/spawn
         os.environ[ENGINE_ENV_VAR] = scenario.engine.name
-    elif args.cache_dir or args.engine:
+        os.environ[PROFILE_ENV_VAR] = scenario.device.profile
+    elif args.cache_dir or args.engine or args.device_profile:
         set_session(SimSession(dataclasses.replace(
             base,
             cache_dir=args.cache_dir or base.cache_dir,
             engine=args.engine or base.engine,
+            profile=args.device_profile or base.profile,
         )))
     if args.engine:
         os.environ[ENGINE_ENV_VAR] = args.engine
+    if args.device_profile:
+        os.environ[PROFILE_ENV_VAR] = args.device_profile
     if args.patterns and not select(args.patterns):
         logger.error("no experiments match %r", " ".join(args.patterns))
         return 1
@@ -297,9 +323,15 @@ def cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def chip_specs() -> dict:
-    """The modelled chip specifications as a flat, JSON-ready mapping."""
+    """The modelled chip specifications as a flat, JSON-ready mapping.
+
+    Pinned to the NCPU 65 nm profile: these are the paper test chip's
+    datasheet numbers (fixed 1.0 V / 0.4 V anchor points), not a
+    function of the session's active device profile.
+    """
     from repro.bnn import BNNAccelerator
     from repro.power import (
+        DEFAULT_PROFILE,
         area_saving,
         bnn_profile,
         bnn_tops_per_watt,
@@ -309,18 +341,22 @@ def chip_specs() -> dict:
         ncpu_area,
     )
 
-    freq = frequency_model()
+    freq = frequency_model(DEFAULT_PROFILE)
+    bnn = bnn_profile(DEFAULT_PROFILE)
+    cpu = cpu_profile(DEFAULT_PROFILE)
     accelerator = BNNAccelerator()
     return {
         "technology_nm": 65,
         "frequency_mhz_at_1v": freq.f_mhz(1.0),
         "frequency_mhz_at_0v4": freq.f_mhz(0.4),
-        "bnn_power_mw_at_1v": bnn_profile().total_power_w(1.0) * 1e3,
-        "bnn_power_mw_at_0v4": bnn_profile().total_power_w(0.4) * 1e3,
-        "cpu_power_mw_at_1v": cpu_profile().total_power_w(1.0) * 1e3,
-        "cpu_power_mw_at_0v4": cpu_profile().total_power_w(0.4) * 1e3,
-        "bnn_tops_per_watt_at_1v": bnn_tops_per_watt(1.0),
-        "bnn_tops_per_watt_at_0v4": bnn_tops_per_watt(0.4),
+        "bnn_power_mw_at_1v": bnn.total_power_w(1.0) * 1e3,
+        "bnn_power_mw_at_0v4": bnn.total_power_w(0.4) * 1e3,
+        "cpu_power_mw_at_1v": cpu.total_power_w(1.0) * 1e3,
+        "cpu_power_mw_at_0v4": cpu.total_power_w(0.4) * 1e3,
+        "bnn_tops_per_watt_at_1v": bnn_tops_per_watt(
+            1.0, device=DEFAULT_PROFILE),
+        "bnn_tops_per_watt_at_0v4": bnn_tops_per_watt(
+            0.4, device=DEFAULT_PROFILE),
         "ncpu_core_area_mm2": ncpu_area(100).total_mm2,
         "cpu_plus_bnn_area_mm2": heterogeneous_area(100).total_mm2,
         "area_saving_fraction": area_saving(100),
@@ -337,12 +373,13 @@ def cmd_info(args: argparse.Namespace) -> int:
     import json
 
     from repro.engine import engine_table
+    from repro.power import profile_table
     from repro.sim import get_session
 
     if args.json:
         # shares the run-manifest serializer so specs and metrics carry
-        # the same identity block, and the registry serializer so the
-        # engine list cannot drift from what actually dispatches
+        # the same identity block, and the registry serializers so the
+        # engine/profile lists cannot drift from what actually dispatches
         from repro.metrics import RunManifest
 
         document = {
@@ -353,12 +390,17 @@ def cmd_info(args: argparse.Namespace) -> int:
                 "active": get_session().config.engine,
                 "registered": engine_table(),
             },
+            "profiles": {
+                "active": get_session().config.profile,
+                "registered": profile_table(),
+            },
         }
         print(json.dumps(document, indent=2, sort_keys=True))
         return 0
 
     from repro.bnn import BNNAccelerator
     from repro.power import (
+        DEFAULT_PROFILE,
         area_saving,
         bnn_profile,
         bnn_tops_per_watt,
@@ -368,16 +410,21 @@ def cmd_info(args: argparse.Namespace) -> int:
         ncpu_area,
     )
 
-    freq = frequency_model()
+    # spec block pinned to the paper chip (see chip_specs)
+    freq = frequency_model(DEFAULT_PROFILE)
+    bnn = bnn_profile(DEFAULT_PROFILE)
+    cpu = cpu_profile(DEFAULT_PROFILE)
     print("NCPU reproduction — modelled chip specifications (65 nm)")
     print(f"  nominal frequency  : {freq.f_mhz(1.0):.0f} MHz at 1.0 V")
     print(f"  low-power point    : {freq.f_mhz(0.4):.0f} MHz at 0.4 V")
-    print(f"  BNN power          : {bnn_profile().total_power_w(1.0) * 1e3:.0f} mW "
-          f"(1 V), {bnn_profile().total_power_w(0.4) * 1e3:.1f} mW (0.4 V)")
-    print(f"  CPU power          : {cpu_profile().total_power_w(1.0) * 1e3:.0f} mW "
-          f"(1 V), {cpu_profile().total_power_w(0.4) * 1e3:.1f} mW (0.4 V)")
-    print(f"  BNN efficiency     : {bnn_tops_per_watt(1.0):.2f} TOPS/W (1 V), "
-          f"{bnn_tops_per_watt(0.4):.2f} TOPS/W (0.4 V peak)")
+    print(f"  BNN power          : {bnn.total_power_w(1.0) * 1e3:.0f} mW "
+          f"(1 V), {bnn.total_power_w(0.4) * 1e3:.1f} mW (0.4 V)")
+    print(f"  CPU power          : {cpu.total_power_w(1.0) * 1e3:.0f} mW "
+          f"(1 V), {cpu.total_power_w(0.4) * 1e3:.1f} mW (0.4 V)")
+    print(f"  BNN efficiency     : "
+          f"{bnn_tops_per_watt(1.0, device=DEFAULT_PROFILE):.2f} TOPS/W "
+          f"(1 V), {bnn_tops_per_watt(0.4, device=DEFAULT_PROFILE):.2f} "
+          f"TOPS/W (0.4 V peak)")
     print(f"  NCPU core area     : {ncpu_area(100).total_mm2:.3f} mm^2")
     print(f"  CPU+BNN baseline   : {heterogeneous_area(100).total_mm2:.3f} mm^2")
     print(f"  area saving        : {area_saving(100):.1%}")
@@ -395,6 +442,18 @@ def cmd_info(args: argparse.Namespace) -> int:
                           for flag, value in entry["capabilities"].items())
         print(f"  {marker} {entry['name']:<9}: {entry['description']}")
         print(f"    {'':>9}  [{flags}]")
+    active_profile = get_session().config.profile
+    print("device profiles (active marked *):")
+    for entry in profile_table():
+        marker = "*" if entry["name"] == active_profile else " "
+        low, high = entry["vdd_range_v"]
+        flags = ", ".join(f"{flag}={'yes' if value else 'no'}"
+                          for flag, value in entry["flags"].items())
+        print(f"  {marker} {entry['name']:<16}: {entry['title']}")
+        print(f"    {'':>16}  {entry['technology_nm']:g} nm, "
+              f"{low:g}-{high:g} V, {entry['f_nominal_mhz']:g} MHz, "
+              f"{entry['accel_ops_per_cycle']} MACs/cycle")
+        print(f"    {'':>16}  [{flags}]")
     _ = args
     return 0
 
@@ -424,7 +483,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     doc = run_benchmarks(args.patterns or None, repeats=args.repeats,
                          warmup=args.warmup, quick=args.quick,
                          with_experiments=not args.no_experiments,
-                         scenario=scenario)
+                         scenario=scenario,
+                         profile=args.device_profile)
     if not args.no_write:
         path = write_bench_file(doc, args.out_dir)
         logger.info("bench: trajectory -> %s", path)
@@ -461,6 +521,8 @@ def cmd_attribute(args: argparse.Namespace) -> int:
     from repro.sim import SimSession, get_session, set_session
 
     scenario = Scenario.from_file(args.scenario)
+    if args.device_profile:
+        scenario = scenario.with_profile(name=args.device_profile)
     set_session(SimSession.from_scenario(scenario))
     session = get_session()
 
@@ -721,9 +783,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="only errors on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    # resolved once: every subparser shares the same registry-fed tuple
-    # instead of re-importing the engine registry per --engine flag
+    # resolved once: every subparser shares the same registry-fed tuples
+    # instead of re-importing the registries per --engine/--profile flag
     engines = engine_choices()
+    profiles = profile_choices()
 
     asm = sub.add_parser("asm", help="assemble a RISC-V source file")
     asm.add_argument("file")
@@ -754,6 +817,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "others swap in faster host-side backends with "
                           "identical architectural results; REPRO_ENGINE "
                           "sets the default")
+    run.add_argument("--device-profile", choices=profiles,
+                     metavar="NAME", dest="device_profile",
+                     help="device profile pricing the power models "
+                          "(default ncpu-65nm, or the scenario's "
+                          "device.profile; REPRO_PROFILE sets the "
+                          "session default). NOTE: --profile here is the "
+                          "hot-spot profiler flag, not a device choice")
     run.add_argument("--regs", action="store_true",
                      help="dump the register file after the run")
     run.add_argument("--stats-json", action="store_true",
@@ -808,6 +878,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execution engine for the session (the fast "
                           "engines swap in batched BNN kernels; results "
                           "are identical)")
+    exp.add_argument("--profile", "--device-profile", choices=profiles,
+                     metavar="NAME", dest="device_profile",
+                     help="device profile pricing the power models "
+                          "(default: the scenario's device.profile, else "
+                          "ncpu-65nm); changes physical results — paper "
+                          "anchors only hold on the default")
     exp.set_defaults(func=cmd_experiments)
 
     benchp = sub.add_parser("bench",
@@ -835,6 +911,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="scenario JSON configuring the bench session "
                              "(engine, seed); recorded in the BENCH "
                              "document")
+    benchp.add_argument("--profile", "--device-profile", choices=profiles,
+                        metavar="NAME", dest="device_profile",
+                        help="device profile for the measurement sessions "
+                             "and anchor experiments (recorded in the "
+                             "BENCH document; baseline.json expectations "
+                             "only hold on the default)")
     benchp.add_argument("--json", action="store_true",
                         help="print the BENCH document on stdout")
     benchp.set_defaults(func=cmd_bench)
@@ -958,6 +1040,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="engine to attribute; repeat for an A/B "
                           "comparison across engines (default: the "
                           "scenario's engine)")
+    att.add_argument("--profile", "--device-profile", choices=profiles,
+                     metavar="NAME", dest="device_profile",
+                     help="device profile the attributed runs are priced "
+                          "under (default: the scenario's device.profile)")
     att.add_argument("--chained", action="store_true",
                      help="also attribute a two-core chained end-to-end "
                           "inference (bnn scenarios with >= 2 layers)")

@@ -119,7 +119,7 @@ class Timeline:
 
     # -- power trace ------------------------------------------------------
     def _segment_power_mw(self, segment: Segment, voltage: float, f_hz: float,
-                          reconfigurable: bool) -> float:
+                          reconfigurable: bool, profile=None) -> float:
         from repro.power import core_power_w
 
         if segment.kind in (CPU, SWITCH):
@@ -130,11 +130,12 @@ class Timeline:
             mode, active = "cpu", False
         return core_power_w(mode, voltage, f_hz,
                             reconfigurable=reconfigurable,
-                            active=active) * 1e3
+                            active=active, profile=profile) * 1e3
 
     def power_trace(self, voltage: float, f_hz: float,
                     reconfigurable: bool = True,
                     resolution: Optional[int] = None,
+                    profile=None,
                     ) -> Dict[str, List[Tuple[float, float]]]:
         """Per-core (time_us, power_mw) traces (Fig 16 style).
 
@@ -143,7 +144,10 @@ class Timeline:
         ``resolution`` set, each core's trace is instead resampled onto
         ``resolution`` evenly spaced time points across the full makespan
         — the fixed-rate form an oscilloscope capture (or a plotting
-        frontend) wants.
+        frontend) wants.  ``profile`` selects the device profile whose
+        fitted power models price each segment (the session's default
+        when ``None``); the per-profile models are memoized, so sweeping
+        a trace over many voltages never re-runs the solver.
         """
         if resolution is not None and resolution < 2:
             raise ConfigurationError("power_trace resolution must be >= 2")
@@ -153,7 +157,7 @@ class Timeline:
             points: List[Tuple[float, float]] = []
             for segment in self.core_segments(core):
                 power_mw = self._segment_power_mw(segment, voltage, f_hz,
-                                                  reconfigurable)
+                                                  reconfigurable, profile)
                 start_us = segment.start / f_hz * 1e6
                 end_us = segment.end / f_hz * 1e6
                 points.append((start_us, power_mw))
@@ -162,12 +166,12 @@ class Timeline:
         if resolution is None:
             return traces
         return {core: self._resample(core, voltage, f_hz,
-                                     reconfigurable, resolution)
+                                     reconfigurable, resolution, profile)
                 for core in traces}
 
     def _resample(self, core: str, voltage: float, f_hz: float,
-                  reconfigurable: bool,
-                  resolution: int) -> List[Tuple[float, float]]:
+                  reconfigurable: bool, resolution: int,
+                  profile=None) -> List[Tuple[float, float]]:
         """Sample one core's step function at uniform time points."""
         from repro.power import core_power_w
 
@@ -175,7 +179,7 @@ class Timeline:
         #: power when no segment covers the sample (gap == idle leakage)
         gap_mw = core_power_w("cpu", voltage, f_hz,
                               reconfigurable=reconfigurable,
-                              active=False) * 1e3
+                              active=False, profile=profile) * 1e3
         segments = self.core_segments(core)
         points: List[Tuple[float, float]] = []
         cursor = 0
@@ -195,7 +199,7 @@ class Timeline:
                 points.append((t_us, gap_mw))
             else:
                 points.append((t_us, self._segment_power_mw(
-                    covering, voltage, f_hz, reconfigurable)))
+                    covering, voltage, f_hz, reconfigurable, profile)))
         return points
 
     def validate_no_overlap(self) -> None:

@@ -41,11 +41,16 @@ class ExperimentSpec:
 
     def cache_key(self) -> str:
         """Result-cache key: invalidated when the module source, the spec
-        version, or the cache format changes."""
+        version, the cache format, or the session's device profile
+        changes.  The engine is deliberately absent (engines produce
+        identical architectural results); the device profile is not
+        (profiles change the physics)."""
+        from repro.sim import current_profile
+
         module = sys.modules.get(self.func.__module__)
         fingerprint = source_fingerprint(module) if module else self.name
         return config_hash("experiment-result", self.name, self.version,
-                           fingerprint)
+                           fingerprint, current_profile())
 
 
 _REGISTRY: Dict[str, ExperimentSpec] = {}

@@ -38,7 +38,8 @@ DEFAULT_REPEATS = 5
 DEFAULT_WARMUP = 1
 
 #: deterministic paper-anchor experiments folded into every BENCH file
-ANCHOR_EXPERIMENTS = ("fig09", "table4")
+#: (device_zoo is closed-form model math, cheap enough for --quick)
+ANCHOR_EXPERIMENTS = ("fig09", "table4", "device_zoo")
 #: heavier anchors only measured on full (non-quick) runs
 FULL_ANCHOR_EXPERIMENTS = ("fig17",)
 
@@ -442,13 +443,17 @@ def _bench_runner_warm(quick: bool) -> Dict[str, float]:
 def run_benchmark(spec: BenchSpec, repeats: int = DEFAULT_REPEATS,
                   warmup: int = DEFAULT_WARMUP,
                   quick: bool = False,
-                  session_scenario: Optional[Scenario] = None
+                  session_scenario: Optional[Scenario] = None,
+                  profile: Optional[str] = None
                   ) -> Dict[str, Any]:
     """Measure one benchmark: warmup + N timed repeats, median/min/IQR.
 
     ``session_scenario`` (``repro bench --scenario``) configures the
     throwaway measurement session — engine default and seed — without
     touching the caller's session; caching stays off either way.
+    ``profile`` (``repro bench --profile``) selects the device profile
+    the measurement session prices power models with; it overrides the
+    scenario's own ``device.profile`` when both are given.
 
     The returned entry keeps the raw per-repeat wall samples next to the
     summary (``wall_s["samples"]``) so attribution variance and warmup
@@ -463,8 +468,12 @@ def run_benchmark(spec: BenchSpec, repeats: int = DEFAULT_REPEATS,
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     if session_scenario is not None:
+        if profile is not None:
+            session_scenario = session_scenario.with_profile(profile)
         session = SimSession(SimConfig.from_scenario(
             session_scenario, cache_enabled=False))
+    elif profile is not None:
+        session = SimSession(SimConfig(cache_enabled=False, profile=profile))
     else:
         session = SimSession(SimConfig(cache_enabled=False))
     times: List[float] = []
@@ -508,22 +517,35 @@ def run_benchmark(spec: BenchSpec, repeats: int = DEFAULT_REPEATS,
     }
 
 
-def anchor_experiment_metrics(quick: bool = False) -> Dict[str, float]:
+def anchor_experiment_metrics(quick: bool = False,
+                              profile: Optional[str] = None
+                              ) -> Dict[str, float]:
     """Deterministic paper-anchor metrics (Fig 9, Table 4, Fig 17 ...).
 
     These are simulation outputs, not wall times — identical on every
     machine — so the regression gate can hold them to tight tolerances.
+    ``profile`` prices the anchors under a non-default device profile;
+    ``benchmarks/baseline.json`` expectations only hold for the default.
     """
+    import contextlib
+
     from repro.experiments.runner import run_experiment
+    from repro.sim import SimConfig, SimSession, use_session
 
     names = list(ANCHOR_EXPERIMENTS)
     if not quick:
         names += list(FULL_ANCHOR_EXPERIMENTS)
     metrics: Dict[str, float] = {}
-    for name in names:
-        result = run_experiment(name, use_cache=True)
-        for metric in result.metrics:
-            metrics[f"{name}:{metric.name}"] = float(metric.measured)
+    if profile is not None:
+        scope = use_session(SimSession(
+            SimConfig(cache_enabled=False, profile=profile)))
+    else:  # keep the caller's session (and its warm artifact cache)
+        scope = contextlib.nullcontext()
+    with scope:
+        for name in names:
+            result = run_experiment(name, use_cache=True)
+            for metric in result.metrics:
+                metrics[f"{name}:{metric.name}"] = float(metric.measured)
     return metrics
 
 
@@ -532,23 +554,36 @@ def run_benchmarks(patterns: Optional[List[str]] = None, *,
                    warmup: int = DEFAULT_WARMUP,
                    quick: bool = False,
                    with_experiments: bool = True,
-                   scenario: Optional[Scenario] = None) -> Dict[str, Any]:
+                   scenario: Optional[Scenario] = None,
+                   profile: Optional[str] = None) -> Dict[str, Any]:
     """Run the selected benchmarks and build the BENCH document.
 
     Every registered benchmark's own declarative scenario lands in its
     result entry; ``scenario`` (``repro bench --scenario FILE``)
     additionally configures the measurement sessions and is recorded at
-    the document's top level.
+    the document's top level.  ``profile`` (``repro bench --profile``)
+    prices every measurement session — and the anchor experiments —
+    under the named device profile; the document records the effective
+    profile either way.  Baseline expectations in
+    ``benchmarks/baseline.json`` only hold for the default profile.
     """
+    from repro.power import ensure_known_profile
+    from repro.sim import DEFAULT_DEVICE_PROFILE
+
+    if profile is not None:
+        ensure_known_profile(profile)
     if quick:
         repeats, warmup = min(repeats, 2), 0
+    effective_profile = profile or (
+        scenario.device.profile if scenario else DEFAULT_DEVICE_PROFILE)
     names = select(patterns)
     results: Dict[str, Any] = {}
     for index, name in enumerate(names):
         logger.info("bench %d/%d %s ...", index + 1, len(names), name)
         results[name] = run_benchmark(_REGISTRY[name], repeats=repeats,
                                       warmup=warmup, quick=quick,
-                                      session_scenario=scenario)
+                                      session_scenario=scenario,
+                                      profile=profile)
         logger.info("bench %s: median %.4fs (%s %.0f %s)", name,
                     results[name]["wall_s"]["median"], "median",
                     results[name]["throughput"]["median"],
@@ -556,7 +591,7 @@ def run_benchmarks(patterns: Optional[List[str]] = None, *,
     experiments: Dict[str, float] = {}
     if with_experiments:
         logger.info("measuring paper-anchor experiment metrics ...")
-        experiments = anchor_experiment_metrics(quick=quick)
+        experiments = anchor_experiment_metrics(quick=quick, profile=profile)
     return {
         "schema": BENCH_SCHEMA,
         "manifest": RunManifest.collect().as_dict(),
@@ -564,6 +599,7 @@ def run_benchmarks(patterns: Optional[List[str]] = None, *,
         "repeats": repeats,
         "warmup": warmup,
         "scenario": scenario.to_dict() if scenario else None,
+        "profile": effective_profile,
         "benchmarks": results,
         "experiments": experiments,
     }

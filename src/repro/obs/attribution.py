@@ -148,6 +148,8 @@ class RunAttribution:
     total_wall_s: float
     cycles: Dict[str, int]
     wall_s: Dict[str, float]
+    #: device profile the run was attributed under (ncpu-65nm by default)
+    profile: str = "ncpu-65nm"
     #: per-shard wall samples of the parallel engine (empty otherwise)
     workers: List[Dict[str, float]] = field(default_factory=list)
     #: True when the parallel engine took its serial fallback
@@ -172,6 +174,7 @@ class RunAttribution:
             "scenario": self.scenario,
             "kind": self.kind,
             "engine": self.engine,
+            "profile": self.profile,
             "total_cycles": int(self.total_cycles),
             "total_wall_s": float(self.total_wall_s),
             "cycles": {phase: int(self.cycles[phase]) for phase in PHASES},
@@ -241,6 +244,7 @@ def _publish(session, attribution: RunAttribution) -> RunAttribution:
         # lints see this emit site
         stats.emit("obs.phase", scenario=attribution.scenario,
                    engine=attribution.engine, kind=attribution.kind,
+                   profile=attribution.profile,
                    phase=phase, cycles=attribution.cycles[phase],
                    wall_s=attribution.wall_s[phase],
                    total_cycles=attribution.total_cycles)
@@ -305,7 +309,8 @@ def attribute_scenario(scenario, engine=None) -> RunAttribution:
                                                predictions[:8]]}
     attribution = RunAttribution(
         scenario=scenario.name, kind=scenario.workload.kind,
-        engine=resolved.name, total_cycles=total_cycles,
+        engine=resolved.name, profile=scenario.device.profile,
+        total_cycles=total_cycles,
         total_wall_s=recorder.total_wall_s, cycles=cycles,
         wall_s=recorder.wall_phases(), workers=collector.shards,
         serial_fallback=collector.fallback, detail=detail)
@@ -367,6 +372,7 @@ def attribute_chained(scenario, engine=None,
                                            predictions[:8]]}
     attribution = RunAttribution(
         scenario=scenario.name, kind="chained", engine=resolved.name,
+        profile=scenario.device.profile,
         total_cycles=int(makespan), total_wall_s=recorder.total_wall_s,
         cycles=cycles, wall_s=recorder.wall_phases(),
         workers=collector.shards, serial_fallback=collector.fallback,
@@ -396,7 +402,8 @@ def render_attribution(attributions: Sequence[RunAttribution]) -> str:
         fractions = attribution.cycle_fractions()
         wall_fractions = attribution.wall_fractions()
         lines.append(f"### {attribution.scenario} — engine "
-                     f"`{attribution.engine}` ({attribution.kind})")
+                     f"`{attribution.engine}` on `{attribution.profile}` "
+                     f"({attribution.kind})")
         lines.append("")
         lines.append("| phase | cycles | cycles % | wall s | wall % |")
         lines.append("|---|---|---|---|---|")

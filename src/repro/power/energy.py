@@ -25,9 +25,10 @@ from functools import lru_cache
 from typing import Dict
 
 from repro.power import area as area_model
+from repro.power.profiles import DEFAULT_PROFILE
 from repro.power.technology import (
     SRAM_VMIN,
-    PowerProfile,
+    ProfileLike,
     bnn_profile,
     cpu_profile,
     frequency_model,
@@ -44,9 +45,14 @@ CPU_MODE_POWER_OVERHEAD_AVG = 0.147
 
 
 def leakage_density_w_per_mm2(voltage: float) -> float:
-    """Leakage power density calibrated from the NCPU's BNN-mode fit."""
+    """Leakage power density calibrated from the NCPU's BNN-mode fit.
+
+    Deliberately pinned to the ``ncpu-65nm`` profile (not the session's):
+    the area model below is the paper chip's floorplan, so coupling it to
+    another device's leakage fit would be meaningless.
+    """
     ncpu_mm2 = area_model.ncpu_area(100).total_mm2
-    return bnn_profile().leakage_power_w(voltage) / ncpu_mm2
+    return bnn_profile(DEFAULT_PROFILE).leakage_power_w(voltage) / ncpu_mm2
 
 
 def design_leakage_w(breakdown: area_model.AreaBreakdown, voltage: float) -> float:
@@ -74,9 +80,12 @@ def bnn_task_energy(design: str, cycles: float, voltage: float) -> TaskEnergy:
     ``design`` is ``"ncpu"`` or ``"heterogeneous"``.  Both run the task at
     their maximum frequency for the voltage; the NCPU's Fmax is 4.1 % lower
     in BNN mode, lengthening its leakage window.
+
+    Pinned to the ``ncpu-65nm`` profile like the leakage-density model —
+    this is the paper's own NCPU-vs-heterogeneous comparison.
     """
-    freq = frequency_model().f_hz(voltage)
-    bnn_dynamic_w = bnn_profile().dynamic_power_w(voltage)
+    freq = frequency_model(DEFAULT_PROFILE).f_hz(voltage)
+    bnn_dynamic_w = bnn_profile(DEFAULT_PROFILE).dynamic_power_w(voltage)
     if design == "ncpu":
         f_eff = freq * (1.0 - area_model.FMAX_DEGRADATION["bnn"])
         seconds = cycles / f_eff
@@ -227,14 +236,16 @@ def memory_access_energy_j(memory, voltage: float) -> float:
 
 
 def timeline_energy_j(timeline, voltage: float, f_hz: float,
-                      reconfigurable: bool = True) -> float:
+                      reconfigurable: bool = True,
+                      profile: ProfileLike = None) -> float:
     """Integrate a :class:`repro.core.events.Timeline` into Joules.
 
     Each segment contributes its mode's power (CPU/BNN active, idle =
     leakage only, DMA ~ idle core + bus activity folded into leakage) for
     its duration at the given clock.  This is how the Fig 17 'equivalent
     energy saving' and the Fig 16 trace areas are computed for arbitrary
-    schedules.
+    schedules.  ``profile`` selects the device profile (session default
+    when ``None``).
     """
     total = 0.0
     for segment in timeline.segments:
@@ -246,27 +257,30 @@ def timeline_energy_j(timeline, voltage: float, f_hz: float,
         else:
             mode, active = "cpu", False
         total += core_power_w(mode, voltage, f_hz, reconfigurable,
-                              active=active) * seconds
+                              active=active, profile=profile) * seconds
     return total
 
 
 def core_power_w(mode: str, voltage: float, f_hz: float,
-                 reconfigurable: bool = True, active: bool = True) -> float:
+                 reconfigurable: bool = True, active: bool = True,
+                 profile: ProfileLike = None) -> float:
     """Instantaneous power of one core for the timeline/power-trace model.
 
     Args:
-        mode: ``"cpu"`` or ``"bnn"`` — selects the fitted profile.
+        mode: ``"cpu"`` or ``"bnn"`` — selects the fitted mode model.
         voltage: supply voltage.
         f_hz: actual clock (the use cases run at 50 MHz, not Fmax).
         reconfigurable: True for an NCPU core; False models the standalone
             baseline cores (which lack the reconfiguration overhead).
         active: False for an idle core (clock-gated: leakage only).
+        profile: device profile (name or instance; session default when
+            ``None``) whose fitted models supply the power numbers.
     """
-    profile: PowerProfile = cpu_profile() if mode == "cpu" else bnn_profile()
-    leakage = profile.leakage_power_w(voltage)
+    mode_model = cpu_profile(profile) if mode == "cpu" else bnn_profile(profile)
+    leakage = mode_model.leakage_power_w(voltage)
     if not active:
         return leakage
-    dynamic = profile.dynamic_power_w(voltage, f_hz)
+    dynamic = mode_model.dynamic_power_w(voltage, f_hz)
     if not reconfigurable:
         overhead = (CPU_MODE_POWER_OVERHEAD_AVG if mode == "cpu"
                     else BNN_MODE_POWER_OVERHEAD)

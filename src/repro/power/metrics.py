@@ -6,20 +6,29 @@ from dataclasses import dataclass
 
 from repro.power.technology import (
     PowerProfile,
-    bnn_profile,
+    ProfileLike,
     cpu_profile,
     frequency_model,
-    mep_voltage,
+    models_for,
+    resolve_profile,
 )
 
 #: VAX 11/780 reference: 1757 Dhrystones/second == 1 MIPS
 DHRYSTONES_PER_SECOND_PER_MIPS = 1757.0
 
 
-def bnn_tops_per_watt(voltage: float, ops_per_cycle: int = 400) -> float:
-    """BNN-mode compute efficiency (the paper counts one MAC as one op)."""
-    f_hz = frequency_model().f_hz(voltage)
-    power_w = bnn_profile().total_power_w(voltage)
+def bnn_tops_per_watt(voltage: float, ops_per_cycle: int | None = None,
+                      device: ProfileLike = None) -> float:
+    """NN-mode compute efficiency (the paper counts one MAC as one op).
+
+    ``ops_per_cycle`` defaults to the device profile's parallelism (400
+    for the NCPU's 20x20 neuron-cell array).
+    """
+    models = models_for(resolve_profile(device))
+    if ops_per_cycle is None:
+        ops_per_cycle = models.profile.accel_ops_per_cycle
+    f_hz = models.frequency.f_hz(voltage)
+    power_w = models.accel.total_power_w(voltage)
     return ops_per_cycle * f_hz / power_w / 1e12
 
 
@@ -49,19 +58,24 @@ class DhrystoneResult:
 
 
 def score_dhrystone(cycles_per_iteration: float, voltage: float = 1.0,
-                    profile: PowerProfile | None = None) -> DhrystoneResult:
-    """Score a measured Dhrystone iteration cost at a supply voltage."""
-    profile = profile if profile is not None else cpu_profile()
-    f_mhz = frequency_model().f_mhz(voltage)
+                    profile: PowerProfile | None = None,
+                    device: ProfileLike = None) -> DhrystoneResult:
+    """Score a measured Dhrystone iteration cost at a supply voltage.
+
+    ``profile`` overrides the fitted CPU-mode power model; ``device``
+    selects the device profile both it and the frequency model default to.
+    """
+    profile = profile if profile is not None else cpu_profile(device)
+    f_mhz = frequency_model(device).f_mhz(voltage)
     power_mw = profile.total_power_w(voltage) * 1e3
     return DhrystoneResult(cycles_per_iteration=cycles_per_iteration,
                            frequency_mhz=f_mhz, power_mw=power_mw)
 
 
-def cpu_mep_voltage() -> float:
+def cpu_mep_voltage(device: ProfileLike = None) -> float:
     """The CPU-mode minimum-energy-point voltage from the fitted model."""
-    return mep_voltage(cpu_profile())
+    return models_for(resolve_profile(device)).cpu_mep_voltage()
 
 
-def bnn_mep_voltage() -> float:
-    return mep_voltage(bnn_profile())
+def bnn_mep_voltage(device: ProfileLike = None) -> float:
+    return models_for(resolve_profile(device)).accel_mep_voltage()

@@ -1,6 +1,7 @@
-"""65 nm technology model fitted to the paper's silicon measurements.
+"""Technology model solvers, fitted per :class:`~repro.power.profiles.DeviceProfile`.
 
-The test chip's measured anchors (Fig 7, Fig 9, Table 2/3):
+The default fit reproduces the paper's 65 nm test chip, whose measured
+anchors (Fig 7, Fig 9, Table 2/3) live in the ``ncpu-65nm`` profile:
 
 * frequency: 960 MHz at 1.0 V, 18 MHz at 0.4 V,
 * BNN-mode power: 241 mW at 1.0 V, 1.2 mW at 0.4 V,
@@ -8,25 +9,40 @@ The test chip's measured anchors (Fig 7, Fig 9, Table 2/3):
 * CPU-mode minimum-energy point (MEP) at 0.5 V,
 * SRAM Vmin 0.55 V (below it, SRAM stays at 0.55 V).
 
-The model forms:
+The model forms (shared by every registered device profile):
 
 * frequency: alpha-power law ``f(V) = K (V - Vth)^alpha / V``,
 * dynamic power: ``P_dyn = C_eff V^2 f(V)``,
 * leakage: ``P_leak = P0 · V · exp(eta V)`` (subthreshold + DIBL shape).
 
 The three power parameters per operating mode are solved from the two power
-anchors plus either a fixed 1 V leakage share (BNN mode, whose MEP lies below
-0.4 V) or the MEP-position constraint (CPU mode).
+anchors plus either a fixed nominal-voltage leakage share (accelerator mode,
+whose MEP lies below the voltage floor) or the MEP-position constraint
+(CPU mode).
+
+:func:`models_for` is the one entry point that turns a profile into fitted
+models; it is memoized on the frozen profile so repeated power traces and
+experiment sweeps reuse the same solver outputs.  The historical zero-arg
+accessors (:func:`frequency_model`, :func:`bnn_profile`, :func:`cpu_profile`)
+now accept an optional profile and resolve ``None`` through the current
+session, defaulting to ``ncpu-65nm`` — their default outputs are pinned
+bit-identical to the pre-registry module-global fit.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import Union
 
 from repro.errors import ConfigurationError
+from repro.power.profiles import DeviceProfile, resolve_profile
 
+# The ncpu-65nm anchors, kept as module constants for backward
+# compatibility and for the NCPU-specific helpers in repro.power.energy.
+# The registry's ncpu-65nm profile carries the same values; golden tests
+# pin the two representations bit-identical.
 V_NOMINAL = 1.0
 V_MIN = 0.4
 SRAM_VMIN = 0.55
@@ -80,6 +96,7 @@ class PowerProfile:
     leak_p0: float  # W
     leak_eta: float
     frequency: FrequencyModel
+    v_nominal: float = V_NOMINAL
 
     def dynamic_power_w(self, voltage: float, f_hz: float | None = None) -> float:
         f = self.frequency.f_hz(voltage) if f_hz is None else f_hz
@@ -105,25 +122,28 @@ class PowerProfile:
 
     @property
     def leak_share_1v(self) -> float:
-        return self.leakage_power_w(V_NOMINAL) / self.total_power_w(V_NOMINAL)
+        """Leakage share at the profile's nominal voltage."""
+        return self.leakage_power_w(self.v_nominal) \
+            / self.total_power_w(self.v_nominal)
 
 
-def _solve_profile(name: str, frequency: FrequencyModel, p_1v: float,
-                   p_04v: float, leak_1v: float) -> PowerProfile:
-    """Solve (c_eff, leak_p0, leak_eta) from the two anchors + 1 V leakage."""
-    c_eff = (p_1v - leak_1v) / (V_NOMINAL ** 2 * frequency.f_hz(V_NOMINAL))
-    dyn_04 = c_eff * V_MIN ** 2 * frequency.f_hz(V_MIN)
-    leak_04 = p_04v - dyn_04
-    if leak_04 <= 0:
+def _solve_profile(name: str, frequency: FrequencyModel, p_hi: float,
+                   p_lo: float, leak_hi: float,
+                   v_hi: float = V_NOMINAL, v_lo: float = V_MIN) -> PowerProfile:
+    """Solve (c_eff, leak_p0, leak_eta) from the two anchors + nominal leakage."""
+    c_eff = (p_hi - leak_hi) / (v_hi ** 2 * frequency.f_hz(v_hi))
+    dyn_lo = c_eff * v_lo ** 2 * frequency.f_hz(v_lo)
+    leak_lo = p_lo - dyn_lo
+    if leak_lo <= 0:
         raise ConfigurationError(
-            f"{name}: leakage share {leak_1v:.3g} W at 1 V leaves no leakage "
-            f"budget at 0.4 V (dynamic alone is {dyn_04:.3g} W)"
+            f"{name}: leakage share {leak_hi:.3g} W at {v_hi} V leaves no "
+            f"leakage budget at {v_lo} V (dynamic alone is {dyn_lo:.3g} W)"
         )
-    # leak(V) = p0 V e^{eta V}:  leak_1v / leak_04 = (1/0.4) e^{0.6 eta}
-    eta = math.log(leak_1v / leak_04 * V_MIN / V_NOMINAL) / (V_NOMINAL - V_MIN)
-    p0 = leak_1v / (V_NOMINAL * math.exp(eta * V_NOMINAL))
+    # leak(V) = p0 V e^{eta V}:  leak_hi / leak_lo = (v_hi/v_lo) e^{eta (v_hi-v_lo)}
+    eta = math.log(leak_hi / leak_lo * v_lo / v_hi) / (v_hi - v_lo)
+    p0 = leak_hi / (v_hi * math.exp(eta * v_hi))
     return PowerProfile(name=name, c_eff=c_eff, leak_p0=p0, leak_eta=eta,
-                        frequency=frequency)
+                        frequency=frequency, v_nominal=v_hi)
 
 
 def _mep_voltage(profile: PowerProfile, lo: float = 0.36, hi: float = 1.0) -> float:
@@ -142,26 +162,15 @@ def _mep_voltage(profile: PowerProfile, lo: float = 0.36, hi: float = 1.0) -> fl
     return (a + b) / 2
 
 
-@lru_cache(maxsize=None)
-def frequency_model() -> FrequencyModel:
-    return FrequencyModel()
-
-
-@lru_cache(maxsize=None)
-def bnn_profile() -> PowerProfile:
-    """BNN-mode power fit (leakage share at 1 V fixed; MEP below 0.4 V)."""
-    return _solve_profile("bnn", frequency_model(), BNN_POWER_1V_W,
-                          BNN_POWER_04V_W, BNN_LEAK_SHARE_1V * BNN_POWER_1V_W)
-
-
 class TwoDomainProfile:
     """CPU-mode power model with separate core and SRAM voltage domains.
 
-    The paper scales core and SRAM together from 1 V down to the SRAM's
-    0.55 V Vmin; below that only the core voltage drops (section VI.C).
-    The stranded SRAM domain is what produces the measured 0.5 V
-    minimum-energy point: below it, the SRAM's (voltage-pinned) dynamic and
-    leakage power divide by an ever-slower clock.
+    The paper scales core and SRAM together from nominal voltage down to
+    the SRAM's Vmin; below that only the core voltage drops (section
+    VI.C).  The stranded SRAM domain is what produces the measured 0.5 V
+    minimum-energy point on the 65 nm chip: below it, the SRAM's
+    (voltage-pinned) dynamic and leakage power divide by an ever-slower
+    clock.
 
     Duck-type compatible with :class:`PowerProfile`.
     """
@@ -171,37 +180,47 @@ class TwoDomainProfile:
     def __init__(self, frequency: FrequencyModel, p_1v: float, p_04v: float,
                  leak_share_1v_target: float = 0.05,
                  sram_dynamic_share: float = 0.25,
-                 sram_leak_share: float = 0.77):
+                 sram_leak_share: float = 0.77,
+                 v_nominal: float = V_NOMINAL,
+                 v_min: float = V_MIN,
+                 sram_vmin: float = SRAM_VMIN):
         self.frequency = frequency
+        self.v_nominal = v_nominal
+        self.v_min = v_min
+        self.sram_vmin = sram_vmin
         leak_1v = leak_share_1v_target * p_1v
-        self.c_total = (p_1v - leak_1v) / frequency.f_hz(V_NOMINAL)
+        self.c_total = (p_1v - leak_1v) / frequency.f_hz(v_nominal)
         self.c_sram = self.c_total * sram_dynamic_share
         self.c_core = self.c_total - self.c_sram
         self._leak_core_1v = leak_1v * (1.0 - sram_leak_share)
         self._leak_sram_1v = leak_1v * sram_leak_share
-        # solve the leakage exponent from the 0.4 V power anchor
-        f_04 = frequency.f_hz(V_MIN)
-        dyn_04 = (self.c_core * V_MIN ** 2 + self.c_sram * SRAM_VMIN ** 2) * f_04
-        leak_04_target = p_04v - dyn_04
-        if leak_04_target <= 0:
-            raise ConfigurationError("no leakage budget at 0.4 V; bad shares")
+        # solve the leakage exponent from the low-voltage power anchor
+        f_lo = frequency.f_hz(v_min)
+        vs_lo = max(v_min, sram_vmin)
+        dyn_lo = (self.c_core * v_min ** 2 + self.c_sram * vs_lo ** 2) * f_lo
+        leak_lo_target = p_04v - dyn_lo
+        if leak_lo_target <= 0:
+            raise ConfigurationError(
+                f"{self.name}: no leakage budget at {v_min} V; bad shares")
 
         def leak_total(eta: float) -> float:
-            core = self._leak_core_1v * V_MIN * math.exp(eta * (V_MIN - 1.0))
-            sram = self._leak_sram_1v * SRAM_VMIN * math.exp(eta * (SRAM_VMIN - 1.0))
+            core = self._leak_core_1v * v_min \
+                * math.exp(eta * (v_min - v_nominal))
+            sram = self._leak_sram_1v * vs_lo \
+                * math.exp(eta * (vs_lo - v_nominal))
             return core + sram
 
         lo, hi = 0.1, 12.0
         for _ in range(80):
             mid = 0.5 * (lo + hi)
-            if leak_total(mid) > leak_04_target:
+            if leak_total(mid) > leak_lo_target:
                 lo = mid  # larger eta shrinks low-voltage leakage
             else:
                 hi = mid
         self.leak_eta = 0.5 * (lo + hi)
 
     def _sram_voltage(self, voltage: float) -> float:
-        return effective_voltage_for_sram(voltage)
+        return max(voltage, self.sram_vmin)
 
     def dynamic_power_w(self, voltage: float, f_hz: float | None = None) -> float:
         f = self.frequency.f_hz(voltage) if f_hz is None else f_hz
@@ -210,8 +229,10 @@ class TwoDomainProfile:
 
     def leakage_power_w(self, voltage: float) -> float:
         vs = self._sram_voltage(voltage)
-        core = self._leak_core_1v * voltage * math.exp(self.leak_eta * (voltage - 1.0))
-        sram = self._leak_sram_1v * vs * math.exp(self.leak_eta * (vs - 1.0))
+        core = self._leak_core_1v * voltage \
+            * math.exp(self.leak_eta * (voltage - self.v_nominal))
+        sram = self._leak_sram_1v * vs \
+            * math.exp(self.leak_eta * (vs - self.v_nominal))
         return core + sram
 
     def total_power_w(self, voltage: float, f_hz: float | None = None) -> float:
@@ -229,20 +250,99 @@ class TwoDomainProfile:
 
     @property
     def leak_share_1v(self) -> float:
-        return self.leakage_power_w(V_NOMINAL) / self.total_power_w(V_NOMINAL)
+        """Leakage share at the profile's nominal voltage."""
+        return self.leakage_power_w(self.v_nominal) \
+            / self.total_power_w(self.v_nominal)
+
+
+@dataclass(frozen=True)
+class DeviceModels:
+    """Fitted solver bundle for one device profile.
+
+    Built (and memoized) by :func:`models_for`; every consuming layer —
+    Timeline power traces, experiments, metrics, the CLI — pulls its
+    frequency/power models from here rather than from module globals.
+    """
+
+    profile: DeviceProfile = field(compare=False)
+    frequency: FrequencyModel = field(compare=False)
+    accel: PowerProfile = field(compare=False)
+    cpu: TwoDomainProfile = field(compare=False)
+
+    def mode_profile(self, mode: str) -> Union[PowerProfile, TwoDomainProfile]:
+        """The fitted power model for ``mode`` (``"cpu"`` or ``"bnn"``)."""
+        if mode == "cpu":
+            return self.cpu
+        if mode == "bnn":
+            return self.accel
+        raise ConfigurationError(f"unknown core mode {mode!r}")
+
+    def cpu_mep_voltage(self) -> float:
+        """Model MEP of the CPU mode, searched in the profile's window."""
+        return _mep_voltage(self.cpu, lo=self.profile.mep_search_lo,
+                            hi=self.profile.mep_search_hi)
+
+    def accel_mep_voltage(self) -> float:
+        """Model MEP of the accelerator mode (often pinned at the floor)."""
+        return _mep_voltage(self.accel, lo=self.profile.mep_search_lo,
+                            hi=self.profile.mep_search_hi)
+
+    def effective_voltage_for_sram(self, voltage: float) -> float:
+        return max(voltage, self.profile.sram_vmin)
 
 
 @lru_cache(maxsize=None)
-def cpu_profile() -> TwoDomainProfile:
-    """CPU-mode power model (two voltage domains; MEP emerges near 0.5 V)."""
-    return TwoDomainProfile(frequency_model(), CPU_POWER_1V_W, CPU_POWER_04V_W)
+def models_for(profile: DeviceProfile) -> DeviceModels:
+    """Fit frequency/power models for ``profile`` (memoized per profile).
+
+    The frozen profile is the cache key, so every consumer asking for the
+    same device shares one solver run; a test pins that repeated Timeline
+    power traces reuse these objects.
+    """
+    frequency = FrequencyModel(
+        vth=profile.vth,
+        v_lo=profile.vdd_min, f_lo_mhz=profile.f_min_mhz,
+        v_hi=profile.vdd_nominal, f_hi_mhz=profile.f_nominal_mhz)
+    accel = _solve_profile(
+        "bnn", frequency,
+        profile.accel_power_nominal_w, profile.accel_power_min_w,
+        profile.accel_leak_share_nominal * profile.accel_power_nominal_w,
+        v_hi=profile.vdd_nominal, v_lo=profile.vdd_min)
+    cpu = TwoDomainProfile(
+        frequency, profile.cpu_power_nominal_w, profile.cpu_power_min_w,
+        leak_share_1v_target=profile.cpu_leak_share_nominal,
+        v_nominal=profile.vdd_nominal, v_min=profile.vdd_min,
+        sram_vmin=profile.sram_vmin)
+    return DeviceModels(profile=profile, frequency=frequency,
+                        accel=accel, cpu=cpu)
 
 
-def mep_voltage(profile: PowerProfile) -> float:
-    """Public MEP search for a fitted profile."""
-    return _mep_voltage(profile)
+ProfileLike = Union[DeviceProfile, str, None]
 
 
-def effective_voltage_for_sram(voltage: float) -> float:
-    """SRAM domain voltage: scaled with the core down to its 0.55 V Vmin."""
-    return max(voltage, SRAM_VMIN)
+def frequency_model(profile: ProfileLike = None) -> FrequencyModel:
+    """Fmax model for ``profile`` (session default when ``None``)."""
+    return models_for(resolve_profile(profile)).frequency
+
+
+def bnn_profile(profile: ProfileLike = None) -> PowerProfile:
+    """Accelerator (BNN/NN) mode power fit — nominal leakage share fixed."""
+    return models_for(resolve_profile(profile)).accel
+
+
+def cpu_profile(profile: ProfileLike = None) -> TwoDomainProfile:
+    """CPU-mode power model (two voltage domains; MEP emerges near 0.5 V
+    on the default 65 nm profile)."""
+    return models_for(resolve_profile(profile)).cpu
+
+
+def mep_voltage(profile: PowerProfile,
+                lo: float = 0.36, hi: float = 1.0) -> float:
+    """Public MEP search for a fitted mode profile."""
+    return _mep_voltage(profile, lo=lo, hi=hi)
+
+
+def effective_voltage_for_sram(voltage: float,
+                               sram_vmin: float = SRAM_VMIN) -> float:
+    """SRAM domain voltage: scaled with the core down to its Vmin."""
+    return max(voltage, sram_vmin)

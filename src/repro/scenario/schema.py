@@ -50,8 +50,10 @@ MAX_BATCH_SIZE = 65536
 MAX_ITERATIONS = 100_000
 MAX_REPEATS = 1000
 
-#: the fabricated chip's voltage range (0.4 V near-threshold .. 1.0 V
-#: nominal, paper section VI)
+#: the fabricated NCPU chip's voltage range (0.4 V near-threshold .. 1.0 V
+#: nominal, paper section VI) — the default device profile's limits; other
+#: profiles carry their own range and ``DevicePoint`` validates against
+#: the named profile's limits
 VDD_MIN = 0.4
 VDD_MAX = 1.0
 
@@ -212,15 +214,19 @@ class EngineSpec:
 
 @dataclasses.dataclass(frozen=True)
 class DevicePoint:
-    """The core operating point: supply voltage and (optional) clock.
+    """The core operating point: device profile, supply voltage, clock.
 
-    ``vdd`` must sit in the fabricated chip's [0.4 V, 1.0 V] range;
-    ``clock_mhz=None`` means "whatever the frequency model yields at
-    ``vdd``" (:func:`repro.power.frequency_model`).
+    ``profile`` names a registered device profile
+    (:mod:`repro.power.profiles`); ``vdd`` must sit inside that profile's
+    [vdd_min, vdd_nominal] range (the NCPU's 0.4–1.0 V for the default
+    ``ncpu-65nm``); ``clock_mhz=None`` means "whatever the profile's
+    frequency model yields at ``vdd``"
+    (:func:`repro.power.frequency_model`).
     """
 
     vdd: float = 1.0
     clock_mhz: Optional[float] = None
+    profile: str = "ncpu-65nm"
 
     def __post_init__(self):
         if isinstance(self.vdd, int) and not isinstance(self.vdd, bool):
@@ -231,10 +237,22 @@ class DevicePoint:
         self.validate("device")
 
     def validate(self, path: str = "device") -> None:
+        _require(isinstance(self.profile, str) and bool(self.profile),
+                 f"{path}.profile",
+                 f"expected a non-empty profile name, got {self.profile!r}")
+        # imported lazily, mirroring the engine registry check above
+        from repro.power.profiles import get_profile
+
+        try:
+            device_profile = get_profile(self.profile)
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"{path}.profile: {exc}") from None
         _require(isinstance(self.vdd, float), f"{path}.vdd",
                  f"expected a number, got {self.vdd!r}")
-        _require(VDD_MIN <= self.vdd <= VDD_MAX, f"{path}.vdd",
-                 f"must be in [{VDD_MIN}, {VDD_MAX}] V, got {self.vdd}")
+        _require(device_profile.vdd_min <= self.vdd
+                 <= device_profile.vdd_nominal, f"{path}.vdd",
+                 f"must be in [{device_profile.vdd_min}, "
+                 f"{device_profile.vdd_nominal}] V, got {self.vdd}")
         if self.clock_mhz is not None:
             _require(isinstance(self.clock_mhz, float), f"{path}.clock_mhz",
                      f"expected a number or null, got {self.clock_mhz!r}")
@@ -242,7 +260,8 @@ class DevicePoint:
                      f"must be positive, got {self.clock_mhz}")
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"vdd": self.vdd, "clock_mhz": self.clock_mhz}
+        return {"vdd": self.vdd, "clock_mhz": self.clock_mhz,
+                "profile": self.profile}
 
     @classmethod
     def from_dict(cls, data: Any, path: str = "device") -> "DevicePoint":
@@ -250,7 +269,8 @@ class DevicePoint:
         _reject_unknown(cls, data, path)
         return _construct(
             lambda: cls(vdd=data.get("vdd", cls.vdd),
-                        clock_mhz=data.get("clock_mhz", cls.clock_mhz)),
+                        clock_mhz=data.get("clock_mhz", cls.clock_mhz),
+                        profile=data.get("profile", cls.profile)),
             path, "device")
 
 
@@ -403,6 +423,11 @@ class Scenario:
         results, so cached artifacts stay valid across engine swaps —
         and the serve block only shapes *when* work arrives, never what
         it computes, so serving-policy sweeps reuse the same artifacts.
+
+        ``device.profile`` deliberately *stays* in the identity: unlike
+        the engine, the device profile changes the physics (frequency,
+        power, per-phase overheads), so artifacts computed for one
+        device must never be served for another.
         """
         identity = self.to_dict()
         del identity["engine"]
@@ -478,6 +503,37 @@ class Scenario:
             prefer_functional=self.engine.prefer_functional
             if prefer_functional is None else prefer_functional)
         return dataclasses.replace(self, engine=engine)
+
+    def with_profile(self, name: Optional[str] = None,
+                     vdd: Optional[float] = None) -> "Scenario":
+        """A copy on another device profile (CLI flags override files).
+
+        When ``vdd`` is not given and the scenario's operating point
+        falls outside the new profile's voltage range, it snaps to the
+        profile's nominal voltage — a `--profile max78000` override
+        should not be rejected just because the file pinned the NCPU's
+        1.0 V.  An explicit ``vdd`` is validated as-is.
+        """
+        if name is None and vdd is None:
+            return self
+        profile_name = self.device.profile if name is None else name
+        new_vdd = self.device.vdd if vdd is None else vdd
+        if vdd is None:
+            from repro.power.profiles import get_profile
+
+            try:
+                device_profile = get_profile(profile_name)
+            except ConfigurationError:
+                device_profile = None  # replace() below raises field-exact
+            if device_profile is not None and not (
+                    device_profile.vdd_min <= new_vdd
+                    <= device_profile.vdd_nominal):
+                new_vdd = device_profile.vdd_nominal
+        device = _construct(
+            lambda: dataclasses.replace(self.device, profile=profile_name,
+                                        vdd=new_vdd),
+            "scenario.device", "device")
+        return dataclasses.replace(self, device=device)
 
     def with_overrides(self, **fields: Any) -> "Scenario":
         """A copy with top-level scalar fields replaced."""

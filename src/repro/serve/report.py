@@ -36,6 +36,7 @@ def build_slo_report(server, offsets: List[float]) -> Dict[str, Any]:
         "manifest": RunManifest.collect(server.session).as_dict(),
         "scenario": server.scenario.to_dict(),
         "engine": server.engine.name,
+        "profile": server.scenario.device.profile,
         "policy": server.policy.as_dict(),
         "arrival": dict({"process": spec.arrival,
                          "rate_rps": spec.rate_rps,
@@ -147,6 +148,7 @@ def render_slo_report(doc: Mapping[str, Any]) -> str:
     lines = [
         f"# SLO report — {doc['scenario']['name']} on `{doc['engine']}`",
         "",
+        f"device profile: `{doc.get('profile', 'ncpu-65nm')}`",
         f"arrival: {arrival['process']} @ {arrival['rate_rps']:g} rps "
         f"({requests['submitted']} requests over "
         f"{arrival['duration_s'] * 1e3:.1f} ms)",

@@ -14,9 +14,11 @@ from repro.sim.cache import ArtifactCache
 from repro.sim.config import (
     CACHE_ENV_VAR,
     DEFAULT_CACHE_DIR,
+    DEFAULT_DEVICE_PROFILE,
     DEFAULT_ENGINE,
     ENGINE_ENV_VAR,
     NO_CACHE_ENV_VAR,
+    PROFILE_ENV_VAR,
     SimConfig,
     config_hash,
     source_fingerprint,
@@ -31,6 +33,7 @@ from repro.sim.instrument import (
 from repro.sim.session import (
     SimSession,
     current_engine,
+    current_profile,
     get_session,
     reset_session,
     set_session,
@@ -41,8 +44,10 @@ __all__ = [
     "ALL_EVENTS",
     "ArtifactCache",
     "CACHE_ENV_VAR",
+    "DEFAULT_DEVICE_PROFILE",
     "DEFAULT_ENGINE",
     "ENGINE_ENV_VAR",
+    "PROFILE_ENV_VAR",
     "PROBE_ERROR_COUNTER",
     "STRICT_PROBES_ENV_VAR",
     "DEFAULT_CACHE_DIR",
@@ -53,6 +58,7 @@ __all__ = [
     "StatsScope",
     "config_hash",
     "current_engine",
+    "current_profile",
     "get_session",
     "reset_session",
     "set_session",

@@ -28,12 +28,19 @@ NO_CACHE_ENV_VAR = "REPRO_NO_CACHE"
 #: environment variable selecting the default execution engine
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 
+#: environment variable selecting the default device profile
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+
 #: default artifact-cache root (expanded lazily)
 DEFAULT_CACHE_DIR = "~/.cache/repro"
 
 #: execution engine selected when no ``--engine``/``REPRO_ENGINE`` is given;
 #: the full set of valid names lives in the :mod:`repro.engine` registry
 DEFAULT_ENGINE = "accurate"
+
+#: device profile selected when no ``--device-profile``/``REPRO_PROFILE``
+#: is given; the registry lives in :mod:`repro.power.profiles`
+DEFAULT_DEVICE_PROFILE = "ncpu-65nm"
 
 
 def _canonical(value: Any) -> Any:
@@ -89,7 +96,12 @@ class SimConfig:
     registered in :mod:`repro.engine` (``accurate``, ``fast``,
     ``parallel``, ...); every engine produces identical architectural
     results (the equivalence suites pin this), so the engine — and the
-    scenario's engine spec — are excluded from the hash too.
+    scenario's engine spec — are excluded from the hash too.  ``profile``
+    names a device profile registered in :mod:`repro.power.profiles`; it
+    is what :func:`repro.power.resolve_profile` falls back to when a
+    power-layer call names no profile.  Unlike the engine it *does*
+    change results, but it enters the hash through the scenario's
+    ``device.profile`` field rather than separately here.
     """
 
     cache_dir: str = DEFAULT_CACHE_DIR
@@ -97,14 +109,17 @@ class SimConfig:
     seed: int = 0
     params: Tuple[Tuple[str, Any], ...] = ()
     engine: str = DEFAULT_ENGINE
+    profile: str = DEFAULT_DEVICE_PROFILE
     scenario: Optional[Scenario] = None
 
     def __post_init__(self):
         # imported lazily: repro.engine loads provider modules that import
         # repro.sim, so validation must not run at repro.sim import time
         from repro.engine import ensure_known
+        from repro.power.profiles import ensure_known_profile
 
         ensure_known(self.engine)
+        ensure_known_profile(self.profile)
         if self.scenario is not None and \
                 not isinstance(self.scenario, Scenario):
             raise ConfigurationError(
@@ -130,8 +145,16 @@ class SimConfig:
             ensure_known(engine)
         except ConfigurationError as exc:
             raise ConfigurationError(f"{ENGINE_ENV_VAR}: {exc}") from exc
+        profile = env.get(PROFILE_ENV_VAR, DEFAULT_DEVICE_PROFILE)
+        try:
+            from repro.power.profiles import ensure_known_profile
+
+            ensure_known_profile(profile)
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"{PROFILE_ENV_VAR}: {exc}") from exc
         return cls(cache_dir=env.get(CACHE_ENV_VAR, DEFAULT_CACHE_DIR),
-                   cache_enabled=not disabled, engine=engine)
+                   cache_enabled=not disabled, engine=engine,
+                   profile=profile)
 
     @classmethod
     def from_scenario(cls, scenario: Scenario,
@@ -147,6 +170,7 @@ class SimConfig:
         fields = dict(cache_dir=base.cache_dir,
                       cache_enabled=base.cache_enabled,
                       seed=scenario.seed, engine=scenario.engine.name,
+                      profile=scenario.device.profile,
                       scenario=scenario)
         fields.update(overrides)
         return cls(**fields)
@@ -175,10 +199,14 @@ class SimConfig:
         """
         if self.scenario is not None:
             return self.scenario
-        from repro.scenario.schema import EngineSpec
+        from repro.power.profiles import get_profile
+        from repro.scenario.schema import DevicePoint, EngineSpec
 
         return Scenario(name="session-default", seed=self.seed,
-                        engine=EngineSpec(name=self.engine))
+                        engine=EngineSpec(name=self.engine),
+                        device=DevicePoint(
+                            vdd=get_profile(self.profile).vdd_nominal,
+                            profile=self.profile))
 
     @property
     def hash(self) -> str:

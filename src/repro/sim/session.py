@@ -101,6 +101,22 @@ def current_engine(override: Optional[str] = None) -> str:
     return resolve_engine(override).name
 
 
+def current_profile(override: Optional[str] = None) -> str:
+    """Resolve the active device profile's name.
+
+    ``override`` wins when given; otherwise the current session's
+    ``SimConfig.profile`` applies.  Resolution goes through the
+    :mod:`repro.power.profiles` registry, so a
+    :class:`~repro.errors.ConfigurationError` naming the registered
+    profiles is raised on unknown names.
+    """
+    from repro.power.profiles import resolve_profile
+
+    if override is not None:
+        return resolve_profile(override).name
+    return resolve_profile(get_session().config.profile).name
+
+
 @contextmanager
 def use_session(session: Optional[SimSession] = None, **config_kwargs: Any):
     """Temporarily install a session (built from ``config_kwargs`` if not

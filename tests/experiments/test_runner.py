@@ -12,7 +12,7 @@ ALL_NAMES = [
     "table1", "table2", "table3", "table4",
     "fig07", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14",
     "fig15", "fig16", "fig17", "fig18", "fig19",
-    "ablations", "extension",
+    "ablations", "device_zoo", "extension",
 ]
 
 

@@ -92,6 +92,12 @@ REJECTIONS = [
     ({"device": {"vdd": 0.2}}, "scenario.device.vdd"),
     ({"device": {"vdd": 1.2}}, "scenario.device.vdd"),
     ({"device": {"clock_mhz": -5}}, "scenario.device.clock_mhz"),
+    ({"device": {"profile": "tpu-v9"}}, "scenario.device.profile"),
+    ({"device": {"profile": ""}}, "scenario.device.profile"),
+    ({"device": {"profile": 65}}, "scenario.device.profile"),
+    # vdd validated against the named profile's range, not the default's
+    ({"device": {"profile": "ethos-u55", "vdd": 1.0}},
+     "scenario.device.vdd"),
     ({"name": ""}, "scenario.name"),
     ({"seed": -1}, "scenario.seed"),
     ({"seed": True}, "scenario.seed"),
@@ -129,6 +135,21 @@ class TestValidation:
         message = str(excinfo.value)
         assert message.startswith("engine.name:")
         assert "accurate" in message and "fast" in message
+
+    def test_unknown_profile_lists_registered_profiles(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            DevicePoint(profile="tpu-v9")
+        message = str(excinfo.value)
+        assert message.startswith("device.profile:")
+        assert "ncpu-65nm" in message and "max78000" in message
+
+    def test_vdd_error_names_profile_range(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            Scenario.from_dict(
+                {"device": {"profile": "max78000", "vdd": 0.5}})
+        message = str(excinfo.value)
+        assert message.startswith("scenario.device.vdd:")
+        assert "[0.9, 1.1]" in message
 
     def test_missing_file_is_configuration_error(self, tmp_path):
         with pytest.raises(ConfigurationError, match="not found"):
@@ -193,6 +214,14 @@ class TestHashing:
         del full["serve"]
         assert identity == full
 
+    def test_hash_changes_with_device_profile(self):
+        # unlike the engine, the device profile changes physical results,
+        # so it participates in scenario identity
+        base = full_scenario()
+        swapped = base.with_profile(name="ethos-u55")
+        assert swapped.hash != base.hash
+        assert swapped.identity_dict()["device"]["profile"] == "ethos-u55"
+
 
 class TestDerivedViews:
     def test_with_engine_overrides_name(self):
@@ -208,6 +237,25 @@ class TestDerivedViews:
     def test_with_overrides_revalidates(self):
         with pytest.raises(ConfigurationError, match="scenario.seed"):
             full_scenario().with_overrides(seed=-1)
+
+    def test_with_profile_overrides_profile(self):
+        scenario = full_scenario().with_profile(name="mcxn947-neutron")
+        assert scenario.device.profile == "mcxn947-neutron"
+
+    def test_with_profile_snaps_out_of_range_vdd_to_nominal(self):
+        # full_scenario's 0.6 V is outside the max78000's 0.9-1.1 V
+        # range; with no explicit vdd the switch snaps to nominal
+        scenario = full_scenario().with_profile(name="max78000")
+        assert scenario.device.vdd == 1.1
+
+    def test_with_profile_explicit_vdd_still_validated(self):
+        with pytest.raises(ConfigurationError, match="device.vdd"):
+            full_scenario().with_profile(name="max78000", vdd=0.6)
+
+    def test_with_profile_unknown_name_is_field_exact(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            full_scenario().with_profile(name="tpu-v9")
+        assert str(excinfo.value).startswith("scenario.device.profile:")
 
     def test_scenarios_are_hashable_and_comparable(self):
         assert len({full_scenario(), full_scenario(), Scenario()}) == 2

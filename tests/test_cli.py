@@ -571,7 +571,7 @@ class TestAttributeCli:
             expected = attribute_scenario(scenario, engine="fast")
         assert main(["attribute", "--scenario", bnn_scenario_file]) == 0
         out = capsys.readouterr().out
-        assert "### cli-bnn — engine `fast` (bnn)" in out
+        assert "### cli-bnn — engine `fast` on `ncpu-65nm` (bnn)" in out
         assert "| phase | cycles | cycles % | wall s | wall % |" in out
         # the cycle column is deterministic: golden against a direct run
         for phase in PHASES:
@@ -640,3 +640,78 @@ class TestAttributeCli:
         with pytest.raises(SystemExit):
             main(["attribute", "--scenario", bnn_scenario_file,
                   "--engine", "warp"])
+
+
+class TestDeviceProfileCli:
+    @pytest.fixture(autouse=True)
+    def _fresh_session(self):
+        import os
+
+        from repro.sim import reset_session
+
+        os.environ.pop("REPRO_PROFILE", None)
+        reset_session()
+        yield
+        os.environ.pop("REPRO_PROFILE", None)
+        reset_session()
+
+    def test_profile_choices_come_from_registry(self):
+        from repro.cli import profile_choices
+        from repro.power import profile_names
+
+        assert profile_choices() == profile_names()
+        assert "ncpu-65nm" in profile_choices()
+
+    def test_unknown_profile_rejected_by_parser(self, source_file):
+        # argparse `choices` rejects at parse time with exit status 2
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", source_file, "--device-profile", "tpu-v9"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            main(["experiments", "--profile", "tpu-v9", "fig09"])
+        assert excinfo.value.code == 2
+
+    def test_bad_profile_env_fails_fast(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "tpu-v9")
+        assert main(["info"]) == 2
+        message = capsys.readouterr().err
+        assert "REPRO_PROFILE" in message and "tpu-v9" in message
+        assert "ncpu-65nm" in message  # the registered list is spelled out
+
+    def test_scenario_with_unknown_profile_exits_2(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad_profile.json"
+        path.write_text(json.dumps(
+            {"device": {"profile": "tpu-v9"}}))
+        assert main(["scenario", "validate", str(path)]) == 2
+        message = capsys.readouterr().err
+        assert "scenario.device.profile" in message
+        assert "ncpu-65nm" in message
+
+    def test_experiments_profile_flag_sets_env(self, capsys):
+        import os
+
+        assert main(["experiments", "--profile", "ethos-u55",
+                     "--no-cache", "fig07"]) == 0
+        assert os.environ.get("REPRO_PROFILE") == "ethos-u55"
+        assert "Fig 7" in capsys.readouterr().out
+
+    def test_info_lists_profiles(self, capsys):
+        import json
+
+        assert main(["info", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        profiles = payload["profiles"]
+        assert profiles["active"] == "ncpu-65nm"
+        names = [entry["name"] for entry in profiles["registered"]]
+        assert "max78000" in names and "ethos-u55" in names
+
+    def test_info_marks_active_profile(self, capsys, monkeypatch):
+        from repro.sim import reset_session
+
+        monkeypatch.setenv("REPRO_PROFILE", "mcxn947-neutron")
+        reset_session()
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "* mcxn947-neutron" in out

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation lint: links, CLI examples, probe/engine/scenario tables.
 
-Eight checks, each cheap enough for every CI run:
+Nine checks, each cheap enough for every CI run:
 
 1. **Relative links** — every ``[text](target)`` in a tracked markdown file
    whose target is not an external URL or a pure anchor must point at an
@@ -32,6 +32,11 @@ Eight checks, each cheap enough for every CI run:
    match the live source constants (each ``module.CONSTANT`` row is
    imported and compared), and its engine decision table must cover
    exactly the engines registered in ``repro.engine``.
+9. **Device profile table** — the "## Profile registry" table in
+   docs/DEVICES.md must list exactly the profiles registered in
+   ``repro.power`` with their live technology/voltage/frequency/
+   geometry values and capability flags, so registering a new device
+   (or recalibrating one) forces the device reference to follow.
 
 Exit status: 0 when everything passes, 1 with a per-finding report
 otherwise.  Run from anywhere: paths resolve relative to the repo root.
@@ -574,12 +579,91 @@ def check_kernel_handbook() -> List[str]:
     return problems
 
 
+# -- check 9: device profile registry table ------------------------------
+DEVICES_MD = REPO_ROOT / "docs" / "DEVICES.md"
+
+PROFILE_TABLE_ANCHOR = "## Profile registry"
+
+#: flag columns of the docs profile table, in order (mapping docs header
+#: "silicon" to the registry flag name)
+PROFILE_FLAG_COLUMNS = ("reconfigurable", "dvfs", "silicon_measured")
+
+_PROFILE_ROW_RE = re.compile(
+    r"^\|\s*`([a-z0-9_-]+)`\s*\|\s*(\d+)\s*\|"          # name | nm |
+    r"\s*([0-9.]+)\s*[-–]\s*([0-9.]+)\s*\|"        # vdd lo–hi |
+    r"\s*([0-9.]+)\s*\|\s*(\d+)\s*\|"                    # f_nom | MACs |
+    r"\s*(yes|no)\s*\|\s*(yes|no)\s*\|\s*(yes|no)\s*\|")  # flags
+
+
+def documented_profile_table(text: str) -> Dict[str, Dict[str, object]]:
+    """``{profile name: row values}`` parsed from the docs table."""
+    if PROFILE_TABLE_ANCHOR not in text:
+        return {}
+    rows: Dict[str, Dict[str, object]] = {}
+    for line in text.split(PROFILE_TABLE_ANCHOR, 1)[1].splitlines():
+        match = _PROFILE_ROW_RE.match(line.strip())
+        if match:
+            rows[match.group(1)] = {
+                "technology_nm": int(match.group(2)),
+                "vdd_range_v": [float(match.group(3)),
+                                float(match.group(4))],
+                "f_nominal_mhz": float(match.group(5)),
+                "accel_ops_per_cycle": int(match.group(6)),
+                "flags": {flag: cell == "yes" for flag, cell in
+                          zip(PROFILE_FLAG_COLUMNS, match.groups()[6:])},
+            }
+        elif rows and not line.strip().startswith("|"):
+            break
+    return rows
+
+
+def check_profile_table() -> List[str]:
+    sys.path.insert(0, str(SRC))
+    try:
+        from repro.power import profile_table
+    finally:
+        sys.path.pop(0)
+    if not DEVICES_MD.exists():
+        return ["docs/DEVICES.md: missing (device profile reference)"]
+    documented = documented_profile_table(DEVICES_MD.read_text())
+    if not documented:
+        return [f"docs/DEVICES.md: profile registry table "
+                f"('{PROFILE_TABLE_ANCHOR}') not found"]
+    problems = []
+    registered = {entry["name"]: entry for entry in profile_table()}
+    for name in sorted(set(registered) - set(documented)):
+        problems.append(
+            f"device profile `{name}` is registered but missing from the "
+            "docs/DEVICES.md profile registry table")
+    for name in sorted(set(documented) - set(registered)):
+        problems.append(
+            f"device profile `{name}` documented in docs/DEVICES.md but "
+            "not registered in repro.power")
+    for name in sorted(set(registered) & set(documented)):
+        live, docs = registered[name], documented[name]
+        for key in ("technology_nm", "vdd_range_v", "f_nominal_mhz",
+                    "accel_ops_per_cycle"):
+            if docs[key] != live[key]:
+                problems.append(
+                    f"device profile `{name}`: docs table says "
+                    f"{key}={docs[key]} but the registry says {live[key]}")
+        for flag in PROFILE_FLAG_COLUMNS:
+            documented_value = docs["flags"][flag]
+            if documented_value != live["flags"][flag]:
+                problems.append(
+                    f"device profile `{name}`: docs table says {flag}="
+                    f"{'yes' if documented_value else 'no'} but the "
+                    f"registry says "
+                    f"{'yes' if live['flags'][flag] else 'no'}")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="check_docs",
         description="lint markdown links, CLI examples, the probe table, "
-                    "the engine registry table, and the scenario field "
-                    "tables")
+                    "the engine registry table, the scenario field "
+                    "tables, and the device profile table")
     parser.add_argument("--quiet", action="store_true",
                         help="print only failures")
     args = parser.parse_args(argv)
@@ -593,6 +677,7 @@ def main(argv=None) -> int:
     problems += check_phase_table()
     problems += check_serve_metric_table()
     problems += check_kernel_handbook()
+    problems += check_profile_table()
     if problems:
         for problem in problems:
             print(f"FAIL {problem}")
@@ -601,8 +686,8 @@ def main(argv=None) -> int:
     if not args.quiet:
         print(f"docs ok: {len(files)} markdown files, links + CLI examples "
               "+ probe table + engine table + scenario tables + phase "
-              "table + serve metric table + kernel handbook all "
-              "consistent")
+              "table + serve metric table + kernel handbook + device "
+              "profile table all consistent")
     return 0
 
 
